@@ -1,0 +1,192 @@
+// Command mosaic-bench regenerates every table and figure of the MOSAIC
+// paper's evaluation on the synthetic Blue-Waters-shaped corpus and prints
+// paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	mosaic-bench [-exp all|fig3|table2|table3|fig4|fig5|accuracy|stability|perf|ablation]
+//	             [-apps N] [-seed S] [-workers W] [-sample N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/experiments"
+	"github.com/mosaic-hpc/mosaic/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, fig3, table2, table3, fig4, fig5, accuracy, stability, perf, ablation, dxt, sched")
+		apps    = flag.Int("apps", 1500, "number of unique applications in the synthetic corpus")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		workers = flag.Int("workers", 0, "categorization workers (0 = NumCPU)")
+		sample  = flag.Int("sample", 512, "sample size for the accuracy experiment")
+		outDir  = flag.String("out", "", "also write machine-readable artifacts (JSON, CSV, PNG figures) to this directory")
+	)
+	flag.Parse()
+	if err := run(*exp, *apps, *seed, *workers, *sample, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "mosaic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, apps int, seed int64, workers, sample int, outDir string) error {
+	out := os.Stdout
+	cfg := core.DefaultConfig()
+	profile := experiments.ScaledProfile(seed, apps)
+	want := func(name string) bool { return exp == "all" || exp == name }
+	header := func(name string) {
+		fmt.Fprintf(out, "\n%s\n%s\n", name, strings.Repeat("=", len(name)))
+	}
+
+	// Experiments that need the full corpus run share one.
+	var cr *experiments.CorpusRun
+	needCorpus := want("table2") || want("table3") || want("fig4") || want("fig5")
+	if needCorpus {
+		start := time.Now()
+		var err error
+		cr, err = experiments.Run(profile, cfg, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "corpus: %d traces / %d valid / %d unique apps — generated+funneled in %v, categorized in %v\n",
+			cr.Funnel.Total, cr.Funnel.Valid, cr.Funnel.UniqueApps,
+			cr.GenerateTime.Round(time.Millisecond), cr.CategorizeTime.Round(time.Millisecond))
+		_ = start
+	}
+
+	if want("fig3") {
+		header("Figure 3: pre-processing funnel")
+		experiments.Fig3(profile).Write(out)
+	}
+	if want("table2") {
+		header("Table II: periodic write detection")
+		experiments.Table2(cr).Write(out, cr.Agg)
+	}
+	if want("table3") {
+		header("Table III: access temporality")
+		experiments.Table3(cr).Write(out, cr.Agg)
+	}
+	if want("fig4") {
+		header("Figure 4: metadata category distribution")
+		experiments.Fig4(cr).Write(out, cr.Agg)
+	}
+	if want("fig5") {
+		header("Figure 5 / Section IV-D: correlations")
+		experiments.Fig5(cr).Write(out, cr.Agg)
+	}
+	if outDir != "" && cr != nil {
+		if err := writeArtifacts(outDir, cr); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nartifacts written to %s (export.json, categories.csv, jaccard.csv, apps.csv, heatmap.png, metadata.png)\n", outDir)
+	}
+	if want("accuracy") {
+		header("Section IV-E: accuracy (sampled validation)")
+		acc, err := experiments.Accuracy(profile, cfg, sample, seed+100)
+		if err != nil {
+			return err
+		}
+		acc.Write(out)
+	}
+	if want("stability") {
+		header("Section III-B1: per-application stability")
+		st, err := experiments.Stability(seed, 4, 12, cfg)
+		if err != nil {
+			return err
+		}
+		st.Write(out)
+	}
+	if want("perf") {
+		header("Section IV-E: performance and scaling")
+		counts := []int{1, 2}
+		for w := 4; w <= runtime.GOMAXPROCS(0); w *= 2 {
+			counts = append(counts, w)
+		}
+		perfProfile := experiments.ScaledProfile(seed, min(apps, 600))
+		pr, err := experiments.Perf(perfProfile, cfg, counts)
+		if err != nil {
+			return err
+		}
+		pr.Write(out)
+	}
+	if want("dxt") {
+		header("DXT: hidden periodicity under aggregated tracing (Section IV-A caveat)")
+		dx, err := experiments.DXT(seed, 30, cfg)
+		if err != nil {
+			return err
+		}
+		dx.Write(out)
+	}
+	if want("sched") {
+		header("I/O-aware scheduling (Section V application)")
+		sr, err := experiments.Sched(seed, 8)
+		if err != nil {
+			return err
+		}
+		sr.Write(out)
+	}
+	if want("ablation") {
+		header("Ablations: merging thresholds, bandwidth, detector comparison")
+		ab, err := experiments.Ablation(seed, 40, cfg)
+		if err != nil {
+			return err
+		}
+		ab.Write(out)
+	}
+	return nil
+}
+
+// writeArtifacts stores the machine-readable outputs of a corpus run:
+// the step-4 JSON export, CSV views of the tables, and PNG figures.
+func writeArtifacts(dir string, cr *experiments.CorpusRun) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	apps := make([]report.ExportApp, 0, len(cr.Results))
+	for _, r := range cr.Results {
+		apps = append(apps, report.ExportApp{Result: r.Result, Runs: r.Runs})
+	}
+	exp := report.BuildExport(cr.Funnel, apps, cr.Agg, 0.01)
+	writers := []struct {
+		name string
+		fn   func(io.Writer) error
+	}{
+		{"export.json", exp.WriteJSON},
+		{"categories.csv", func(w io.Writer) error { return report.WriteCategoriesCSV(w, cr.Agg) }},
+		{"jaccard.csv", func(w io.Writer) error { return report.WriteJaccardCSV(w, cr.Agg, 0.01) }},
+		{"apps.csv", func(w io.Writer) error { return report.WriteAppsCSV(w, apps) }},
+		{"heatmap.png", func(w io.Writer) error { return report.HeatmapPNG(w, cr.Agg, 0.002, 12) }},
+		{"metadata.png", func(w io.Writer) error { return report.MetadataBarsPNG(w, cr.Agg) }},
+	}
+	for _, art := range writers {
+		f, err := os.Create(filepath.Join(dir, art.name))
+		if err != nil {
+			return err
+		}
+		werr := art.fn(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", art.name, werr)
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func TestGenWritesBinaryCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 5, 1, 0.32, 40, false); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := mosaic.ListCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 || len(paths) > 40 {
+		t.Fatalf("corpus size = %d", len(paths))
+	}
+	// Every file decodes (corrupted traces are still well-formed files).
+	for _, p := range paths[:min(5, len(paths))] {
+		if _, err := mosaic.ReadTrace(p); err != nil {
+			t.Fatalf("decoding %s: %v", p, err)
+		}
+	}
+}
+
+func TestGenWritesJSONCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 3, 2, 0, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			t.Fatalf("non-JSON file in JSON corpus: %s", e.Name())
+		}
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty corpus")
+	}
+	// JSON corpus with zero corruption rate must fully validate.
+	paths, _ := mosaic.ListCorpus(dir)
+	for _, p := range paths {
+		j, err := mosaic.ReadTrace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mosaic.Validate(j); err != nil {
+			t.Fatalf("%s invalid: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+func TestGenDeterministicBySeed(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := run(d1, 3, 7, 0.3, 25, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(d2, 3, 7, 0.3, 25, false); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := mosaic.ListCorpus(d1)
+	p2, _ := mosaic.ListCorpus(d2)
+	if len(p1) != len(p2) {
+		t.Fatalf("sizes differ: %d vs %d", len(p1), len(p2))
+	}
+	b1, err := os.ReadFile(p1[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("same seed produced different corpora")
+	}
+}

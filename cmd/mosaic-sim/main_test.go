@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func TestSimSyntheticMode(t *testing.T) {
+	if err := run("", true, 32, 20, 10, 1, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimCorpusMode(t *testing.T) {
+	dir := t.TempDir()
+	profile := mosaic.DefaultCorpusProfile()
+	profile.Apps = 10
+	profile.Seed = 3
+	corpus := mosaic.PlanCorpus(profile)
+	n := 0
+	corpus.Each(func(r mosaic.CorpusRun) bool {
+		name := dir + "/t" + string(rune('a'+n%26)) + ".mosd"
+		if n >= 26 {
+			return false
+		}
+		if err := mosaic.WriteTrace(name, r.Job); err != nil {
+			t.Fatal(err)
+		}
+		n++
+		return true
+	})
+	if err := run(dir, false, 16, 20, 10, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRequiresInput(t *testing.T) {
+	if err := run("", false, 16, 20, 10, 1, 16); err == nil {
+		t.Fatal("no input mode accepted")
+	}
+}

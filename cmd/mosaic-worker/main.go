@@ -1,0 +1,28 @@
+// Command mosaic-worker runs a distributed categorization worker: it
+// listens for RPC connections from a mosaic master (see the
+// examples/distributed program) and categorizes the traces it receives.
+// This is the role Dispy workers played in the paper's Python
+// implementation.
+//
+// Usage:
+//
+//	mosaic-worker [-listen :7464]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mosaic-hpc/mosaic/internal/dist"
+)
+
+func main() {
+	listen := flag.String("listen", ":7464", "TCP address to listen on")
+	flag.Parse()
+	fmt.Printf("mosaic-worker: serving on %s\n", *listen)
+	if err := dist.ListenAndServe(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "mosaic-worker:", err)
+		os.Exit(1)
+	}
+}

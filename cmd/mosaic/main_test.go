@@ -1,0 +1,99 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+// writeTestTrace builds a small checkpointing trace on disk.
+func writeTestTrace(t *testing.T, dir, name string) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b := mosaic.NewTraceBuilder(rng, "u", "/bin/app", 1, 8, 3600)
+	b.Burst(mosaic.BurstSpec{At: 30, Duration: 60, Bytes: 1 << 30, Records: 8})
+	b.Periodic(mosaic.PeriodicSpec{Period: 300, PhaseFrac: 0.1, BytesPer: 1 << 30, Records: 8, Write: true})
+	path := filepath.Join(dir, name)
+	if err := mosaic.WriteTrace(path, b.Job()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, "a.mosd")
+	cfg := mosaic.DefaultConfig()
+	if err := run(path, cfg, 1, false, "", false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Explain + timeline paths.
+	if err := run(path, cfg, 1, true, "", false, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// JSON output.
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := run(path, cfg, 1, false, jsonPath, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("json output missing: %v", err)
+	}
+}
+
+func TestRunCorpusDir(t *testing.T) {
+	dir := t.TempDir()
+	writeTestTrace(t, dir, "a.mosd")
+	writeTestTrace(t, dir, "b.mosd")
+	jsonPath := filepath.Join(dir, "corpus.json")
+	if err := run(dir, mosaic.DefaultConfig(), 2, false, jsonPath, true, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("corpus json missing: %v", err)
+	}
+}
+
+func TestRunConvertAndAnonymize(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, "a.mosd")
+	for _, out := range []string{"b.json", "c.txt", "d.mosd"} {
+		target := filepath.Join(dir, out)
+		if err := run(path, mosaic.DefaultConfig(), 1, false, "", false, false, target, "pepper"); err != nil {
+			t.Fatalf("convert to %s: %v", out, err)
+		}
+		back, err := mosaic.ReadTrace(target)
+		if err != nil {
+			t.Fatalf("re-reading %s: %v", out, err)
+		}
+		if back.User == "u" {
+			t.Fatal("anonymization not applied during convert")
+		}
+	}
+}
+
+func TestRunRejectsCorruptedSingle(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, "a.mosd")
+	j, err := mosaic.ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Runtime = -1
+	bad := filepath.Join(dir, "bad.mosd")
+	if err := mosaic.WriteTrace(bad, j); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, mosaic.DefaultConfig(), 1, false, "", false, false, "", ""); err == nil {
+		t.Fatal("corrupted single trace accepted")
+	}
+}
+
+func TestRunMissingTarget(t *testing.T) {
+	if err := run("/nonexistent/path", mosaic.DefaultConfig(), 1, false, "", false, false, "", ""); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package mosaic
+
+import (
+	"net"
+
+	"github.com/mosaic-hpc/mosaic/internal/dist"
+)
+
+// Distributed categorization, re-exported: a master streams traces to
+// workers over net/rpc, the role Dispy played for the paper's Python
+// implementation.
+type (
+	// WorkerClient is a connection to one categorization worker.
+	WorkerClient = dist.Client
+	// Master fans traces out over a set of workers.
+	Master = dist.Master
+	// Outcome is the per-trace result returned by a Master run.
+	Outcome = dist.Outcome
+)
+
+// ServeWorker serves categorization requests on the listener until it is
+// closed. It blocks; run it in a goroutine (or use the mosaic-worker
+// binary on remote hosts).
+func ServeWorker(l net.Listener) error { return dist.Serve(l) }
+
+// ListenAndServeWorker serves on a TCP address. It blocks.
+func ListenAndServeWorker(addr string) error { return dist.ListenAndServe(addr) }
+
+// DialWorker connects to a worker.
+func DialWorker(addr string) (*WorkerClient, error) { return dist.Dial(addr) }
+
+// NewMaster wraps worker connections with a pipeline configuration.
+func NewMaster(clients []*WorkerClient, cfg Config) *Master {
+	return dist.NewMaster(clients, cfg)
+}

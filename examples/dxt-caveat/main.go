@@ -1,0 +1,60 @@
+// DXT caveat: demonstrate the paper's Section IV-A limitation and its
+// resolution. A simulation that checkpoints into files held open for the
+// whole run produces a single aggregate record per file in a
+// Blue-Waters-style Darshan log: MOSAIC must categorize it write_steady,
+// even though the application is periodic. The same trace collected with
+// the DXT module carries per-operation segments, and the periodicity is
+// recovered.
+//
+//	go run ./examples/dxt-caveat
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func buildTrace(withDXT bool) *mosaic.Job {
+	rng := rand.New(rand.NewSource(7))
+	b := mosaic.NewTraceBuilder(rng, "carol", "/apps/bin/gromacs", 1, 64, 7200)
+	// 1 GiB checkpoint every 10 minutes into 8 files held open all run.
+	b.SteadyHiddenPeriodic(true /*write*/, 600, 0.05, 1<<30, 8, withDXT)
+	return b.Job()
+}
+
+func main() {
+	cfg := mosaic.DefaultConfig()
+
+	for _, mode := range []struct {
+		name    string
+		withDXT bool
+	}{
+		{"aggregate-only (Blue Waters style)", false},
+		{"DXT extended tracing enabled", true},
+	} {
+		job := buildTrace(mode.withDXT)
+		res, err := mosaic.Categorize(job, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", mode.name)
+		fmt.Printf("categories: %v\n", res.Labels)
+		if res.Write.Periodic() {
+			fmt.Printf("periodic write detected: period %.0fs, %d occurrences\n",
+				res.Write.DominantPeriod(), res.Write.Groups[0].Count)
+		} else {
+			fmt.Println("no periodicity detected (hidden by open-to-close aggregation)")
+		}
+		mosaic.WriteTimeline(os.Stdout, job, res, cfg)
+		fmt.Println()
+	}
+
+	fmt.Println("The paper (Section IV-A): \"It is likely that the majority of")
+	fmt.Println("[write_steady] behaviors are, in fact, periodic.\" With DXT the")
+	fmt.Println("hidden structure is measurable — run `mosaic-bench -exp dxt` for")
+	fmt.Println("the quantified version of this demonstration.")
+}

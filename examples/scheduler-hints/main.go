@@ -1,0 +1,97 @@
+// Scheduler hints: analyze a synthetic corpus and derive I/O-aware job
+// scheduling hints from the categorization — the application the paper's
+// conclusion motivates ("two jobs categorized as reading large volumes of
+// data at the start of execution could be scheduled so as not to
+// overlap").
+//
+//	go run ./examples/scheduler-hints
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func main() {
+	// A small in-memory corpus: plan it, keep the valid traces.
+	profile := mosaic.DefaultCorpusProfile()
+	profile.Apps = 150
+	profile.Seed = 7
+	corpus := mosaic.PlanCorpus(profile)
+
+	var jobs []*mosaic.Job
+	corpus.Each(func(r mosaic.CorpusRun) bool {
+		jobs = append(jobs, r.Job)
+		return len(jobs) < 3000
+	})
+
+	analysis, err := mosaic.AnalyzeJobs(jobs, mosaic.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d traces -> %d applications\n\n",
+		analysis.Funnel.Total, analysis.Funnel.UniqueApps)
+
+	// Hint 1: start-time I/O conflicts. Applications that read large
+	// volumes on start should not be launched simultaneously.
+	var startReaders []string
+	for _, app := range analysis.Apps {
+		if app.Result.Categories.Has(mosaic.Temporal(mosaic.DirRead, mosaic.OnStart)) &&
+			app.Result.Read.TotalBytes > 1<<30 {
+			startReaders = append(startReaders, fmt.Sprintf("%s/%s (%d runs, %.1f GiB)",
+				app.Result.User, app.Result.App, app.Runs,
+				float64(app.Result.Read.TotalBytes)/(1<<30)))
+		}
+	}
+	sort.Strings(startReaders)
+	fmt.Printf("Hint 1 — stagger launches of %d heavy start-readers:\n", len(startReaders))
+	for i, s := range startReaders {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(startReaders)-5)
+			break
+		}
+		fmt.Println("  ", s)
+	}
+
+	// Hint 2: periodic writers can be phase-shifted. List detected
+	// cadences so the scheduler can interleave checkpoint windows.
+	fmt.Println("\nHint 2 — interleave checkpoint windows of periodic writers:")
+	count := 0
+	for _, app := range analysis.Apps {
+		if !app.Result.Write.Periodic() {
+			continue
+		}
+		count++
+		if count <= 5 {
+			fmt.Printf("   %s/%s: period %.0fs, busy %.0f%% of each period\n",
+				app.Result.User, app.Result.App,
+				app.Result.Write.DominantPeriod(),
+				app.Result.Write.Groups[0].BusyRatio*100)
+		}
+	}
+	if count > 5 {
+		fmt.Printf("   ... and %d more periodic writers\n", count-5)
+	}
+
+	// Hint 3: metadata offenders. Jobs with sustained metadata density
+	// should not share a metadata server with spike-heavy jobs.
+	dense := 0
+	for _, app := range analysis.Apps {
+		if app.Result.Categories.Has(mosaic.MetaHighDensity) {
+			dense++
+		}
+	}
+	fmt.Printf("\nHint 3 — %d applications keep the metadata server under sustained load\n", dense)
+	fmt.Println("   (>= 50 req/s on average): isolate them from high-spike jobs.")
+
+	// Global correlations back the policies, as in Section IV-D.
+	corr := analysis.Aggregate.Correlations()
+	fmt.Printf("\nCorpus correlations backing these policies:\n")
+	fmt.Printf("   P(write on end | read on start) = %.0f%%  -> read-compute-write dominates\n",
+		corr.ReadStartWritesEnd*100)
+	fmt.Printf("   P(low busy | periodic write)    = %.0f%%  -> checkpoint windows are short\n",
+		corr.PeriodicWriteLowBusy*100)
+}

@@ -1,0 +1,110 @@
+package mosaic_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func TestAnonymizeFacade(t *testing.T) {
+	job := &mosaic.Job{
+		JobID: 1, User: "alice", Exe: "/apps/bin/secret-code", NProcs: 4,
+		Runtime: 100, End: 100,
+		Metadata: map[string]string{"note": "private"},
+		Records: []mosaic.FileRecord{{
+			Module: mosaic.ModPOSIX, Path: "/scratch/alice/input.dat",
+			C: mosaic.Counters{Reads: 1, BytesRead: 1 << 20, ReadStart: 1, ReadEnd: 2},
+		}},
+	}
+	mosaic.Anonymize(job, "salt")
+	if job.User == "alice" || strings.Contains(job.Exe, "secret") {
+		t.Fatal("identity leaked")
+	}
+	if job.Metadata != nil {
+		t.Fatal("metadata kept")
+	}
+	if strings.Contains(job.Records[0].Path, "input") {
+		t.Fatal("path leaked")
+	}
+	if err := mosaic.Validate(job); err != nil {
+		t.Fatalf("anonymized job invalid: %v", err)
+	}
+}
+
+func TestWriteHeatmapFacade(t *testing.T) {
+	agg := mosaic.NewAggregator()
+	res := mosaic.MustCategorize(&mosaic.Job{
+		JobID: 1, User: "u", Exe: "/bin/a", NProcs: 4, Runtime: 1000, End: 1000,
+		Records: []mosaic.FileRecord{{
+			Module: mosaic.ModPOSIX, Path: "/f",
+			C: mosaic.Counters{Reads: 10, BytesRead: 1 << 30, ReadStart: 5, ReadEnd: 50},
+		}},
+	}, mosaic.DefaultConfig())
+	agg.Add(res, 3)
+	var buf bytes.Buffer
+	mosaic.WriteHeatmap(&buf, agg, 0)
+	if !strings.Contains(buf.String(), "read_on_start") {
+		t.Fatalf("heatmap missing category:\n%s", buf.String())
+	}
+}
+
+func TestWriteTimelineFacade(t *testing.T) {
+	job := &mosaic.Job{
+		JobID: 2, User: "u", Exe: "/bin/b", NProcs: 4, Runtime: 1000, End: 1000,
+		Records: []mosaic.FileRecord{{
+			Module: mosaic.ModPOSIX, Path: "/f",
+			C: mosaic.Counters{Writes: 5, BytesWritten: 1 << 30, WriteStart: 900, WriteEnd: 950},
+		}},
+	}
+	res := mosaic.MustCategorize(job, mosaic.DefaultConfig())
+	var buf bytes.Buffer
+	mosaic.WriteTimeline(&buf, job, res, mosaic.DefaultConfig())
+	if !strings.Contains(buf.String(), "writes (merged)") {
+		t.Fatal("timeline facade broken")
+	}
+}
+
+func TestCategorizeAllContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []*mosaic.Job{{JobID: 1, User: "u", Exe: "/bin/c", NProcs: 1, Runtime: 10, End: 10}}
+	if _, err := mosaic.CategorizeAll(ctx, jobs, mosaic.Options{}); err == nil {
+		t.Fatal("cancelled context not surfaced")
+	}
+}
+
+func TestMustCategorizePanicsOnPipelineFailure(t *testing.T) {
+	// MustCategorize never panics on structurally valid jobs; exercise the
+	// non-panic path and the ListCorpus facade together.
+	dir := t.TempDir()
+	if paths, err := mosaic.ListCorpus(dir); err != nil || len(paths) != 0 {
+		t.Fatalf("empty corpus: %v %v", paths, err)
+	}
+}
+
+func TestAllCategoriesFacade(t *testing.T) {
+	all := mosaic.AllCategories()
+	if len(all) != 32 {
+		t.Fatalf("taxonomy size = %d, want 32", len(all))
+	}
+	if mosaic.PeriodicMagnitudeCat(mosaic.DirWrite, 2) == "" {
+		t.Fatal("magnitude constructor broken")
+	}
+}
+
+func TestTruthFacade(t *testing.T) {
+	profile := mosaic.DefaultCorpusProfile()
+	profile.Apps = 5
+	profile.CorruptionRate = 0
+	corpus := mosaic.PlanCorpus(profile)
+	run := corpus.GenerateRun(corpus.Apps[0], 0)
+	if mosaic.Truth(run.Job) == nil {
+		t.Fatal("truth missing on generated trace")
+	}
+	if run.Job.Metadata[mosaic.TruthKey] == "" {
+		t.Fatal("truth key missing")
+	}
+}

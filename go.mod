@@ -1,0 +1,3 @@
+module github.com/mosaic-hpc/mosaic
+
+go 1.22

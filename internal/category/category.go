@@ -1,0 +1,323 @@
+// Package category defines the MOSAIC category taxonomy (Table I of the
+// paper): non-exclusive labels describing the I/O behaviour of a job along
+// three axes — temporality, periodicity, and metadata impact.
+package category
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Axis is one of the three classes of behaviour MOSAIC characterizes.
+type Axis uint8
+
+// Axes of the taxonomy.
+const (
+	AxisTemporality Axis = iota
+	AxisPeriodicity
+	AxisMetadata
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case AxisTemporality:
+		return "temporality"
+	case AxisPeriodicity:
+		return "periodicity"
+	case AxisMetadata:
+		return "metadata"
+	default:
+		return fmt.Sprintf("Axis(%d)", uint8(a))
+	}
+}
+
+// Direction distinguishes read and write behaviour; MOSAIC evaluates the
+// two independently (Section III-A). Metadata categories carry DirNone.
+type Direction uint8
+
+// Directions.
+const (
+	DirNone Direction = iota
+	DirRead
+	DirWrite
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirRead:
+		return "read"
+	case DirWrite:
+		return "write"
+	case DirNone:
+		return ""
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// Category is a canonical label such as "read_on_start",
+// "write_periodic_minute" or "metadata_high_spike".
+type Category string
+
+// TemporalKind enumerates the temporality sub-labels.
+type TemporalKind uint8
+
+// Temporality kinds (Table I).
+const (
+	OnStart TemporalKind = iota
+	OnEnd
+	AfterStart
+	BeforeEnd
+	AfterStartBeforeEnd
+	Steady
+	Insignificant
+)
+
+// String implements fmt.Stringer.
+func (k TemporalKind) String() string {
+	switch k {
+	case OnStart:
+		return "on_start"
+	case OnEnd:
+		return "on_end"
+	case AfterStart:
+		return "after_start"
+	case BeforeEnd:
+		return "before_end"
+	case AfterStartBeforeEnd:
+		return "after_start_before_end"
+	case Steady:
+		return "steady"
+	case Insignificant:
+		return "insignificant"
+	default:
+		return fmt.Sprintf("TemporalKind(%d)", uint8(k))
+	}
+}
+
+// TemporalKinds lists every temporality kind in declaration order.
+func TemporalKinds() []TemporalKind {
+	return []TemporalKind{OnStart, OnEnd, AfterStart, BeforeEnd, AfterStartBeforeEnd, Steady, Insignificant}
+}
+
+// Temporal builds the temporality category for a direction,
+// e.g. Temporal(DirRead, OnStart) == "read_on_start".
+func Temporal(d Direction, k TemporalKind) Category {
+	return Category(d.String() + "_" + k.String())
+}
+
+// PeriodMagnitude is the order of magnitude of a detected period.
+type PeriodMagnitude uint8
+
+// Period magnitudes (Table I).
+const (
+	MagNone PeriodMagnitude = iota
+	MagSecond
+	MagMinute
+	MagHour
+	MagDayOrMore
+)
+
+// String implements fmt.Stringer.
+func (m PeriodMagnitude) String() string {
+	switch m {
+	case MagNone:
+		return "none"
+	case MagSecond:
+		return "second"
+	case MagMinute:
+		return "minute"
+	case MagHour:
+		return "hour"
+	case MagDayOrMore:
+		return "day_or_more"
+	default:
+		return fmt.Sprintf("PeriodMagnitude(%d)", uint8(m))
+	}
+}
+
+// MagnitudeOf classifies a period length in seconds into its order of
+// magnitude.
+func MagnitudeOf(periodSeconds float64) PeriodMagnitude {
+	switch {
+	case periodSeconds <= 0:
+		return MagNone
+	case periodSeconds < 60:
+		return MagSecond
+	case periodSeconds < 3600:
+		return MagMinute
+	case periodSeconds < 24*3600:
+		return MagHour
+	default:
+		return MagDayOrMore
+	}
+}
+
+// Periodic builds the base periodic category, e.g. "write_periodic".
+func Periodic(d Direction) Category {
+	return Category(d.String() + "_periodic")
+}
+
+// PeriodicMagnitude builds the magnitude-qualified periodic category,
+// e.g. "write_periodic_minute".
+func PeriodicMagnitude(d Direction, m PeriodMagnitude) Category {
+	return Category(d.String() + "_periodic_" + m.String())
+}
+
+// PeriodicBusy builds the busy-time periodic category. high reports
+// whether the job spends a large fraction of the period doing I/O.
+func PeriodicBusy(d Direction, high bool) Category {
+	if high {
+		return Category(d.String() + "_periodic_high_busy_time")
+	}
+	return Category(d.String() + "_periodic_low_busy_time")
+}
+
+// Metadata categories (Table I).
+const (
+	MetaHighSpike         Category = "metadata_high_spike"
+	MetaMultipleSpikes    Category = "metadata_multiple_spikes"
+	MetaHighDensity       Category = "metadata_high_density"
+	MetaInsignificantLoad Category = "metadata_insignificant_load"
+)
+
+// Axis reports which class of behaviour the category belongs to.
+func (c Category) Axis() Axis {
+	s := string(c)
+	switch {
+	case strings.HasPrefix(s, "metadata_"):
+		return AxisMetadata
+	case strings.Contains(s, "_periodic"):
+		return AxisPeriodicity
+	default:
+		return AxisTemporality
+	}
+}
+
+// Direction reports the read/write direction of the category (DirNone for
+// metadata categories).
+func (c Category) Direction() Direction {
+	s := string(c)
+	switch {
+	case strings.HasPrefix(s, "read_"):
+		return DirRead
+	case strings.HasPrefix(s, "write_"):
+		return DirWrite
+	default:
+		return DirNone
+	}
+}
+
+// All returns the full closed set of categories MOSAIC can emit, in a
+// stable order. Useful for table headers and exhaustive tests.
+func All() []Category {
+	var out []Category
+	for _, d := range []Direction{DirRead, DirWrite} {
+		for _, k := range TemporalKinds() {
+			out = append(out, Temporal(d, k))
+		}
+		out = append(out, Periodic(d))
+		for _, m := range []PeriodMagnitude{MagSecond, MagMinute, MagHour, MagDayOrMore} {
+			out = append(out, PeriodicMagnitude(d, m))
+		}
+		out = append(out, PeriodicBusy(d, false), PeriodicBusy(d, true))
+	}
+	out = append(out, MetaHighSpike, MetaMultipleSpikes, MetaHighDensity, MetaInsignificantLoad)
+	return out
+}
+
+// Set is a set of categories assigned to one trace. Categories are
+// non-exclusive across axes and directions.
+type Set map[Category]struct{}
+
+// NewSet builds a set from the given categories.
+func NewSet(cs ...Category) Set {
+	s := make(Set, len(cs))
+	for _, c := range cs {
+		s[c] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts categories into the set.
+func (s Set) Add(cs ...Category) {
+	for _, c := range cs {
+		s[c] = struct{}{}
+	}
+}
+
+// Has reports membership.
+func (s Set) Has(c Category) bool {
+	_, ok := s[c]
+	return ok
+}
+
+// HasAll reports whether every given category is in the set.
+func (s Set) HasAll(cs ...Category) bool {
+	for _, c := range cs {
+		if !s.Has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the members in lexicographic order.
+func (s Set) Sorted() []Category {
+	out := make([]Category, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Strings returns the sorted members as plain strings (for JSON output).
+func (s Set) Strings() []string {
+	cs := s.Sorted()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = string(c)
+	}
+	return out
+}
+
+// Equal reports whether two sets contain the same categories.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for c := range s {
+		if !other.Has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for c := range s {
+		out[c] = struct{}{}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s Set) String() string { return strings.Join(s.Strings(), ",") }
+
+// ParseSet parses a comma-separated category list (inverse of String).
+func ParseSet(text string) Set {
+	s := make(Set)
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			s.Add(Category(part))
+		}
+	}
+	return s
+}

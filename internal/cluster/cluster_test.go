@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k gaussian-ish clusters of n points each, centered
+// spread apart, and returns the points plus true labels.
+func blobs(rng *rand.Rand, k, n int, spread, noise float64) ([]Point, []int) {
+	var pts []Point
+	var labels []int
+	for c := 0; c < k; c++ {
+		cx := float64(c) * spread
+		cy := float64(c%2) * spread
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{cx + rng.NormFloat64()*noise, cy + rng.NormFloat64()*noise})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if Dist(a, b) != 5 || Dist2(a, b) != 25 {
+		t.Fatal("distance")
+	}
+	if Dist(a, a) != 0 {
+		t.Fatal("self distance")
+	}
+}
+
+func TestMeanShiftSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, truth := blobs(rng, 3, 40, 10, 0.3)
+	res, err := MeanShift(pts, MeanShiftConfig{Bandwidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("found %d clusters, want 3", len(res.Centers))
+	}
+	if ari := AdjustedRandIndex(res.Labels, truth); ari < 0.99 {
+		t.Fatalf("ARI = %g, want ~1", ari)
+	}
+}
+
+func TestMeanShiftGaussianKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, truth := blobs(rng, 2, 30, 10, 0.3)
+	res, err := MeanShift(pts, MeanShiftConfig{Bandwidth: 1.5, Kernel: GaussianKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := AdjustedRandIndex(res.Labels, truth); ari < 0.95 {
+		t.Fatalf("gaussian ARI = %g", ari)
+	}
+}
+
+func TestMeanShiftSingleCluster(t *testing.T) {
+	pts := []Point{{0, 0}, {0.1, 0}, {0, 0.1}, {0.05, 0.05}}
+	res, err := MeanShift(pts, MeanShiftConfig{Bandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 {
+		t.Fatalf("centers = %d, want 1", len(res.Centers))
+	}
+	sizes := res.ClusterSizes()
+	if sizes[0] != 4 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestMeanShiftIdenticalPoints(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {1, 1}}
+	res, err := MeanShift(pts, MeanShiftConfig{Bandwidth: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 || res.Labels[0] != res.Labels[2] {
+		t.Fatal("identical points must form one cluster")
+	}
+}
+
+func TestMeanShiftErrors(t *testing.T) {
+	if _, err := MeanShift([]Point{{1}}, MeanShiftConfig{Bandwidth: 0}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := MeanShift([]Point{{1}}, MeanShiftConfig{Bandwidth: math.NaN()}); err == nil {
+		t.Fatal("NaN bandwidth accepted")
+	}
+	if _, err := MeanShift([]Point{{1, 2}, {1}}, MeanShiftConfig{Bandwidth: 1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := MeanShift([]Point{{math.NaN(), 0}}, MeanShiftConfig{Bandwidth: 1}); err == nil {
+		t.Fatal("NaN coordinate accepted")
+	}
+	res, err := MeanShift(nil, MeanShiftConfig{Bandwidth: 1})
+	if err != nil || len(res.Labels) != 0 {
+		t.Fatal("empty input should succeed with empty result")
+	}
+}
+
+// Property: every point gets a label in range, and labels are dense.
+func TestMeanShiftLabelInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Float64() * 10, r.Float64() * 10}
+		}
+		res, err := MeanShift(pts, MeanShiftConfig{Bandwidth: 0.5 + r.Float64()*3})
+		if err != nil || len(res.Labels) != n {
+			return false
+		}
+		used := make([]bool, len(res.Centers))
+		for _, l := range res.Labels {
+			if l < 0 || l >= len(res.Centers) {
+				return false
+			}
+			used[l] = true
+		}
+		for _, u := range used {
+			if !u {
+				return false // labels must be dense
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateBandwidth(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {10, 0}}
+	bw := EstimateBandwidth(pts, 0.5)
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %g", bw)
+	}
+	if EstimateBandwidth(pts[:1], 0.5) != 0 {
+		t.Fatal("single point should give 0")
+	}
+	if got := EstimateBandwidth(pts, 0); got != 1 {
+		t.Fatalf("quantile 0 = %g, want min distance 1", got)
+	}
+	if got := EstimateBandwidth(pts, 1); got != 10 {
+		t.Fatalf("quantile 1 = %g, want max distance 10", got)
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, truth := blobs(rng, 3, 40, 10, 0.3)
+	res, inertia, err := KMeans(pts, KMeansConfig{K: 3, Seed: 1, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inertia <= 0 {
+		t.Fatalf("inertia = %g", inertia)
+	}
+	if ari := AdjustedRandIndex(res.Labels, truth); ari < 0.99 {
+		t.Fatalf("kmeans ARI = %g", ari)
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}}
+	res, _, err := KMeans(pts, KMeansConfig{K: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) > 2 {
+		t.Fatalf("centers = %d, want <= 2", len(res.Centers))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, _, err := KMeans([]Point{{1}}, KMeansConfig{K: 0}); err != ErrBadK {
+		t.Fatal("K=0 accepted")
+	}
+	res, _, err := KMeans(nil, KMeansConfig{K: 2})
+	if err != nil || len(res.Labels) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts, _ := blobs(rng, 2, 30, 8, 0.5)
+	a, ia, _ := KMeans(pts, KMeansConfig{K: 2, Seed: 42})
+	b, ib, _ := KMeans(pts, KMeansConfig{K: 2, Seed: 42})
+	if ia != ib || AdjustedRandIndex(a.Labels, b.Labels) != 1 {
+		t.Fatal("same seed should give identical clustering")
+	}
+}
+
+func TestGridQuantize(t *testing.T) {
+	pts := []Point{{0.1, 0.1}, {0.2, 0.2}, {5.1, 5.1}}
+	res, err := GridQuantize(pts, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] != res.Labels[1] || res.Labels[0] == res.Labels[2] {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+	// Boundary brittleness: points straddling a cell edge split even
+	// though they are close — the weakness the ablation demonstrates.
+	edge := []Point{{0.999, 0}, {1.001, 0}}
+	res, err = GridQuantize(edge, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] == res.Labels[1] {
+		t.Fatal("grid should split straddling points (expected weakness)")
+	}
+}
+
+func TestGridQuantizeErrors(t *testing.T) {
+	if _, err := GridQuantize([]Point{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("cell dimension mismatch accepted")
+	}
+	if _, err := GridQuantize([]Point{{1}}, []float64{0}); err == nil {
+		t.Fatal("zero cell accepted")
+	}
+	if _, err := GridQuantize([]Point{{1}}, []float64{-1}); err == nil {
+		t.Fatal("negative cell accepted")
+	}
+	res, err := GridQuantize(nil, []float64{1})
+	if err != nil || len(res.Labels) != 0 {
+		t.Fatal("empty input")
+	}
+	// Negative coordinates must not collide with positive cells.
+	res, err = GridQuantize([]Point{{-0.5}, {0.5}}, []float64{1})
+	if err != nil || res.Labels[0] == res.Labels[1] {
+		t.Fatal("negative cell collided with positive")
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	// Two tight, well separated pairs: silhouette near 1.
+	pts := []Point{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}}
+	labels := []int{0, 0, 1, 1}
+	if s := Silhouette(pts, labels); s < 0.9 {
+		t.Fatalf("silhouette = %g, want ~1", s)
+	}
+	// Deliberately wrong labels: negative score.
+	bad := []int{0, 1, 0, 1}
+	if s := Silhouette(pts, bad); s >= 0 {
+		t.Fatalf("bad labeling silhouette = %g, want < 0", s)
+	}
+	if Silhouette(pts, []int{0, 0, 0, 0}) != 0 {
+		t.Fatal("single cluster should score 0")
+	}
+	if Silhouette(pts[:1], []int{0}) != 0 {
+		t.Fatal("single point should score 0")
+	}
+}
+
+func TestInertia(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}}
+	res := &Result{Labels: []int{0, 0}, Centers: []Point{{1, 0}}}
+	if got := Inertia(pts, res); got != 2 {
+		t.Fatalf("inertia = %g, want 2", got)
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	if ari := AdjustedRandIndex([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}); ari != 1 {
+		t.Fatalf("relabeled identical partitions ARI = %g", ari)
+	}
+	if ari := AdjustedRandIndex([]int{0, 1, 0, 1}, []int{0, 0, 1, 1}); ari >= 0.5 {
+		t.Fatalf("disagreeing partitions ARI = %g", ari)
+	}
+	if AdjustedRandIndex([]int{0}, []int{0, 1}) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+	if AdjustedRandIndex(nil, nil) != 0 {
+		t.Fatal("empty should give 0")
+	}
+	if ari := AdjustedRandIndex([]int{0, 0, 0}, []int{0, 0, 0}); ari != 1 {
+		t.Fatalf("trivial partitions ARI = %g, want 1", ari)
+	}
+}

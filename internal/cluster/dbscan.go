@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// DBSCAN (Ester et al. 1996): density-based clustering, the third
+// grouping baseline in the ablation suite. Unlike Mean Shift it has an
+// explicit notion of noise, which maps naturally onto "segments that
+// belong to no periodic operation" — but its two coupled parameters
+// (eps, minPts) are harder to set than one bandwidth, which the ablation
+// bench illustrates.
+
+// DBSCANConfig parametrizes DBSCAN.
+type DBSCANConfig struct {
+	Eps    float64 // neighbourhood radius; must be > 0
+	MinPts int     // minimum neighbourhood size (incl. the point) to be a core point
+}
+
+// Noise is the label DBSCAN assigns to points in no cluster.
+const Noise = -1
+
+// ErrBadEps reports a non-positive eps.
+var ErrBadEps = errors.New("cluster: eps must be positive")
+
+// DBSCAN clusters the points; Labels contains dense cluster ids with
+// Noise (-1) for unclustered points. Centers holds the mean of each
+// cluster.
+func DBSCAN(points []Point, cfg DBSCANConfig) (*Result, error) {
+	if cfg.Eps <= 0 || math.IsNaN(cfg.Eps) {
+		return nil, ErrBadEps
+	}
+	if err := checkPoints(points); err != nil {
+		return nil, err
+	}
+	if cfg.MinPts < 1 {
+		cfg.MinPts = 2
+	}
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	eps2 := cfg.Eps * cfg.Eps
+
+	neighbours := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if Dist2(points[i], points[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	next := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nb := neighbours(i)
+		if len(nb) < cfg.MinPts {
+			continue // noise (may be claimed by a later cluster as border)
+		}
+		id := next
+		next++
+		labels[i] = id
+		// Expand the cluster breadth-first.
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = id // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = id
+			nbj := neighbours(j)
+			if len(nbj) >= cfg.MinPts {
+				queue = append(queue, nbj...)
+			}
+		}
+	}
+
+	res := &Result{Labels: labels}
+	if next == 0 {
+		return res, nil
+	}
+	dim := 0
+	if n > 0 {
+		dim = len(points[0])
+	}
+	sums := make([]Point, next)
+	counts := make([]int, next)
+	for i := range sums {
+		sums[i] = make(Point, dim)
+	}
+	for i, l := range labels {
+		if l == Noise {
+			continue
+		}
+		counts[l]++
+		for d := range points[i] {
+			sums[l][d] += points[i][d]
+		}
+	}
+	res.Centers = make([]Point, next)
+	for c := range sums {
+		ctr := make(Point, dim)
+		for d := range ctr {
+			if counts[c] > 0 {
+				ctr[d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		res.Centers[c] = ctr
+	}
+	return res, nil
+}
+
+// NoiseCount returns the number of points labelled Noise.
+func (r *Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDBSCANSeparatesBlobsWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts, truth := blobs(rng, 2, 30, 10, 0.3)
+	// Add isolated noise points.
+	pts = append(pts, Point{100, 100}, Point{-50, 40})
+	truth = append(truth, -1, -1)
+
+	res, err := DBSCAN(pts, DBSCANConfig{Eps: 1.5, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(res.Centers))
+	}
+	if res.NoiseCount() != 2 {
+		t.Fatalf("noise = %d, want 2", res.NoiseCount())
+	}
+	// Agreement on the non-noise points.
+	if ari := AdjustedRandIndex(res.Labels[:60], truth[:60]); ari < 0.99 {
+		t.Fatalf("ARI = %g", ari)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 10}, {20, 20}}
+	res, err := DBSCAN(pts, DBSCANConfig{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 0 || res.NoiseCount() != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDBSCANSingleDenseCluster(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, Point{float64(i) * 0.1, 0})
+	}
+	res, err := DBSCAN(pts, DBSCANConfig{Eps: 0.15, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 || res.NoiseCount() != 0 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+}
+
+func TestDBSCANBorderPoints(t *testing.T) {
+	// A chain where the last point is within eps of a core point but has
+	// too few neighbours itself: it becomes a border member, not noise.
+	pts := []Point{{0}, {0.1}, {0.2}, {0.35}}
+	res, err := DBSCAN(pts, DBSCANConfig{Eps: 0.16, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[3] == Noise {
+		t.Fatalf("border point labelled noise: %v", res.Labels)
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	if _, err := DBSCAN([]Point{{1}}, DBSCANConfig{Eps: 0}); err != ErrBadEps {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := DBSCAN([]Point{{1, 2}, {1}}, DBSCANConfig{Eps: 1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	res, err := DBSCAN(nil, DBSCANConfig{Eps: 1})
+	if err != nil || len(res.Labels) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestDBSCANDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, _ := blobs(rng, 3, 20, 8, 0.4)
+	a, _ := DBSCAN(pts, DBSCANConfig{Eps: 1.2, MinPts: 3})
+	b, _ := DBSCAN(pts, DBSCANConfig{Eps: 1.2, MinPts: 3})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("nondeterministic labels")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+// KMeansConfig parametrizes KMeans, the ablation baseline against Mean
+// Shift. Unlike Mean Shift it needs the number of clusters up front —
+// exactly the property that makes it a poor fit for periodicity detection
+// (the number of distinct periodic operations per trace is unknown), which
+// the ablation bench quantifies.
+type KMeansConfig struct {
+	K        int   // number of clusters, must be >= 1
+	MaxIter  int   // default 100
+	Seed     int64 // seeding for k-means++ initialization
+	Restarts int   // independent restarts, best inertia wins (default 1)
+}
+
+// ErrBadK reports a non-positive cluster count.
+var ErrBadK = errors.New("cluster: k must be >= 1")
+
+// KMeans runs Lloyd's algorithm with k-means++ initialization and returns
+// the best result over the configured restarts along with its inertia
+// (sum of squared distances to assigned centers).
+func KMeans(points []Point, cfg KMeansConfig) (*Result, float64, error) {
+	if cfg.K < 1 {
+		return nil, 0, ErrBadK
+	}
+	if err := checkPoints(points); err != nil {
+		return nil, 0, err
+	}
+	if len(points) == 0 {
+		return &Result{}, 0, nil
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	k := cfg.K
+	if k > len(points) {
+		k = len(points)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var best *Result
+	bestInertia := math.Inf(1)
+	for r := 0; r < cfg.Restarts; r++ {
+		res, inertia := kmeansOnce(points, k, cfg.MaxIter, rng)
+		if inertia < bestInertia {
+			best, bestInertia = res, inertia
+		}
+	}
+	return best, bestInertia, nil
+}
+
+func kmeansOnce(points []Point, k, maxIter int, rng *rand.Rand) (*Result, float64) {
+	centers := kmeansPlusPlusInit(points, k, rng)
+	labels := make([]int, len(points))
+	dim := len(points[0])
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			bi, bd := 0, math.Inf(1)
+			for ci, c := range centers {
+				if d := Dist2(p, c); d < bd {
+					bi, bd = ci, d
+				}
+			}
+			if labels[i] != bi {
+				labels[i] = bi
+				changed = true
+			}
+		}
+		// Recompute centers.
+		sums := make([]Point, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make(Point, dim)
+		}
+		for i, p := range points {
+			l := labels[i]
+			counts[l]++
+			for d := range p {
+				sums[l][d] += p[d]
+			}
+		}
+		for ci := range centers {
+			if counts[ci] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its center to avoid dead clusters.
+				centers[ci] = append(Point(nil), farthestPoint(points, centers, labels)...)
+				changed = true
+				continue
+			}
+			for d := range centers[ci] {
+				centers[ci][d] = sums[ci][d] / float64(counts[ci])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += Dist2(p, centers[labels[i]])
+	}
+	return &Result{Labels: labels, Centers: centers}, inertia
+}
+
+func farthestPoint(points []Point, centers []Point, labels []int) Point {
+	bi, bd := 0, -1.0
+	for i, p := range points {
+		d := Dist2(p, centers[labels[i]])
+		if d > bd {
+			bi, bd = i, d
+		}
+	}
+	return points[bi]
+}
+
+func kmeansPlusPlusInit(points []Point, k int, rng *rand.Rand) []Point {
+	centers := make([]Point, 0, k)
+	centers = append(centers, append(Point(nil), points[rng.Intn(len(points))]...))
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		var sum float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := Dist2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with existing centers.
+			centers = append(centers, append(Point(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		target := rng.Float64() * sum
+		var acc float64
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append(Point(nil), points[pick]...))
+	}
+	return centers
+}
+
+// GridQuantize is the simplest possible grouping baseline: snap each point
+// to a grid of the given cell size per dimension and give identical cells
+// identical labels. It approximates "two segments are the same periodic
+// operation if duration and volume round to the same bucket" — cheap but
+// brittle at cell boundaries, which the ablation bench demonstrates.
+func GridQuantize(points []Point, cell []float64) (*Result, error) {
+	if err := checkPoints(points); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return &Result{}, nil
+	}
+	if len(cell) != len(points[0]) {
+		return nil, ErrDimensionMismatch
+	}
+	for _, c := range cell {
+		if c <= 0 || math.IsNaN(c) {
+			return nil, errors.New("cluster: grid cell sizes must be positive")
+		}
+	}
+	type key string
+	seen := make(map[key]int)
+	labels := make([]int, len(points))
+	var centers []Point
+	for i, p := range points {
+		var kb []byte
+		cellIdx := make([]int64, len(p))
+		for d := range p {
+			cellIdx[d] = int64(math.Floor(p[d] / cell[d]))
+			for b := 0; b < 8; b++ {
+				kb = append(kb, byte(cellIdx[d]>>(8*b)))
+			}
+		}
+		k := key(kb)
+		id, ok := seen[k]
+		if !ok {
+			id = len(centers)
+			seen[k] = id
+			ctr := make(Point, len(p))
+			for d := range ctr {
+				ctr[d] = (float64(cellIdx[d]) + 0.5) * cell[d]
+			}
+			centers = append(centers, ctr)
+		}
+		labels[i] = id
+	}
+	return &Result{Labels: labels, Centers: centers}, nil
+}

@@ -1,0 +1,266 @@
+// Package cluster provides the clustering algorithms MOSAIC uses to group
+// trace segments: Mean Shift (Fukunaga & Hostetler, the paper's choice)
+// plus K-Means and grid-quantization baselines used in ablation
+// experiments, and cluster-quality metrics.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is a point in d-dimensional feature space. MOSAIC clusters
+// segments in 2D: (duration, data volume), suitably scaled.
+type Point []float64
+
+// Dist2 returns the squared Euclidean distance between two points of the
+// same dimension.
+func Dist2(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 { return math.Sqrt(Dist2(a, b)) }
+
+// Kernel selects the Mean Shift kernel profile.
+type Kernel uint8
+
+// Supported kernels.
+const (
+	// FlatKernel weighs every neighbour within the bandwidth equally —
+	// the classic "blurring" mean shift, and scikit-learn's default,
+	// which the paper's implementation used.
+	FlatKernel Kernel = iota
+	// GaussianKernel weighs neighbours by exp(-d²/2h²).
+	GaussianKernel
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case FlatKernel:
+		return "flat"
+	case GaussianKernel:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("Kernel(%d)", uint8(k))
+	}
+}
+
+// MeanShiftConfig parametrizes MeanShift.
+type MeanShiftConfig struct {
+	// Bandwidth is the kernel radius in feature-space units. It is the
+	// threshold at which two segments are considered part of the same
+	// periodic operation; the paper set it empirically on one month of
+	// traces. Must be > 0.
+	Bandwidth float64
+	// Kernel selects the kernel profile (default FlatKernel).
+	Kernel Kernel
+	// MaxIter bounds the shift iterations per point (default 300,
+	// matching scikit-learn).
+	MaxIter int
+	// Tol is the convergence threshold on shift displacement
+	// (default Bandwidth * 1e-3).
+	Tol float64
+}
+
+func (c *MeanShiftConfig) withDefaults() MeanShiftConfig {
+	out := *c
+	if out.MaxIter <= 0 {
+		out.MaxIter = 300
+	}
+	if out.Tol <= 0 {
+		out.Tol = out.Bandwidth * 1e-3
+	}
+	return out
+}
+
+// Result is a clustering outcome: Labels[i] gives the cluster of point i,
+// Centers the converged cluster modes. Cluster ids are dense in
+// [0, len(Centers)).
+type Result struct {
+	Labels  []int
+	Centers []Point
+}
+
+// ClusterSizes returns the number of points per cluster id.
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, len(r.Centers))
+	for _, l := range r.Labels {
+		if l >= 0 && l < len(sizes) {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// ErrBadBandwidth reports a non-positive bandwidth.
+var ErrBadBandwidth = errors.New("cluster: bandwidth must be positive")
+
+// ErrDimensionMismatch reports points of unequal dimension.
+var ErrDimensionMismatch = errors.New("cluster: points have mismatched dimensions")
+
+func checkPoints(points []Point) error {
+	if len(points) == 0 {
+		return nil
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("%w: point %d has dim %d, want %d", ErrDimensionMismatch, i, len(p), d)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("cluster: point %d has non-finite coordinate", i)
+			}
+		}
+	}
+	return nil
+}
+
+// MeanShift clusters the points by iteratively shifting each seed to the
+// weighted mean of its kernel neighbourhood until convergence, then
+// merging modes that lie within half a bandwidth of each other. Every
+// input point is used as a seed (exact mean shift; the segment sets MOSAIC
+// clusters are small after merging, so no binning seed strategy is
+// needed).
+func MeanShift(points []Point, cfg MeanShiftConfig) (*Result, error) {
+	if cfg.Bandwidth <= 0 || math.IsNaN(cfg.Bandwidth) {
+		return nil, ErrBadBandwidth
+	}
+	if err := checkPoints(points); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return &Result{}, nil
+	}
+	c := cfg.withDefaults()
+
+	dim := len(points[0])
+	modes := make([]Point, len(points))
+	mean := make(Point, dim)
+	for i, p := range points {
+		cur := append(Point(nil), p...)
+		for iter := 0; iter < c.MaxIter; iter++ {
+			shiftKernelMean(cur, points, c, mean)
+			if Dist(cur, mean) < c.Tol {
+				copy(cur, mean)
+				break
+			}
+			copy(cur, mean)
+		}
+		modes[i] = cur
+	}
+	return mergeModes(modes, c.Bandwidth), nil
+}
+
+// shiftKernelMean writes into out the kernel-weighted mean of points
+// around center.
+func shiftKernelMean(center Point, points []Point, c MeanShiftConfig, out Point) {
+	for i := range out {
+		out[i] = 0
+	}
+	h2 := c.Bandwidth * c.Bandwidth
+	var wsum float64
+	for _, p := range points {
+		d2 := Dist2(center, p)
+		var w float64
+		switch c.Kernel {
+		case GaussianKernel:
+			w = math.Exp(-d2 / (2 * h2))
+		default: // FlatKernel
+			if d2 <= h2 {
+				w = 1
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		wsum += w
+		for i := range out {
+			out[i] += w * p[i]
+		}
+	}
+	if wsum == 0 {
+		// No neighbours (cannot happen with flat kernel since the point
+		// itself is within the bandwidth, but guard anyway).
+		copy(out, center)
+		return
+	}
+	for i := range out {
+		out[i] /= wsum
+	}
+}
+
+// mergeModes collapses converged modes lying within bandwidth/2 of each
+// other into single clusters and assigns labels.
+func mergeModes(modes []Point, bandwidth float64) *Result {
+	mergeR2 := (bandwidth / 2) * (bandwidth / 2)
+	var centers []Point
+	var weight []int
+	labels := make([]int, len(modes))
+	for i, m := range modes {
+		assigned := -1
+		for ci, ctr := range centers {
+			if Dist2(m, ctr) <= mergeR2 {
+				assigned = ci
+				break
+			}
+		}
+		if assigned < 0 {
+			centers = append(centers, append(Point(nil), m...))
+			weight = append(weight, 0)
+			assigned = len(centers) - 1
+		} else {
+			// Running average keeps the center representative of its
+			// members rather than of the first mode found.
+			w := float64(weight[assigned])
+			ctr := centers[assigned]
+			for k := range ctr {
+				ctr[k] = (ctr[k]*w + m[k]) / (w + 1)
+			}
+		}
+		weight[assigned]++
+		labels[i] = assigned
+	}
+	return &Result{Labels: labels, Centers: centers}
+}
+
+// EstimateBandwidth returns a data-driven bandwidth: the given quantile
+// (in [0,1], e.g. 0.3 like scikit-learn's estimate_bandwidth) of all
+// pairwise distances. Returns 0 for fewer than two points; callers should
+// then fall back to a configured default.
+func EstimateBandwidth(points []Point, quantile float64) float64 {
+	n := len(points)
+	if n < 2 {
+		return 0
+	}
+	dists := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dists = append(dists, Dist(points[i], points[j]))
+		}
+	}
+	// Percentile via partial sort would be fancier; n is small here.
+	sortFloat64s(dists)
+	if quantile <= 0 {
+		return dists[0]
+	}
+	if quantile >= 1 {
+		return dists[len(dists)-1]
+	}
+	idx := int(quantile * float64(len(dists)-1))
+	return dists[idx]
+}
+
+func sortFloat64s(xs []float64) {
+	// insertion sort is fine for the small slices seen here, but use the
+	// stdlib for robustness on large ablation sweeps.
+	sortFloats(xs)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+	"github.com/mosaic-hpc/mosaic/internal/segment"
+)
+
+// DirectionReport describes the detected behaviour of one I/O direction.
+type DirectionReport struct {
+	TotalBytes int64                 `json:"total_bytes"`
+	RawOps     int                   `json:"raw_ops"`    // operations before merging
+	MergedOps  int                   `json:"merged_ops"` // operations after both merges
+	Chunks     []float64             `json:"chunks"`     // per-chunk volumes
+	Temporal   category.TemporalKind `json:"-"`
+	TemporalS  string                `json:"temporality"`
+	Groups     []segment.Group       `json:"periodic_groups,omitempty"`
+	BusyTime   float64               `json:"busy_time"` // cumulative merged I/O time, seconds
+	// Spatial is the offset-sequence classification (sequential /
+	// strided / random), available only on DXT-traced records; an
+	// extension beyond the paper's category set.
+	Spatial SpatialPattern `json:"spatial,omitempty"`
+}
+
+// Result is the categorization of one trace: the assigned category set
+// plus the computed values MOSAIC stores in its JSON output (step 4 of the
+// workflow).
+type Result struct {
+	JobID      uint64            `json:"job_id"`
+	App        string            `json:"app"`
+	User       string            `json:"user"`
+	NProcs     int32             `json:"nprocs"`
+	Runtime    float64           `json:"runtime"`
+	Categories category.Set      `json:"-"`
+	Labels     []string          `json:"categories"`
+	Read       DirectionReport   `json:"read"`
+	Write      DirectionReport   `json:"write"`
+	Meta       MetaReport        `json:"metadata"`
+	Truth      map[string]string `json:"truth,omitempty"` // generator annotations, if present
+}
+
+// Categorize runs the complete MOSAIC detection chain on a single
+// validated trace: merging (2a, 2b), periodicity (3a), temporality (3b)
+// and metadata analysis (3c). The job must have passed darshan.Validate;
+// Categorize itself does not re-validate.
+func Categorize(j *darshan.Job, cfg Config) (*Result, error) {
+	c := cfg.sane()
+	res := &Result{
+		JobID:      j.JobID,
+		App:        j.AppName(),
+		User:       j.User,
+		NProcs:     j.NProcs,
+		Runtime:    j.Runtime,
+		Categories: category.NewSet(),
+	}
+	if len(j.Metadata) > 0 {
+		res.Truth = j.Metadata
+	}
+
+	// MOSAIC handles read and write operations independently. DXT
+	// extended segments, when traced and not disabled, replace the
+	// aggregate open-to-close windows and expose intra-record structure.
+	reads, writes := j.ReadIntervals(), j.WriteIntervals()
+	if !c.DisableDXT && j.HasDXT() {
+		reads, writes = j.ReadIntervalsDXT(), j.WriteIntervalsDXT()
+		res.Read.Spatial = spatialForJob(j, false)
+		res.Write.Spatial = spatialForJob(j, true)
+	}
+	if err := categorizeDirection(j, category.DirRead, reads, &c, res, &res.Read); err != nil {
+		return nil, fmt.Errorf("core: read direction of job %d: %w", j.JobID, err)
+	}
+	if err := categorizeDirection(j, category.DirWrite, writes, &c, res, &res.Write); err != nil {
+		return nil, fmt.Errorf("core: write direction of job %d: %w", j.JobID, err)
+	}
+
+	metaCats, metaRep := classifyMetadata(j, &c)
+	res.Meta = metaRep
+	for mc := range metaCats {
+		res.Categories.Add(mc)
+	}
+
+	res.Labels = res.Categories.Strings()
+	return res, nil
+}
+
+func categorizeDirection(j *darshan.Job, dir category.Direction, raw []interval.Interval, cfg *Config, res *Result, rep *DirectionReport) error {
+	rep.RawOps = len(raw)
+	rep.Temporal = category.Insignificant
+
+	ops := interval.Clip(raw, j.Runtime)
+	merged := interval.Merge(ops, j.Runtime, cfg.neighborPolicy())
+	if len(ops) == 0 {
+		merged = nil
+	}
+	rep.MergedOps = len(merged)
+	rep.TotalBytes = interval.TotalBytes(merged)
+	rep.BusyTime = interval.BusyTime(merged)
+
+	// Temporality (3b).
+	rep.Chunks = Chunks(merged, j.Runtime, cfg.ChunkCount)
+	rep.Temporal = classifyTemporality(rep.Chunks, rep.TotalBytes, cfg)
+	rep.TemporalS = rep.Temporal.String()
+	res.Categories.Add(category.Temporal(dir, rep.Temporal))
+
+	// Periodicity (3a) — only significant directions are characterized.
+	if rep.Temporal == category.Insignificant {
+		return nil
+	}
+	groups, err := detectPeriodicity(merged, j.Runtime, cfg)
+	if err != nil {
+		return err
+	}
+	rep.Groups = groups
+	for pc := range segment.Categories(dir, groups) {
+		res.Categories.Add(pc)
+	}
+	return nil
+}
+
+// Significant reports whether the direction crossed the significance
+// threshold (i.e. was characterized at all).
+func (r *DirectionReport) Significant() bool {
+	return r.Temporal != category.Insignificant
+}
+
+// Periodic reports whether at least one periodic group was detected on the
+// direction.
+func (r *DirectionReport) Periodic() bool { return len(r.Groups) > 0 }
+
+// DominantPeriod returns the period of the largest group (by occurrence
+// count), or 0 when the direction is not periodic.
+func (r *DirectionReport) DominantPeriod() float64 {
+	best, bestCount := 0.0, 0
+	for _, g := range r.Groups {
+		if g.Count > bestCount {
+			best, bestCount = g.Period, g.Count
+		}
+	}
+	return best
+}

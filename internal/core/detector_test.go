@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+)
+
+func TestDetectorStrings(t *testing.T) {
+	if DetectMeanShift.String() != "meanshift" || DetectDFT.String() != "dft" || DetectHybrid.String() != "hybrid" {
+		t.Fatal("detector strings")
+	}
+	if PeriodicityDetector(9).String() == "" {
+		t.Fatal("unknown detector should still render")
+	}
+}
+
+func TestDFTDetectorOnCheckpointJob(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PeriodicityDetector = DetectDFT
+	res, err := Categorize(checkpointJob(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Write.Periodic() {
+		t.Fatal("DFT detector missed the checkpoint train")
+	}
+	p := res.Write.DominantPeriod()
+	if p < 450 || p > 750 {
+		t.Fatalf("DFT period = %g, want ~600", p)
+	}
+	if !res.Categories.Has(category.PeriodicMagnitude(category.DirWrite, category.MagMinute)) {
+		t.Fatalf("categories = %v", res.Categories)
+	}
+}
+
+func TestHybridDetectorAgreesOnCleanTrain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PeriodicityDetector = DetectHybrid
+	res, err := Categorize(checkpointJob(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Write.Periodic() {
+		t.Fatal("hybrid detector missed the checkpoint train")
+	}
+	p := res.Write.DominantPeriod()
+	if p < 500 || p > 700 {
+		t.Fatalf("hybrid period = %g", p)
+	}
+}
+
+func TestDetectorsRejectAperiodicJob(t *testing.T) {
+	for _, det := range []PeriodicityDetector{DetectMeanShift, DetectDFT, DetectHybrid} {
+		cfg := DefaultConfig()
+		cfg.PeriodicityDetector = det
+		j := checkpointJob()
+		// Strip the checkpoints, keep only start read + end write.
+		j.Records = append(j.Records[:1], j.Records[len(j.Records)-1])
+		res, err := Categorize(j, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Write.Periodic() {
+			t.Fatalf("detector %v flagged an aperiodic trace", det)
+		}
+	}
+}
+
+func TestHarmonicOf(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{300, 300, true},
+		{150, 300, true},  // b/2
+		{100, 300, true},  // b/3
+		{600, 300, true},  // 2b
+		{900, 300, true},  // 3b
+		{430, 300, false}, // nothing close
+		{0, 300, false},
+		{300, 0, false},
+	}
+	for _, c := range cases {
+		if got := harmonicOf(c.a, c.b, 0.1); got != c.want {
+			t.Errorf("harmonicOf(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDFTGroupsShape(t *testing.T) {
+	j := checkpointJob()
+	merged := j.WriteIntervals()
+	groups := dftGroups(merged, j.Runtime)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	g := groups[0]
+	if g.Count < 2 || g.MeanBytes <= 0 || g.BusyRatio <= 0 {
+		t.Fatalf("group = %+v", g)
+	}
+	if got := dftGroups(nil, 100); got != nil {
+		t.Fatal("empty ops should give no groups")
+	}
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+)
+
+// Pipeline-level invariants, checked over randomly generated valid traces:
+// whatever the workload, the categorization must be structurally sound.
+
+// randomValidJob produces an arbitrary valid trace via a random archetype.
+func randomValidJob(seed int64) *darshan.Job {
+	rng := rand.New(rand.NewSource(seed))
+	archs := gen.DefaultArchetypes()
+	arch := archs[rng.Intn(len(archs))]
+	p := arch.Params(rng)
+	b := gen.NewBuilder(rng, "inv", arch.Exe, uint64(seed), p.Ranks, p.RuntimeBase)
+	arch.Build(b, p)
+	return b.Job()
+}
+
+func countTemporal(s category.Set, dir category.Direction) int {
+	n := 0
+	for _, k := range category.TemporalKinds() {
+		if s.Has(category.Temporal(dir, k)) {
+			n++
+		}
+	}
+	return n
+}
+
+func countMetadata(s category.Set) int {
+	n := 0
+	for _, c := range []category.Category{
+		category.MetaHighSpike, category.MetaMultipleSpikes,
+		category.MetaHighDensity, category.MetaInsignificantLoad,
+	} {
+		if s.Has(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Invariant: exactly one temporality label per direction, at least one
+// metadata label, insignificant directions carry no periodicity labels,
+// and every label belongs to the closed taxonomy.
+func TestCategorizeStructuralInvariants(t *testing.T) {
+	all := map[category.Category]bool{}
+	for _, c := range category.All() {
+		all[c] = true
+	}
+	cfg := core.DefaultConfig()
+	f := func(seed int64) bool {
+		j := randomValidJob(seed)
+		if darshan.Validate(j) != nil {
+			return true // generator bug guarded by other tests
+		}
+		res, err := core.Categorize(j, cfg)
+		if err != nil {
+			return false
+		}
+		s := res.Categories
+		if countTemporal(s, category.DirRead) != 1 || countTemporal(s, category.DirWrite) != 1 {
+			return false
+		}
+		if countMetadata(s) < 1 {
+			return false
+		}
+		for _, dir := range []category.Direction{category.DirRead, category.DirWrite} {
+			if s.Has(category.Temporal(dir, category.Insignificant)) && s.Has(category.Periodic(dir)) {
+				return false
+			}
+		}
+		for c := range s {
+			if !all[c] {
+				return false
+			}
+		}
+		// Labels mirror the set.
+		return len(res.Labels) == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Invariant: categorization is deterministic.
+func TestCategorizeDeterministic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	for seed := int64(0); seed < 10; seed++ {
+		j := randomValidJob(seed)
+		a, err := core.Categorize(j, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Categorize(j, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Categories.Equal(b.Categories) {
+			t.Fatalf("seed %d: nondeterministic categories: %v vs %v", seed, a.Categories, b.Categories)
+		}
+		if a.Write.DominantPeriod() != b.Write.DominantPeriod() {
+			t.Fatalf("seed %d: nondeterministic period", seed)
+		}
+	}
+}
+
+// Invariant: categorization must not mutate the input job.
+func TestCategorizeDoesNotMutateJob(t *testing.T) {
+	j := randomValidJob(42)
+	before, err := darshan.MarshalBinary(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Categorize(j, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := darshan.MarshalBinary(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("Categorize mutated the job")
+	}
+}
+
+// Invariant: merged totals in the report equal the job's raw totals (no
+// bytes invented or lost by clipping valid traces).
+func TestCategorizeConservesVolumes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	for seed := int64(0); seed < 30; seed++ {
+		j := randomValidJob(seed)
+		if darshan.Validate(j) != nil {
+			continue
+		}
+		if j.HasDXT() {
+			continue // DXT volumes checked in dxt tests
+		}
+		res, err := core.Categorize(j, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Valid generator traces stay within [0, runtime], so clipping
+		// must not drop volume.
+		if res.Read.TotalBytes != j.TotalBytesRead() {
+			t.Fatalf("seed %d: read bytes %d != %d", seed, res.Read.TotalBytes, j.TotalBytesRead())
+		}
+		if res.Write.TotalBytes != j.TotalBytesWritten() {
+			t.Fatalf("seed %d: write bytes %d != %d", seed, res.Write.TotalBytes, j.TotalBytesWritten())
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// Metadata-impact characterization (Section III-B3c). MOSAIC counts the
+// OPEN, CLOSE and SEEK requests attributed to each I/O operation; Darshan
+// does not time SEEKs precisely, so they are assumed co-located with the
+// OPENs (darshan.MetaEvents applies that convention). The per-second
+// request rate then yields the spike/density categories.
+
+// MetaReport carries the measured metadata quantities alongside the
+// assigned categories; they are serialized into the per-trace JSON output.
+type MetaReport struct {
+	TotalOps   int64   `json:"total_ops"`
+	PeakRate   float64 `json:"peak_rate"`   // max requests in any one second
+	MeanRate   float64 `json:"mean_rate"`   // requests per second over the execution
+	SpikeCount int     `json:"spike_count"` // seconds with at least SpikeRate requests
+	HighSpikes int     `json:"high_spikes"` // seconds with at least SpikeHighRate requests
+}
+
+// maxRateBins caps the per-second histogram size; beyond this, seconds are
+// coalesced. A week-long job stays under it.
+const maxRateBins = 1 << 21
+
+// rateHistogram accumulates events into per-second request counts over
+// [0, runtime]. Events outside the range clamp into the edge bins (their
+// traces passed validation within tsSlack).
+func rateHistogram(events []darshan.MetaEvent, runtime float64) []float64 {
+	n := int(math.Ceil(runtime))
+	if n < 1 {
+		n = 1
+	}
+	scale := 1.0
+	if n > maxRateBins {
+		scale = float64(n) / float64(maxRateBins)
+		n = maxRateBins
+	}
+	bins := make([]float64, n)
+	for _, ev := range events {
+		i := int(ev.Time / scale)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i] += float64(ev.Count)
+	}
+	if scale != 1 {
+		// Coalesced bins cover `scale` seconds; convert to rates.
+		for i := range bins {
+			bins[i] /= scale
+		}
+	}
+	return bins
+}
+
+// classifyMetadata assigns the metadata categories of a job.
+func classifyMetadata(j *darshan.Job, cfg *Config) (category.Set, MetaReport) {
+	out := category.NewSet()
+	rep := MetaReport{TotalOps: j.TotalMetaOps()}
+
+	// The insignificant threshold: fewer metadata operations than ranks
+	// means the job barely touched the metadata server (each rank opening
+	// its own file once already costs nprocs OPENs).
+	if rep.TotalOps < int64(j.NProcs) {
+		out.Add(category.MetaInsignificantLoad)
+		return out, rep
+	}
+	bins := rateHistogram(j.MetaEvents(), j.Runtime)
+	var total float64
+	for _, r := range bins {
+		total += r
+		if r > rep.PeakRate {
+			rep.PeakRate = r
+		}
+		if r >= cfg.SpikeRate {
+			rep.SpikeCount++
+		}
+		if r >= cfg.SpikeHighRate {
+			rep.HighSpikes++
+		}
+	}
+	if j.Runtime > 0 {
+		rep.MeanRate = total / j.Runtime
+	}
+
+	if rep.HighSpikes >= 1 {
+		out.Add(category.MetaHighSpike)
+	}
+	if rep.SpikeCount >= cfg.MultipleSpikes {
+		out.Add(category.MetaMultipleSpikes)
+	}
+	if rep.SpikeCount >= cfg.MultipleSpikes && rep.MeanRate >= cfg.DensityRate {
+		out.Add(category.MetaHighDensity)
+	}
+	if len(out) == 0 {
+		// Some metadata traffic, but no pattern crossing any threshold:
+		// the load is insignificant for the metadata server.
+		out.Add(category.MetaInsignificantLoad)
+	}
+	return out, rep
+}

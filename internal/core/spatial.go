@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// Spatial access classification — an extension beyond the paper. MOSAIC's
+// three axes (temporality, periodicity, metadata) deliberately ignore
+// *where* in the file accesses land, because aggregated Darshan records
+// carry no offsets. With DXT segments the offset sequence is available,
+// and the spatial dimension of the I/O-pattern survey the paper builds on
+// (Bez et al. 2023) becomes classifiable: sequential, strided, or random.
+// The result is reported per direction alongside the categories (it is
+// not part of the paper's closed category set).
+
+// SpatialPattern classifies the offset sequence of traced accesses.
+type SpatialPattern uint8
+
+// Spatial patterns.
+const (
+	SpatialUnknown    SpatialPattern = iota // no DXT data or too few accesses
+	SpatialSequential                       // each access starts where the previous ended
+	SpatialStrided                          // constant non-zero gap between accesses
+	SpatialRandom                           // no dominant structure
+)
+
+// String implements fmt.Stringer.
+func (s SpatialPattern) String() string {
+	switch s {
+	case SpatialUnknown:
+		return "unknown"
+	case SpatialSequential:
+		return "sequential"
+	case SpatialStrided:
+		return "strided"
+	case SpatialRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("SpatialPattern(%d)", uint8(s))
+	}
+}
+
+// MarshalText makes the pattern JSON-friendly.
+func (s SpatialPattern) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// spatialThreshold is the fraction of transitions that must agree for a
+// sequential/strided verdict; below it the record is random.
+const spatialThreshold = 0.75
+
+// classifySpatial inspects one record's DXT event sequence (in trace
+// order). Needs at least 3 events to commit to a verdict.
+func classifySpatial(events []darshan.DXTEvent) SpatialPattern {
+	if len(events) < 3 {
+		return SpatialUnknown
+	}
+	var seq, strided, total int
+	var stride int64
+	strideSet := false
+	for i := 1; i < len(events); i++ {
+		prev, cur := events[i-1], events[i]
+		gap := cur.Offset - (prev.Offset + prev.Length)
+		total++
+		switch {
+		case gap == 0:
+			seq++
+		default:
+			if !strideSet {
+				stride, strideSet = gap, true
+				strided++
+			} else if gap == stride {
+				strided++
+			}
+		}
+	}
+	switch {
+	case float64(seq)/float64(total) >= spatialThreshold:
+		return SpatialSequential
+	case strideSet && float64(strided)/float64(total) >= spatialThreshold:
+		return SpatialStrided
+	default:
+		return SpatialRandom
+	}
+}
+
+// spatialForJob aggregates the per-record verdicts of one direction by
+// majority over records carrying DXT data (ties resolve toward the less
+// structured pattern).
+func spatialForJob(j *darshan.Job, write bool) SpatialPattern {
+	counts := map[SpatialPattern]int{}
+	for i := range j.Records {
+		events := j.Records[i].DXTReads
+		if write {
+			events = j.Records[i].DXTWrites
+		}
+		if p := classifySpatial(events); p != SpatialUnknown {
+			counts[p]++
+		}
+	}
+	best, bestN := SpatialUnknown, 0
+	// Order: random > strided > sequential on ties (less structure wins,
+	// the conservative answer for prefetchers).
+	for _, p := range []SpatialPattern{SpatialSequential, SpatialStrided, SpatialRandom} {
+		if counts[p] >= bestN && counts[p] > 0 {
+			best, bestN = p, counts[p]
+		}
+	}
+	return best
+}

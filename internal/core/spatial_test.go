@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+func ev(offset, length int64, t float64) darshan.DXTEvent {
+	return darshan.DXTEvent{Start: t, End: t + 1, Offset: offset, Length: length}
+}
+
+func TestClassifySpatialSequential(t *testing.T) {
+	events := []darshan.DXTEvent{ev(0, 100, 1), ev(100, 100, 2), ev(200, 100, 3), ev(300, 100, 4)}
+	if got := classifySpatial(events); got != SpatialSequential {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifySpatialStrided(t *testing.T) {
+	// 100-byte accesses every 1000 bytes: constant gap of 900.
+	events := []darshan.DXTEvent{ev(0, 100, 1), ev(1000, 100, 2), ev(2000, 100, 3), ev(3000, 100, 4)}
+	if got := classifySpatial(events); got != SpatialStrided {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifySpatialRandom(t *testing.T) {
+	events := []darshan.DXTEvent{ev(5000, 10, 1), ev(10, 10, 2), ev(90000, 10, 3), ev(700, 10, 4), ev(42000, 10, 5)}
+	if got := classifySpatial(events); got != SpatialRandom {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifySpatialTooFew(t *testing.T) {
+	if got := classifySpatial([]darshan.DXTEvent{ev(0, 1, 1), ev(1, 1, 2)}); got != SpatialUnknown {
+		t.Fatalf("got %v", got)
+	}
+	if got := classifySpatial(nil); got != SpatialUnknown {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSpatialPatternStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range []SpatialPattern{SpatialUnknown, SpatialSequential, SpatialStrided, SpatialRandom} {
+		s := p.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad string for %d: %q", p, s)
+		}
+		seen[s] = true
+		if b, err := p.MarshalText(); err != nil || string(b) != s {
+			t.Fatal("MarshalText mismatch")
+		}
+	}
+	if SpatialPattern(77).String() == "" {
+		t.Fatal("unknown value should render")
+	}
+}
+
+func TestCategorizeReportsSpatialOnDXT(t *testing.T) {
+	j := &darshan.Job{
+		JobID: 1, User: "u", Exe: "/bin/sp", NProcs: 4,
+		Start: 0, End: 1000, Runtime: 1000,
+	}
+	rec := darshan.FileRecord{
+		Module: darshan.ModPOSIX, Path: "/f",
+		C: darshan.Counters{
+			Writes: 4, BytesWritten: 400 << 20,
+			WriteStart: 100, WriteEnd: 900,
+		},
+	}
+	for i := int64(0); i < 6; i++ {
+		rec.DXTWrites = append(rec.DXTWrites, darshan.DXTEvent{
+			Start: 100 + float64(i)*150, End: 110 + float64(i)*150,
+			Offset: i * (100 << 20) / 6, Length: 100 << 20 / 6,
+		})
+	}
+	// Make the offsets exactly sequential.
+	var off int64
+	for i := range rec.DXTWrites {
+		rec.DXTWrites[i].Offset = off
+		off += rec.DXTWrites[i].Length
+	}
+	j.Records = append(j.Records, rec)
+	res, err := Categorize(j, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Write.Spatial != SpatialSequential {
+		t.Fatalf("spatial = %v", res.Write.Spatial)
+	}
+	// Aggregate-only job: unknown.
+	j2 := &darshan.Job{JobID: 2, User: "u", Exe: "/bin/sp", NProcs: 4, Runtime: 100, End: 100}
+	res2, err := Categorize(j2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Write.Spatial != SpatialUnknown {
+		t.Fatalf("aggregate spatial = %v", res2.Write.Spatial)
+	}
+}

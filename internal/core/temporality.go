@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+	"github.com/mosaic-hpc/mosaic/internal/stats"
+)
+
+// Temporality characterization (Section III-B3b): the trace is split into
+// ChunkCount equal temporal chunks; the per-chunk byte volumes decide when
+// the application performs its I/O.
+
+// Chunks distributes the volume of each operation over the temporal chunks
+// it overlaps, proportionally to the overlap duration. Instantaneous
+// operations (zero duration) contribute entirely to the chunk containing
+// their start.
+func Chunks(ops []interval.Interval, runtime float64, n int) []float64 {
+	out := make([]float64, n)
+	if runtime <= 0 || n <= 0 {
+		return out
+	}
+	w := runtime / float64(n)
+	for _, op := range ops {
+		if op.Duration() <= 0 {
+			i := chunkIndex(op.Start, w, n)
+			out[i] += float64(op.Bytes)
+			continue
+		}
+		rate := float64(op.Bytes) / op.Duration()
+		lo := chunkIndex(op.Start, w, n)
+		hi := chunkIndex(op.End, w, n)
+		for c := lo; c <= hi; c++ {
+			cs, ce := float64(c)*w, float64(c+1)*w
+			overlap := minF(op.End, ce) - maxF(op.Start, cs)
+			if overlap > 0 {
+				out[c] += rate * overlap
+			}
+		}
+	}
+	return out
+}
+
+func chunkIndex(t, w float64, n int) int {
+	i := int(t / w)
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// classifyTemporality maps per-chunk volumes to a temporality kind:
+//
+//  1. below the significance threshold → Insignificant;
+//  2. coefficient of variation below SteadyCV → Steady;
+//  3. a minimal set of chunks each holding more than DominanceFactor× the
+//     volume of every remaining chunk → the category named by the set
+//     (first chunk → OnStart, last → OnEnd, interior → AfterStart /
+//     BeforeEnd / AfterStartBeforeEnd);
+//  4. otherwise the single largest chunk decides (weak dominance). This
+//     fallback is the documented source of most of the paper's
+//     misclassifications: "a sub-optimal detection of temporality in some
+//     cases where an operation is unequally spread across multiple
+//     chunks".
+func classifyTemporality(chunks []float64, total int64, cfg *Config) category.TemporalKind {
+	if total < cfg.SignificanceBytes {
+		return category.Insignificant
+	}
+	if stats.CoefficientOfVariation(chunks) < cfg.SteadyCV {
+		return category.Steady
+	}
+	if dom := dominantChunks(chunks, cfg.DominanceFactor); dom != nil {
+		return kindForChunkSetWeighted(dom, chunks)
+	}
+	// Weak dominance: argmax chunk.
+	best := 0
+	for i, v := range chunks {
+		if v > chunks[best] {
+			best = i
+		}
+	}
+	return kindForChunkSet([]int{best}, len(chunks))
+}
+
+// dominantChunks returns the smallest set of chunk indices such that every
+// member holds more than factor× the volume of every non-member, or nil
+// when no set smaller than the whole dominates.
+func dominantChunks(chunks []float64, factor float64) []int {
+	n := len(chunks)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return chunks[idx[a]] > chunks[idx[b]] })
+	for k := 1; k < n; k++ {
+		minDom := chunks[idx[k-1]]
+		maxRest := chunks[idx[k]]
+		if minDom > factor*maxRest {
+			dom := append([]int(nil), idx[:k]...)
+			sort.Ints(dom)
+			return dom
+		}
+	}
+	return nil
+}
+
+// kindForChunkSet names a dominant chunk-index set. The mapping follows
+// the paper's label semantics with ChunkCount chunks: the first chunk is
+// the beginning of the execution, the last one the end.
+func kindForChunkSet(dom []int, n int) category.TemporalKind {
+	first, last := false, false
+	interiorLo, interiorHi := false, false // first half interior / second half interior
+	for _, c := range dom {
+		switch {
+		case c == 0:
+			first = true
+		case c == n-1:
+			last = true
+		case c < n/2:
+			interiorLo = true
+		default:
+			interiorHi = true
+		}
+	}
+	switch {
+	case first && !last && !interiorLo && !interiorHi:
+		return category.OnStart
+	case last && !first && !interiorLo && !interiorHi:
+		return category.OnEnd
+	case first && last:
+		// Activity concentrated at both extremes; name the heavier end
+		// is ambiguous with equal weight, so favor the start (reads) —
+		// callers with chunk values use kindForChunkSetWeighted instead.
+		return category.OnStart
+	case interiorLo && interiorHi:
+		return category.AfterStartBeforeEnd
+	case interiorLo:
+		if first {
+			return category.OnStart
+		}
+		return category.AfterStart
+	case interiorHi:
+		if last {
+			return category.OnEnd
+		}
+		return category.BeforeEnd
+	default:
+		return category.AfterStartBeforeEnd
+	}
+}
+
+// kindForChunkSetWeighted resolves the first-and-last ambiguity using the
+// actual chunk volumes.
+func kindForChunkSetWeighted(dom []int, chunks []float64) category.TemporalKind {
+	n := len(chunks)
+	hasFirst, hasLast := false, false
+	for _, c := range dom {
+		if c == 0 {
+			hasFirst = true
+		}
+		if c == n-1 {
+			hasLast = true
+		}
+	}
+	if hasFirst && hasLast {
+		if chunks[n-1] > chunks[0] {
+			return category.OnEnd
+		}
+		return category.OnStart
+	}
+	return kindForChunkSet(dom, n)
+}

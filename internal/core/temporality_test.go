@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+)
+
+func TestChunksProportionalSplit(t *testing.T) {
+	// One op spanning the whole run distributes uniformly.
+	ops := []interval.Interval{{Start: 0, End: 100, Bytes: 400}}
+	chunks := Chunks(ops, 100, 4)
+	for i, c := range chunks {
+		if math.Abs(c-100) > 1e-9 {
+			t.Fatalf("chunk %d = %g, want 100", i, c)
+		}
+	}
+}
+
+func TestChunksBoundaryStraddle(t *testing.T) {
+	// Op spanning [20, 30) of a 40s run with 4 chunks (width 10):
+	// half its volume in chunk 2, half in... wait [20,30) is exactly
+	// chunk 2. Use [15, 25): half in chunk 1, half in chunk 2.
+	ops := []interval.Interval{{Start: 15, End: 25, Bytes: 100}}
+	chunks := Chunks(ops, 40, 4)
+	if math.Abs(chunks[1]-50) > 1e-9 || math.Abs(chunks[2]-50) > 1e-9 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+	if chunks[0] != 0 || chunks[3] != 0 {
+		t.Fatalf("volume leaked: %v", chunks)
+	}
+}
+
+func TestChunksInstantOp(t *testing.T) {
+	ops := []interval.Interval{{Start: 35, End: 35, Bytes: 77}}
+	chunks := Chunks(ops, 40, 4)
+	if chunks[3] != 77 {
+		t.Fatalf("instant op chunks = %v", chunks)
+	}
+}
+
+func TestChunksVolumeConservation(t *testing.T) {
+	ops := []interval.Interval{
+		{Start: 0, End: 10, Bytes: 123},
+		{Start: 5, End: 35, Bytes: 456},
+		{Start: 38, End: 40, Bytes: 789},
+	}
+	chunks := Chunks(ops, 40, 4)
+	var total float64
+	for _, c := range chunks {
+		total += c
+	}
+	if math.Abs(total-(123+456+789)) > 1e-6 {
+		t.Fatalf("volume not conserved: %g", total)
+	}
+}
+
+func TestChunksDegenerate(t *testing.T) {
+	if got := Chunks(nil, 0, 4); len(got) != 4 {
+		t.Fatal("zero runtime should still return n chunks")
+	}
+	if got := Chunks(nil, 10, 0); len(got) != 0 {
+		t.Fatal("zero chunk count")
+	}
+}
+
+func classify(chunks []float64, total int64) category.TemporalKind {
+	cfg := DefaultConfig()
+	return classifyTemporality(chunks, total, &cfg)
+}
+
+const sig = int64(200) << 20 // comfortably above the 100 MB threshold
+
+func TestClassifyInsignificant(t *testing.T) {
+	if got := classify([]float64{1, 1, 1, 1}, 50<<20); got != category.Insignificant {
+		t.Fatalf("got %v", got)
+	}
+	// Exactly at the threshold is significant (strictly-less rule).
+	if got := classify([]float64{100 << 20, 0, 0, 0}, 100<<20); got == category.Insignificant {
+		t.Fatal("threshold boundary misclassified")
+	}
+}
+
+func TestClassifySteady(t *testing.T) {
+	if got := classify([]float64{100, 105, 95, 102}, sig); got != category.Steady {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyOnStart(t *testing.T) {
+	if got := classify([]float64{1000, 100, 80, 90}, sig); got != category.OnStart {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyOnEnd(t *testing.T) {
+	if got := classify([]float64{100, 80, 90, 1000}, sig); got != category.OnEnd {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyAfterStart(t *testing.T) {
+	if got := classify([]float64{10, 1000, 80, 90}, sig); got != category.AfterStart {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyBeforeEnd(t *testing.T) {
+	if got := classify([]float64{10, 90, 1000, 80}, sig); got != category.BeforeEnd {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyAfterStartBeforeEnd(t *testing.T) {
+	if got := classify([]float64{10, 1000, 900, 20}, sig); got != category.AfterStartBeforeEnd {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyFirstAndLastResolvedByWeight(t *testing.T) {
+	if got := classify([]float64{1000, 10, 10, 900}, sig); got != category.OnStart {
+		t.Fatalf("start-heavy got %v", got)
+	}
+	if got := classify([]float64{900, 10, 10, 1000}, sig); got != category.OnEnd {
+		t.Fatalf("end-heavy got %v", got)
+	}
+}
+
+func TestClassifyWeakDominanceFallback(t *testing.T) {
+	// No chunk dominates 2x over every other, CV >= 25%: fall back to
+	// the argmax chunk — the paper's noted misclassification zone.
+	got := classify([]float64{500, 300, 100, 100}, sig)
+	if got != category.OnStart {
+		t.Fatalf("weak dominance got %v, want on_start via argmax", got)
+	}
+}
+
+func TestClassifyDominancePair(t *testing.T) {
+	// First chunk and second chunk together dominate: {0,1} maps to
+	// on_start (activity concentrated at the beginning).
+	got := classify([]float64{1000, 900, 100, 90}, sig)
+	if got != category.OnStart {
+		t.Fatalf("got %v", got)
+	}
+	// Symmetric for the tail.
+	got = classify([]float64{90, 100, 900, 1000}, sig)
+	if got != category.OnEnd {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDominantChunks(t *testing.T) {
+	if dom := dominantChunks([]float64{100, 10, 10, 10}, 2); len(dom) != 1 || dom[0] != 0 {
+		t.Fatalf("dom = %v", dom)
+	}
+	if dom := dominantChunks([]float64{100, 90, 10, 10}, 2); len(dom) != 2 {
+		t.Fatalf("dom = %v", dom)
+	}
+	if dom := dominantChunks([]float64{50, 40, 30, 25}, 2); dom != nil {
+		t.Fatalf("flat profile should have no dominant set: %v", dom)
+	}
+	// All-but-one can dominate.
+	if dom := dominantChunks([]float64{100, 90, 80, 1}, 2); len(dom) != 3 {
+		t.Fatalf("dom = %v", dom)
+	}
+}
+
+func TestConfigSaneClamps(t *testing.T) {
+	var c Config
+	s := c.sane()
+	if s.ChunkCount < 2 || s.DominanceFactor <= 1 || s.SteadyCV <= 0 ||
+		s.MeanShiftBandwidth <= 0 || s.MinGroupSize < 2 || s.SpikeRate <= 0 ||
+		s.SpikeHighRate <= 0 || s.MultipleSpikes <= 0 || s.DensityRate <= 0 {
+		t.Fatalf("sane() left broken values: %+v", s)
+	}
+	// A valid config passes through unchanged.
+	d := DefaultConfig()
+	if d.sane() != d {
+		t.Fatal("sane() modified a valid config")
+	}
+}

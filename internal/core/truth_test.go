@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+)
+
+// The generator records the intended category set of every trace; the
+// detector must agree with it on the vast majority of clean traces. This
+// is the machine-checkable version of the paper's manual-sampling
+// validation (Section IV-E, 92% accuracy) and the main calibration guard
+// for the whole pipeline.
+
+func categorizeArchetype(t *testing.T, name string, seed int64) (category.Set, category.Set, *core.Result) {
+	t.Helper()
+	arch, ok := gen.ArchetypeByName(name)
+	if !ok {
+		t.Fatalf("unknown archetype %s", name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := arch.Params(rng)
+	b := gen.NewBuilder(rng, "u1", arch.Exe, 1, p.Ranks, p.RuntimeBase)
+	arch.Build(b, p)
+	j := b.Job()
+	if err := darshan.Validate(j); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	res, err := core.Categorize(j, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("categorize: %v", err)
+	}
+	return gen.Truth(j), res.Categories, res
+}
+
+// exactMatchRate generates n traces of the archetype with distinct seeds
+// and returns the fraction whose detected set equals the truth exactly.
+func exactMatchRate(t *testing.T, name string, n int) float64 {
+	t.Helper()
+	match := 0
+	for i := 0; i < n; i++ {
+		truth, got, _ := categorizeArchetype(t, name, int64(1000+i*7))
+		if got.Equal(truth) {
+			match++
+		} else if i == 0 {
+			t.Logf("%s seed0 mismatch:\n  truth: %v\n  got:   %v", name, truth, got)
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+func TestArchetypeAgreement(t *testing.T) {
+	// Per-archetype minimum exact-match rates. Most archetypes are
+	// unambiguous; the paper's own accuracy is 92% overall, dominated by
+	// temporality edge cases.
+	cases := []struct {
+		name string
+		min  float64
+	}{
+		{"quiet", 0.95},
+		{"quiet-long", 0.95},
+		{"reader-onstart", 0.9},
+		{"read-compute-write", 0.9},
+		{"writer-onend", 0.9},
+		{"steady-both", 0.9},
+		{"rotated-steady-writer", 0.85},
+		{"checkpointer-minute", 0.8},
+		{"checkpointer-hour", 0.8},
+		{"periodic-reader", 0.8},
+		{"metastorm", 0.9},
+		{"misc-temporal", 0.8},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			if rate := exactMatchRate(t, c.name, 20); rate < c.min {
+				t.Errorf("archetype %s exact-match rate %.2f < %.2f", c.name, rate, c.min)
+			}
+		})
+	}
+}
+
+func TestCheckpointerPeriodEstimate(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		truth, _, res := categorizeArchetype(t, "checkpointer-minute", int64(50+i))
+		_ = truth
+		if !res.Write.Periodic() {
+			t.Fatalf("seed %d: checkpointer not detected periodic", i)
+		}
+		// The detected dominant period must be close to ground truth.
+		period := res.Write.DominantPeriod()
+		truthStr := res.Truth[gen.TruthPeriodKey]
+		if truthStr == "" {
+			t.Fatal("no truth period recorded")
+		}
+		var want float64
+		if _, err := sscan(truthStr, &want); err != nil {
+			t.Fatalf("parsing truth period %q: %v", truthStr, err)
+		}
+		rel := abs(period-want) / want
+		if rel > 0.15 {
+			t.Errorf("seed %d: period %.1fs vs truth %.1fs (%.0f%% off)", i, period, want, rel*100)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%g", v)
+}

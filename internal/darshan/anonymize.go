@@ -1,0 +1,87 @@
+package darshan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"path"
+	"strings"
+)
+
+// Anonymization: publicly released Darshan corpora (including the Blue
+// Waters dataset) hash user identities and file paths before
+// distribution. This mirrors that pipeline so synthetic or local corpora
+// can be shared: identities are replaced by keyed hashes, stable within a
+// salt so that deduplication by (user, application) and per-file analysis
+// keep working on the anonymized corpus.
+
+// Anonymizer rewrites identifying fields with salted hashes.
+type Anonymizer struct {
+	salt []byte
+}
+
+// NewAnonymizer creates an anonymizer; the same salt yields the same
+// pseudonyms, enabling cross-trace joins on anonymized corpora.
+func NewAnonymizer(salt string) *Anonymizer {
+	return &Anonymizer{salt: []byte(salt)}
+}
+
+// token derives a stable 48-bit pseudonym for a value under the salt.
+func (a *Anonymizer) token(kind, value string) string {
+	h := sha256.New()
+	h.Write(a.salt)
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(value))
+	sum := h.Sum(nil)
+	return fmt.Sprintf("%012x", binary.BigEndian.Uint64(sum[:8])&0xFFFFFFFFFFFF)
+}
+
+// User returns the pseudonym for a user name.
+func (a *Anonymizer) User(user string) string { return "u" + a.token("user", user) }
+
+// Exe returns the pseudonym for an executable path, preserving the
+// directory depth so AppName-style grouping still functions.
+func (a *Anonymizer) Exe(exe string) string {
+	base := exe
+	if i := strings.IndexByte(base, ' '); i >= 0 {
+		base = base[:i] // strip arguments: they may embed input names
+	}
+	return "/anon/app-" + a.token("exe", base)
+}
+
+// Path returns the pseudonym for a file path, keeping the mount-point
+// prefix (first component) in the clear like darshan-util's --obfuscate:
+// file-system-level analysis stays possible.
+func (a *Anonymizer) Path(p string) string {
+	mount := "/"
+	trimmed := strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(trimmed, '/'); i >= 0 {
+		mount = "/" + trimmed[:i]
+	} else if trimmed != "" {
+		mount = "/" + trimmed
+	}
+	return path.Join(mount, "f-"+a.token("path", p))
+}
+
+// Job anonymizes a trace in place: user, uid, executable, record paths
+// and free-form metadata (dropped entirely — it may contain anything).
+// Counters and timestamps are untouched, so categorization results are
+// identical before and after.
+func (a *Anonymizer) Job(j *Job) {
+	j.User = a.User(j.User)
+	j.UID = uint32(binary.BigEndian.Uint32([]byte(a.token("uid", fmt.Sprint(j.UID)))[:4]))
+	j.Exe = a.Exe(j.Exe)
+	j.Metadata = nil
+	for i := range j.Records {
+		j.Records[i].Path = a.Path(j.Records[i].Path)
+	}
+}
+
+// Corpus anonymizes every job under the same salt.
+func (a *Anonymizer) Corpus(jobs []*Job) {
+	for _, j := range jobs {
+		a.Job(j)
+	}
+}

@@ -1,0 +1,372 @@
+package darshan
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for Darshan-like logs. Real Darshan logs are a compressed
+// binary container (zlib regions indexed by a header); we reproduce the
+// same architecture with a small header followed by a gzip-compressed
+// little-endian body. The format is versioned and self-describing enough
+// for the corpus reader to reject foreign files cheaply.
+//
+// Layout:
+//
+//	magic   [4]byte  "MOSD"
+//	version uint16   (current: 1)
+//	flags   uint16   (bit 0: body is gzip-compressed)
+//	body    — little-endian fields, see encodeBody
+//
+// Strings are length-prefixed (uint32 + raw bytes). All multi-byte values
+// are little-endian.
+
+// Magic identifies MOSAIC Darshan-like binary logs.
+var Magic = [4]byte{'M', 'O', 'S', 'D'}
+
+// FormatVersion is the current binary format version. Version 2 added
+// optional DXT segment lists per record; version 1 files remain readable.
+const FormatVersion uint16 = 2
+
+// minFormatVersion is the oldest version the reader accepts.
+const minFormatVersion uint16 = 1
+
+const flagGzip uint16 = 1 << 0
+
+// Limits protecting the decoder against corrupted or hostile inputs.
+const (
+	maxStringLen  = 1 << 20 // 1 MiB per string
+	maxRecords    = 1 << 26 // 64M records per job
+	maxMetaPairs  = 1 << 16
+	maxDXTPerList = 1 << 24 // 16M traced segments per record
+)
+
+// ErrBadMagic reports that a stream does not start with the MOSD magic.
+var ErrBadMagic = errors.New("darshan: bad magic (not a MOSAIC binary log)")
+
+// ErrBadVersion reports an unsupported format version.
+var ErrBadVersion = errors.New("darshan: unsupported format version")
+
+// WriteBinary encodes the job to w in the binary log format, compressing
+// the body with gzip.
+func WriteBinary(w io.Writer, j *Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], FormatVersion)
+	binary.LittleEndian.PutUint16(hdr[2:4], flagGzip)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(bw)
+	e := &encoder{w: zw}
+	e.encodeBody(j)
+	if e.err != nil {
+		return e.err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes one job from r. It validates the container framing
+// but not the semantic content; callers run Validate separately so that
+// corruption statistics can be collected (the paper's step 1).
+func ReadBinary(r io.Reader) (*Job, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("darshan: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("darshan: reading header: %w", err)
+	}
+	version := binary.LittleEndian.Uint16(hdr[0:2])
+	flags := binary.LittleEndian.Uint16(hdr[2:4])
+	if version < minFormatVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	var body io.Reader = br
+	if flags&flagGzip != 0 {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("darshan: opening gzip body: %w", err)
+		}
+		defer zr.Close()
+		body = zr
+	}
+	d := &decoder{r: bufio.NewReader(body), version: version}
+	j := d.decodeBody()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Drain the remainder of the body: for gzip this forces the CRC32
+	// trailer check, so silently truncated files are rejected.
+	if _, err := io.Copy(io.Discard, d.r); err != nil {
+		return nil, fmt.Errorf("darshan: corrupted body trailer: %w", err)
+	}
+	return j, nil
+}
+
+type encoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) u32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	_, e.err = e.w.Write(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	_, e.err = e.w.Write(e.buf[:8])
+}
+
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) str(s string) {
+	if e.err != nil {
+		return
+	}
+	if len(s) > maxStringLen {
+		e.err = fmt.Errorf("darshan: string too long (%d bytes)", len(s))
+		return
+	}
+	e.u32(uint32(len(s)))
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+func (e *encoder) encodeBody(j *Job) {
+	e.u64(j.JobID)
+	e.u32(j.UID)
+	e.str(j.User)
+	e.str(j.Exe)
+	e.u32(uint32(j.NProcs))
+	e.i64(j.Start)
+	e.i64(j.End)
+	e.f64(j.Runtime)
+
+	e.u32(uint32(len(j.Metadata)))
+	// Deterministic output is not required for the metadata map (it is
+	// free-form annotation), but tests compare round-trips structurally.
+	for k, v := range j.Metadata {
+		e.str(k)
+		e.str(v)
+	}
+
+	e.u32(uint32(len(j.Records)))
+	for i := range j.Records {
+		r := &j.Records[i]
+		e.u32(uint32(r.Module))
+		e.str(r.Path)
+		e.u32(uint32(r.Rank))
+		c := &r.C
+		for _, v := range []int64{c.Opens, c.Closes, c.Seeks, c.Stats, c.Reads, c.Writes, c.BytesRead, c.BytesWritten} {
+			e.i64(v)
+		}
+		for _, v := range []float64{c.OpenStart, c.OpenEnd, c.ReadStart, c.ReadEnd, c.WriteStart, c.WriteEnd, c.CloseStart, c.CloseEnd} {
+			e.f64(v)
+		}
+		e.dxtList(r.DXTReads)
+		e.dxtList(r.DXTWrites)
+	}
+}
+
+func (e *encoder) dxtList(events []DXTEvent) {
+	e.u32(uint32(len(events)))
+	for _, ev := range events {
+		e.f64(ev.Start)
+		e.f64(ev.End)
+		e.i64(ev.Offset)
+		e.i64(ev.Length)
+	}
+}
+
+type decoder struct {
+	r       io.Reader
+	err     error
+	version uint16
+	buf     [8]byte
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(d.r, d.buf[:4]); err != nil {
+		d.fail(fmt.Errorf("darshan: truncated body: %w", err))
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(d.r, d.buf[:8]); err != nil {
+		d.fail(fmt.Errorf("darshan: truncated body: %w", err))
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail(fmt.Errorf("darshan: string length %d exceeds limit", n))
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.fail(fmt.Errorf("darshan: truncated string: %w", err))
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) dxtList() []DXTEvent {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxDXTPerList {
+		d.fail(fmt.Errorf("darshan: DXT list length %d exceeds limit", n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]DXTEvent, 0, min(n, 4096))
+	for i := uint32(0); i < n; i++ {
+		var ev DXTEvent
+		ev.Start = d.f64()
+		ev.End = d.f64()
+		ev.Offset = d.i64()
+		ev.Length = d.i64()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func (d *decoder) decodeBody() *Job {
+	j := &Job{}
+	j.JobID = d.u64()
+	j.UID = d.u32()
+	j.User = d.str()
+	j.Exe = d.str()
+	j.NProcs = int32(d.u32())
+	j.Start = d.i64()
+	j.End = d.i64()
+	j.Runtime = d.f64()
+
+	nMeta := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if nMeta > maxMetaPairs {
+		d.fail(fmt.Errorf("darshan: metadata pair count %d exceeds limit", nMeta))
+		return nil
+	}
+	if nMeta > 0 {
+		j.Metadata = make(map[string]string, nMeta)
+		for i := uint32(0); i < nMeta; i++ {
+			k := d.str()
+			v := d.str()
+			if d.err != nil {
+				return nil
+			}
+			j.Metadata[k] = v
+		}
+	}
+
+	nRec := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if nRec > maxRecords {
+		d.fail(fmt.Errorf("darshan: record count %d exceeds limit", nRec))
+		return nil
+	}
+	if nRec == 0 {
+		return j
+	}
+	j.Records = make([]FileRecord, 0, min(nRec, 4096))
+	for i := uint32(0); i < nRec; i++ {
+		var r FileRecord
+		r.Module = Module(d.u32())
+		r.Path = d.str()
+		r.Rank = int32(d.u32())
+		c := &r.C
+		ints := []*int64{&c.Opens, &c.Closes, &c.Seeks, &c.Stats, &c.Reads, &c.Writes, &c.BytesRead, &c.BytesWritten}
+		for _, p := range ints {
+			*p = d.i64()
+		}
+		floats := []*float64{&c.OpenStart, &c.OpenEnd, &c.ReadStart, &c.ReadEnd, &c.WriteStart, &c.WriteEnd, &c.CloseStart, &c.CloseEnd}
+		for _, p := range floats {
+			*p = d.f64()
+		}
+		if d.version >= 2 {
+			r.DXTReads = d.dxtList()
+			r.DXTWrites = d.dxtList()
+		}
+		if d.err != nil {
+			return nil
+		}
+		j.Records = append(j.Records, r)
+	}
+	return j
+}
+
+// MarshalBinary returns the binary log encoding of the job as bytes.
+func MarshalBinary(j *Job) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, j); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary parses a binary-log-encoded job.
+func UnmarshalBinary(data []byte) (*Job, error) {
+	return ReadBinary(bytes.NewReader(data))
+}

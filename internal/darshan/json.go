@@ -1,0 +1,201 @@
+package darshan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON codec: a human-readable alternative to the binary container, used
+// by the example programs and for interchange with external tools (e.g.
+// feeding traces converted with darshan-parser output through a small
+// script). The schema mirrors the Go model with snake_case keys.
+
+type jsonCounters struct {
+	Opens        int64   `json:"opens"`
+	Closes       int64   `json:"closes"`
+	Seeks        int64   `json:"seeks"`
+	Stats        int64   `json:"stats"`
+	Reads        int64   `json:"reads"`
+	Writes       int64   `json:"writes"`
+	BytesRead    int64   `json:"bytes_read"`
+	BytesWritten int64   `json:"bytes_written"`
+	OpenStart    float64 `json:"open_start"`
+	OpenEnd      float64 `json:"open_end"`
+	ReadStart    float64 `json:"read_start"`
+	ReadEnd      float64 `json:"read_end"`
+	WriteStart   float64 `json:"write_start"`
+	WriteEnd     float64 `json:"write_end"`
+	CloseStart   float64 `json:"close_start"`
+	CloseEnd     float64 `json:"close_end"`
+}
+
+type jsonDXTEvent struct {
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Offset int64   `json:"offset"`
+	Length int64   `json:"length"`
+}
+
+type jsonRecord struct {
+	Module    string         `json:"module"`
+	Path      string         `json:"path"`
+	Rank      int32          `json:"rank"`
+	Counters  jsonCounters   `json:"counters"`
+	DXTReads  []jsonDXTEvent `json:"dxt_reads,omitempty"`
+	DXTWrites []jsonDXTEvent `json:"dxt_writes,omitempty"`
+}
+
+func toJSONDXT(events []DXTEvent) []jsonDXTEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]jsonDXTEvent, len(events))
+	for i, e := range events {
+		out[i] = jsonDXTEvent{Start: e.Start, End: e.End, Offset: e.Offset, Length: e.Length}
+	}
+	return out
+}
+
+func fromJSONDXT(events []jsonDXTEvent) []DXTEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]DXTEvent, len(events))
+	for i, e := range events {
+		out[i] = DXTEvent{Start: e.Start, End: e.End, Offset: e.Offset, Length: e.Length}
+	}
+	return out
+}
+
+type jsonJob struct {
+	JobID    uint64            `json:"job_id"`
+	UID      uint32            `json:"uid"`
+	User     string            `json:"user"`
+	Exe      string            `json:"exe"`
+	NProcs   int32             `json:"nprocs"`
+	Start    int64             `json:"start_time"`
+	End      int64             `json:"end_time"`
+	Runtime  float64           `json:"runtime"`
+	Metadata map[string]string `json:"metadata,omitempty"`
+	Records  []jsonRecord      `json:"records"`
+}
+
+func moduleFromString(s string) (Module, error) {
+	switch s {
+	case "POSIX":
+		return ModPOSIX, nil
+	case "MPI-IO", "MPIIO":
+		return ModMPIIO, nil
+	case "STDIO":
+		return ModSTDIO, nil
+	default:
+		return 0, fmt.Errorf("darshan: unknown module %q", s)
+	}
+}
+
+func toJSONJob(j *Job) *jsonJob {
+	out := &jsonJob{
+		JobID:    j.JobID,
+		UID:      j.UID,
+		User:     j.User,
+		Exe:      j.Exe,
+		NProcs:   j.NProcs,
+		Start:    j.Start,
+		End:      j.End,
+		Runtime:  j.Runtime,
+		Metadata: j.Metadata,
+		Records:  make([]jsonRecord, len(j.Records)),
+	}
+	for i := range j.Records {
+		r := &j.Records[i]
+		out.Records[i] = jsonRecord{
+			Module:    r.Module.String(),
+			Path:      r.Path,
+			Rank:      r.Rank,
+			DXTReads:  toJSONDXT(r.DXTReads),
+			DXTWrites: toJSONDXT(r.DXTWrites),
+			Counters: jsonCounters{
+				Opens: r.C.Opens, Closes: r.C.Closes, Seeks: r.C.Seeks, Stats: r.C.Stats,
+				Reads: r.C.Reads, Writes: r.C.Writes,
+				BytesRead: r.C.BytesRead, BytesWritten: r.C.BytesWritten,
+				OpenStart: r.C.OpenStart, OpenEnd: r.C.OpenEnd,
+				ReadStart: r.C.ReadStart, ReadEnd: r.C.ReadEnd,
+				WriteStart: r.C.WriteStart, WriteEnd: r.C.WriteEnd,
+				CloseStart: r.C.CloseStart, CloseEnd: r.C.CloseEnd,
+			},
+		}
+	}
+	return out
+}
+
+func fromJSONJob(in *jsonJob) (*Job, error) {
+	j := &Job{
+		JobID:    in.JobID,
+		UID:      in.UID,
+		User:     in.User,
+		Exe:      in.Exe,
+		NProcs:   in.NProcs,
+		Start:    in.Start,
+		End:      in.End,
+		Runtime:  in.Runtime,
+		Metadata: in.Metadata,
+		Records:  make([]FileRecord, len(in.Records)),
+	}
+	for i := range in.Records {
+		r := &in.Records[i]
+		mod, err := moduleFromString(r.Module)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		c := r.Counters
+		j.Records[i] = FileRecord{
+			Module:    mod,
+			Path:      r.Path,
+			Rank:      r.Rank,
+			DXTReads:  fromJSONDXT(r.DXTReads),
+			DXTWrites: fromJSONDXT(r.DXTWrites),
+			C: Counters{
+				Opens: c.Opens, Closes: c.Closes, Seeks: c.Seeks, Stats: c.Stats,
+				Reads: c.Reads, Writes: c.Writes,
+				BytesRead: c.BytesRead, BytesWritten: c.BytesWritten,
+				OpenStart: c.OpenStart, OpenEnd: c.OpenEnd,
+				ReadStart: c.ReadStart, ReadEnd: c.ReadEnd,
+				WriteStart: c.WriteStart, WriteEnd: c.WriteEnd,
+				CloseStart: c.CloseStart, CloseEnd: c.CloseEnd,
+			},
+		}
+	}
+	return j, nil
+}
+
+// WriteJSON encodes the job as indented JSON.
+func WriteJSON(w io.Writer, j *Job) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSONJob(j))
+}
+
+// ReadJSON decodes one job from JSON.
+func ReadJSON(r io.Reader) (*Job, error) {
+	var in jsonJob
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("darshan: decoding JSON job: %w", err)
+	}
+	return fromJSONJob(&in)
+}
+
+// MarshalJob returns the JSON encoding of a job as bytes.
+func MarshalJob(j *Job) ([]byte, error) {
+	return json.MarshalIndent(toJSONJob(j), "", "  ")
+}
+
+// UnmarshalJob parses a JSON-encoded job.
+func UnmarshalJob(data []byte) (*Job, error) {
+	var in jsonJob
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("darshan: decoding JSON job: %w", err)
+	}
+	return fromJSONJob(&in)
+}

@@ -1,0 +1,178 @@
+package darshan
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const parserSample = `# darshan log version: 3.41
+# compression method: ZLIB
+# exe: /apps/bin/lammps -in run.in
+# uid: 1001
+# jobid: 4478541
+# start_time: 1546300800
+# start_time_asci: Tue Jan  1 00:00:00 2019
+# end_time: 1546304400
+# nprocs: 512
+# run time: 3600.5
+
+# description of columns:
+#<module>	<rank>	<record id>	<counter>	<value>	<file name>	<mount pt>	<fs type>
+
+POSIX	-1	9457796068806373448	POSIX_OPENS	512	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_SEEKS	512	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_READS	4096	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_BYTES_READ	1073741824	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_MMAPS	-1	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_F_OPEN_START_TIMESTAMP	1.5	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_F_OPEN_END_TIMESTAMP	2.0	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_F_READ_START_TIMESTAMP	2.1	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_F_READ_END_TIMESTAMP	60.9	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_F_CLOSE_START_TIMESTAMP	61.0	/scratch/in.dat	/scratch	lustre
+POSIX	-1	9457796068806373448	POSIX_F_CLOSE_END_TIMESTAMP	61.5	/scratch/in.dat	/scratch	lustre
+MPI-IO	0	122233	MPIIO_COLL_OPENS	64	/scratch/out.h5	/scratch	lustre
+MPI-IO	0	122233	MPIIO_COLL_WRITES	2048	/scratch/out.h5	/scratch	lustre
+MPI-IO	0	122233	MPIIO_BYTES_WRITTEN	2147483648	/scratch/out.h5	/scratch	lustre
+MPI-IO	0	122233	MPIIO_F_WRITE_START_TIMESTAMP	3500.0	/scratch/out.h5	/scratch	lustre
+MPI-IO	0	122233	MPIIO_F_WRITE_END_TIMESTAMP	3580.0	/scratch/out.h5	/scratch	lustre
+LUSTRE	-1	55	LUSTRE_STRIPE_SIZE	1048576	/scratch/out.h5	/scratch	lustre
+`
+
+func TestReadParserText(t *testing.T) {
+	j, err := ReadParserText(strings.NewReader(parserSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.JobID != 4478541 || j.UID != 1001 || j.NProcs != 512 {
+		t.Fatalf("header = %+v", j)
+	}
+	if j.Runtime != 3600.5 {
+		t.Fatalf("runtime = %g", j.Runtime)
+	}
+	if j.AppName() != "lammps" {
+		t.Fatalf("app = %q", j.AppName())
+	}
+	if len(j.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (LUSTRE module skipped)", len(j.Records))
+	}
+	posix := j.Records[0]
+	if posix.Module != ModPOSIX || posix.Rank != -1 || posix.Path != "/scratch/in.dat" {
+		t.Fatalf("posix record = %+v", posix)
+	}
+	if posix.C.Opens != 512 || posix.C.BytesRead != 1<<30 || posix.C.ReadStart != 2.1 {
+		t.Fatalf("posix counters = %+v", posix.C)
+	}
+	// Closes mirrored from opens because close timestamps are present.
+	if posix.C.Closes != 512 {
+		t.Fatalf("closes = %d, want mirrored 512", posix.C.Closes)
+	}
+	mpiio := j.Records[1]
+	if mpiio.Module != ModMPIIO || mpiio.C.Writes != 2048 || mpiio.C.BytesWritten != 2<<30 {
+		t.Fatalf("mpiio record = %+v", mpiio)
+	}
+	// No close timestamps on the MPI-IO record: closes stay 0.
+	if mpiio.C.Closes != 0 {
+		t.Fatalf("mpiio closes = %d", mpiio.C.Closes)
+	}
+	if err := Validate(j); err != nil {
+		t.Fatalf("parsed job invalid: %v", err)
+	}
+}
+
+func TestReadParserTextRuntimeFallback(t *testing.T) {
+	src := "# start_time: 100\n# end_time: 400\n# nprocs: 4\n"
+	j, err := ReadParserText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Runtime != 300 {
+		t.Fatalf("runtime fallback = %g", j.Runtime)
+	}
+}
+
+func TestReadParserTextErrors(t *testing.T) {
+	cases := []string{
+		"POSIX -1\n",                             // short row
+		"POSIX notarank 5 POSIX_OPENS 3 /f\n",    // bad rank
+		"POSIX -1 5 POSIX_OPENS notanumber /f\n", // bad value
+		"# uid: notanumber\n",                    // bad header int
+		"# run time: notafloat\n",                // bad header float
+	}
+	for _, src := range cases {
+		if _, err := ReadParserText(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q accepted", src)
+		}
+	}
+}
+
+func TestReadParserTextSkipsUnknown(t *testing.T) {
+	src := "# nprocs: 2\n# run time: 10\nPOSIX -1 5 POSIX_FANCY_NEW_COUNTER 7 /f\nNEWMOD -1 5 X 1 /f\n"
+	j, err := ReadParserText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown counters never materialize a record; unknown modules are
+	// skipped wholesale.
+	if len(j.Records) != 0 {
+		t.Fatalf("records = %+v", j.Records)
+	}
+}
+
+func TestParserTextRoundTrip(t *testing.T) {
+	orig := sampleJob()
+	var buf bytes.Buffer
+	if err := WriteParserText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadParserText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.JobID != orig.JobID || j.NProcs != orig.NProcs || j.Runtime != orig.Runtime {
+		t.Fatalf("header mismatch: %+v", j)
+	}
+	if len(j.Records) != len(orig.Records) {
+		t.Fatalf("records = %d, want %d", len(j.Records), len(orig.Records))
+	}
+	for i := range j.Records {
+		g, w := j.Records[i].C, orig.Records[i].C
+		if g.Opens != w.Opens || g.BytesRead != w.BytesRead || g.BytesWritten != w.BytesWritten {
+			t.Fatalf("record %d counters: got %+v want %+v", i, g, w)
+		}
+		if g.ReadStart != w.ReadStart || g.WriteEnd != w.WriteEnd || g.CloseEnd != w.CloseEnd {
+			t.Fatalf("record %d timestamps: got %+v want %+v", i, g, w)
+		}
+	}
+	// The round-tripped job must categorize identically (checked at the
+	// intervals level here: same read/write intervals).
+	gr, wr := j.ReadIntervals(), orig.ReadIntervals()
+	if len(gr) != len(wr) || gr[0] != wr[0] {
+		t.Fatalf("read intervals differ: %v vs %v", gr, wr)
+	}
+}
+
+func TestReadFileDispatchesParserText(t *testing.T) {
+	// .txt files route through the parser-text reader.
+	dir := t.TempDir()
+	p := dir + "/trace.txt"
+	var buf bytes.Buffer
+	if err := WriteParserText(&buf, sampleJob()); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRaw(p, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.JobID != sampleJob().JobID {
+		t.Fatal("parser text dispatch failed")
+	}
+}
+
+func writeRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

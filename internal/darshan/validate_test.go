@@ -1,0 +1,140 @@
+package darshan
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := Validate(sampleJob()); err != nil {
+		t.Fatalf("sample job should validate: %v", err)
+	}
+}
+
+func TestValidateHeader(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+		kind   CorruptionKind
+	}{
+		{"nil runtime", func(j *Job) { j.Runtime = 0 }, CorruptBadHeader},
+		{"negative runtime", func(j *Job) { j.Runtime = -5 }, CorruptBadHeader},
+		{"nan runtime", func(j *Job) { j.Runtime = math.NaN() }, CorruptBadHeader},
+		{"inf runtime", func(j *Job) { j.Runtime = math.Inf(1) }, CorruptBadHeader},
+		{"end before start", func(j *Job) { j.End = j.Start - 1 }, CorruptBadHeader},
+		{"zero nprocs", func(j *Job) { j.NProcs = 0 }, CorruptBadHeader},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j := sampleJob()
+			c.mutate(j)
+			err := Validate(j)
+			if err == nil {
+				t.Fatal("expected validation failure")
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error %v is not a ValidationError", err)
+			}
+			if verr.Kind != c.kind {
+				t.Fatalf("kind = %v, want %v", verr.Kind, c.kind)
+			}
+			if !IsCorrupted(err) {
+				t.Fatal("IsCorrupted should be true")
+			}
+		})
+	}
+	if Validate(nil) == nil {
+		t.Fatal("nil job must be rejected")
+	}
+}
+
+func TestValidateRecords(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+		kind   CorruptionKind
+	}{
+		{"bad module", func(j *Job) { j.Records[0].Module = Module(99) }, CorruptBadModule},
+		{"negative bytes", func(j *Job) { j.Records[0].C.BytesRead = -1 }, CorruptNegativeCount},
+		{"negative opens", func(j *Job) { j.Records[0].C.Opens = -3 }, CorruptNegativeCount},
+		{"nan timestamp", func(j *Job) { j.Records[0].C.ReadStart = math.NaN() }, CorruptBadTimestamps},
+		{"negative timestamp", func(j *Job) { j.Records[0].C.ReadStart = -4 }, CorruptBadTimestamps},
+		{"inverted read", func(j *Job) { j.Records[0].C.ReadEnd = 1 }, CorruptInverted},
+		{"activity after end", func(j *Job) { j.Records[1].C.WriteEnd = 9999 }, CorruptAfterEnd},
+		{
+			// The paper's canonical corruption: deallocation before the
+			// end of the record's I/O.
+			"early deallocation",
+			func(j *Job) { j.Records[1].C.CloseStart, j.Records[1].C.CloseEnd = 3050, 3051 },
+			CorruptEarlyDealloc,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j := sampleJob()
+			c.mutate(j)
+			err := Validate(j)
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("expected ValidationError, got %v", err)
+			}
+			if verr.Kind != c.kind {
+				t.Fatalf("kind = %v, want %v (%v)", verr.Kind, c.kind, err)
+			}
+			if verr.Record < 0 {
+				t.Fatal("record index should be set for record problems")
+			}
+		})
+	}
+}
+
+func TestValidateTimestampSlack(t *testing.T) {
+	// Activity up to tsSlack past the end is tolerated (clock skew).
+	j := sampleJob()
+	j.Records[1].C.WriteEnd = j.Runtime + tsSlack/2
+	j.Records[1].C.CloseStart = j.Records[1].C.WriteEnd
+	j.Records[1].C.CloseEnd = j.Records[1].C.WriteEnd + 0.1
+	if err := Validate(j); err != nil {
+		t.Fatalf("slack not honored: %v", err)
+	}
+}
+
+func TestValidateInactivePairsIgnored(t *testing.T) {
+	// A record with no read activity may carry zero read timestamps.
+	j := sampleJob()
+	j.Records[1].C.ReadStart, j.Records[1].C.ReadEnd = 0, 0
+	if err := Validate(j); err != nil {
+		t.Fatalf("inactive timestamps should be ignored: %v", err)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	err := &ValidationError{Kind: CorruptEarlyDealloc, Record: 3, Detail: "closed early"}
+	if !contains(err.Error(), "early_deallocation") || !contains(err.Error(), "record 3") {
+		t.Fatalf("unhelpful error: %q", err.Error())
+	}
+	hdr := &ValidationError{Kind: CorruptBadHeader, Record: -1, Detail: "x"}
+	if contains(hdr.Error(), "record") {
+		t.Fatalf("header error should not mention a record: %q", hdr.Error())
+	}
+}
+
+func TestCorruptionKindString(t *testing.T) {
+	kinds := []CorruptionKind{
+		CorruptNone, CorruptBadHeader, CorruptBadTimestamps, CorruptEarlyDealloc,
+		CorruptAfterEnd, CorruptNegativeCount, CorruptInverted, CorruptBadModule,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if CorruptionKind(200).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

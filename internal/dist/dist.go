@@ -1,0 +1,228 @@
+// Package dist implements distributed trace categorization over net/rpc:
+// a master streams traces to remote workers, which run the MOSAIC pipeline
+// and return results. It substitutes the Dispy cluster parallelization of
+// the paper's Python implementation and backs the Section IV-E performance
+// experiment in its distributed variant.
+//
+// Traces travel in the binary log format (internal/darshan), results as
+// JSON; both are stable, versioned encodings, so master and workers can
+// run different builds.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// ServiceName is the RPC service name workers register.
+const ServiceName = "Mosaic"
+
+// CategorizeArgs is the RPC request: one binary-encoded trace and the
+// pipeline configuration to apply.
+type CategorizeArgs struct {
+	Trace  []byte
+	Config core.Config
+}
+
+// CategorizeReply is the RPC response. Invalid traces are not errors at
+// the RPC layer: the master counts them as funnel evictions.
+type CategorizeReply struct {
+	Valid  bool
+	Reason string // corruption reason when !Valid
+	Result []byte // JSON-encoded core.Result when Valid
+}
+
+// Service is the worker-side RPC receiver.
+type Service struct{}
+
+// Categorize decodes, validates and categorizes one trace.
+func (s *Service) Categorize(args *CategorizeArgs, reply *CategorizeReply) error {
+	j, err := darshan.UnmarshalBinary(args.Trace)
+	if err != nil {
+		reply.Valid = false
+		reply.Reason = "unreadable: " + err.Error()
+		return nil
+	}
+	if err := darshan.Validate(j); err != nil {
+		reply.Valid = false
+		reply.Reason = err.Error()
+		return nil
+	}
+	res, err := core.Categorize(j, args.Config)
+	if err != nil {
+		return fmt.Errorf("dist: categorize job %d: %w", j.JobID, err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("dist: encoding result: %w", err)
+	}
+	reply.Valid = true
+	reply.Result = data
+	return nil
+}
+
+// Serve registers the service on a fresh RPC server and accepts
+// connections on l until it is closed. It blocks.
+func Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, &Service{}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// ListenAndServe serves workers on the given TCP address. It blocks.
+func ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(l)
+}
+
+// Client is a connection to one worker.
+type Client struct {
+	c *rpc.Client
+}
+
+// Dial connects to a worker at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing worker %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Categorize sends one trace to the worker. An invalid trace returns
+// (nil, reason, nil).
+func (c *Client) Categorize(j *darshan.Job, cfg core.Config) (*core.Result, string, error) {
+	data, err := darshan.MarshalBinary(j)
+	if err != nil {
+		return nil, "", err
+	}
+	args := &CategorizeArgs{Trace: data, Config: cfg}
+	var reply CategorizeReply
+	if err := c.c.Call(ServiceName+".Categorize", args, &reply); err != nil {
+		return nil, "", fmt.Errorf("dist: RPC: %w", err)
+	}
+	if !reply.Valid {
+		return nil, reply.Reason, nil
+	}
+	var res core.Result
+	if err := json.Unmarshal(reply.Result, &res); err != nil {
+		return nil, "", fmt.Errorf("dist: decoding result: %w", err)
+	}
+	res.Categories = category.NewSet()
+	for _, l := range res.Labels {
+		res.Categories.Add(category.Category(l))
+	}
+	return &res, "", nil
+}
+
+// Outcome is the master-side result for one submitted trace.
+type Outcome struct {
+	Result *core.Result // nil when the trace was invalid
+	Reason string       // eviction reason for invalid traces
+	Err    error        // transport or pipeline failure
+}
+
+// Master fans traces out over a set of workers, each handling several
+// in-flight requests, with failover across workers.
+type Master struct {
+	clients []*Client
+	cfg     core.Config
+	dead    []atomic.Bool // dead[i]: worker i hit a transport error
+}
+
+// NewMaster wraps the given worker connections.
+func NewMaster(clients []*Client, cfg core.Config) *Master {
+	return &Master{clients: clients, cfg: cfg, dead: make([]atomic.Bool, len(clients))}
+}
+
+// LiveWorkers returns how many workers have not failed.
+func (m *Master) LiveWorkers() int {
+	n := 0
+	for i := range m.dead {
+		if !m.dead[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// dispatch categorizes one job with failover: starting from the stream's
+// home worker, it tries every live worker in round-robin order, marking
+// workers dead on transport errors. When every worker has failed, the
+// last error is reported in the outcome.
+func (m *Master) dispatch(j *darshan.Job, home int) Outcome {
+	n := len(m.clients)
+	var lastErr error
+	for k := 0; k < n; k++ {
+		ci := (home + k) % n
+		if m.dead[ci].Load() {
+			continue
+		}
+		res, reason, err := m.clients[ci].Categorize(j, m.cfg)
+		if err != nil {
+			m.dead[ci].Store(true)
+			lastErr = err
+			continue
+		}
+		return Outcome{Result: res, Reason: reason}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("dist: no live workers")
+	}
+	return Outcome{Err: lastErr}
+}
+
+// Run streams jobs to the workers with the given per-worker concurrency
+// and sends one Outcome per job on the returned channel, closed when the
+// input channel is exhausted. Order is not preserved. Transport failures
+// fail over to the remaining workers; a job is reported with an error
+// only when every worker has failed.
+func (m *Master) Run(jobs <-chan *darshan.Job, perWorker int) <-chan Outcome {
+	if perWorker < 1 {
+		perWorker = 2
+	}
+	out := make(chan Outcome, len(m.clients)*perWorker)
+	var wg sync.WaitGroup
+	for ci := range m.clients {
+		for s := 0; s < perWorker; s++ {
+			wg.Add(1)
+			go func(home int) {
+				defer wg.Done()
+				for j := range jobs {
+					out <- m.dispatch(j, home)
+				}
+			}(ci)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

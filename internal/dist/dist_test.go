@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"net"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+func startWorker(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l) //nolint:errcheck // closed by cleanup
+	return l.Addr().String()
+}
+
+func testJob(id uint64) *darshan.Job {
+	return &darshan.Job{
+		JobID: id, User: "u", Exe: "/bin/app", NProcs: 4,
+		Start: 0, End: 1000, Runtime: 1000,
+		Records: []darshan.FileRecord{{
+			Module: darshan.ModPOSIX, Path: "/in",
+			C: darshan.Counters{
+				Reads: 10, BytesRead: 1 << 30,
+				ReadStart: 5, ReadEnd: 60,
+			},
+		}},
+	}
+}
+
+func TestClientCategorize(t *testing.T) {
+	addr := startWorker(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, reason, err := c.Categorize(testJob(1), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != "" {
+		t.Fatalf("unexpected eviction: %s", reason)
+	}
+	if !res.Categories.Has(category.Temporal(category.DirRead, category.OnStart)) {
+		t.Fatalf("categories = %v", res.Categories)
+	}
+	if res.JobID != 1 {
+		t.Fatalf("job id = %d", res.JobID)
+	}
+}
+
+func TestClientRejectsCorrupted(t *testing.T) {
+	addr := startWorker(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	bad := testJob(2)
+	bad.Runtime = -1
+	res, reason, err := c.Categorize(bad, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil || reason == "" {
+		t.Fatalf("corrupted trace not evicted: res=%v reason=%q", res, reason)
+	}
+}
+
+func TestMasterRunFanOut(t *testing.T) {
+	clients := make([]*Client, 0, 2)
+	for i := 0; i < 2; i++ {
+		c, err := Dial(startWorker(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	m := NewMaster(clients, core.DefaultConfig())
+
+	const n = 40
+	jobs := make(chan *darshan.Job)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			j := testJob(uint64(i))
+			if i%4 == 0 {
+				j.NProcs = 0 // corrupt every 4th
+			}
+			jobs <- j
+		}
+	}()
+	var ok, evicted, failed int
+	for out := range m.Run(jobs, 3) {
+		switch {
+		case out.Err != nil:
+			failed++
+		case out.Result == nil:
+			evicted++
+		default:
+			ok++
+		}
+	}
+	if failed != 0 {
+		t.Fatalf("failures: %d", failed)
+	}
+	if ok != 30 || evicted != 10 {
+		t.Fatalf("ok=%d evicted=%d", ok, evicted)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestServiceRejectsGarbageTrace(t *testing.T) {
+	var s Service
+	var reply CategorizeReply
+	if err := s.Categorize(&CategorizeArgs{Trace: []byte("junk"), Config: core.DefaultConfig()}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Valid || reply.Reason == "" {
+		t.Fatalf("garbage trace: %+v", reply)
+	}
+}
+
+func TestMasterFailover(t *testing.T) {
+	// Two workers; one is killed mid-run. Every job must still produce a
+	// result (failover to the survivor), none with transport errors.
+	lDead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(lDead) //nolint:errcheck
+	deadAddr := lDead.Addr().String()
+
+	aliveAddr := startWorker(t)
+	cDead, err := Dial(deadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cDead.Close()
+	cAlive, err := Dial(aliveAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cAlive.Close()
+
+	m := NewMaster([]*Client{cDead, cAlive}, core.DefaultConfig())
+	// Kill the first worker's connection before submitting.
+	lDead.Close()
+	cDead.Close()
+
+	const n = 20
+	jobs := make(chan *darshan.Job)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			jobs <- testJob(uint64(i))
+		}
+	}()
+	var ok, failed int
+	for out := range m.Run(jobs, 2) {
+		if out.Err != nil {
+			failed++
+		} else if out.Result != nil {
+			ok++
+		}
+	}
+	if failed != 0 {
+		t.Fatalf("%d jobs failed despite a live worker", failed)
+	}
+	if ok != n {
+		t.Fatalf("ok = %d, want %d", ok, n)
+	}
+	if m.LiveWorkers() != 1 {
+		t.Fatalf("live workers = %d, want 1", m.LiveWorkers())
+	}
+}
+
+func TestMasterAllWorkersDead(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l) //nolint:errcheck
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	c.Close()
+	m := NewMaster([]*Client{c}, core.DefaultConfig())
+	jobs := make(chan *darshan.Job, 1)
+	jobs <- testJob(1)
+	close(jobs)
+	var failed int
+	for out := range m.Run(jobs, 1) {
+		if out.Err != nil {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1 (no live workers)", failed)
+	}
+}

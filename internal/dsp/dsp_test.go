@@ -1,0 +1,352 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			out[k] += x[j] * cmplx.Exp(complex(0, angle))
+		}
+	}
+	return out
+}
+
+func complexApproxEqual(a, b []complex128, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got); err != nil {
+			t.Fatal(err)
+		}
+		if !complexApproxEqual(got, want, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: FFT != naive DFT", n)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err != ErrNotPowerOfTwo {
+		t.Fatalf("err = %v", err)
+	}
+	if err := FFT(nil); err != nil {
+		t.Fatal("empty FFT should be a no-op")
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.Float64(), 0)
+	}
+	orig := append([]complex128(nil), x...)
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if !complexApproxEqual(x, orig, 1e-9) {
+		t.Fatal("IFFT(FFT(x)) != x")
+	}
+}
+
+// Property: Parseval's theorem — energy is preserved (up to 1/N scaling).
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 1 << (3 + rng.Intn(5))
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	if !IsPowerOfTwo(1) || !IsPowerOfTwo(1024) || IsPowerOfTwo(0) || IsPowerOfTwo(3) || IsPowerOfTwo(-4) {
+		t.Fatal("IsPowerOfTwo")
+	}
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPeriodogramFindsSinusoid(t *testing.T) {
+	const (
+		n          = 1024
+		sampleRate = 100.0 // Hz
+		f0         = 5.0   // Hz
+	)
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = 3 + math.Sin(2*math.Pi*f0*float64(i)/sampleRate) // offset must not matter
+	}
+	power, freq := Periodogram(signal, sampleRate)
+	peakK := 0
+	for k := 1; k < len(power); k++ {
+		if power[k] > power[peakK] {
+			peakK = k
+		}
+	}
+	if math.Abs(freq[peakK]-f0) > sampleRate/n {
+		t.Fatalf("peak at %g Hz, want %g", freq[peakK], f0)
+	}
+	if p, f := Periodogram(nil, 1); p != nil || f != nil {
+		t.Fatal("empty periodogram")
+	}
+}
+
+func TestAutocorrelationOfPeriodicSignal(t *testing.T) {
+	const n = 500
+	signal := make([]float64, n)
+	for i := range signal {
+		if i%50 < 5 {
+			signal[i] = 1
+		}
+	}
+	r := Autocorrelation(signal, 200)
+	if math.Abs(r[0]-1) > 1e-9 {
+		t.Fatalf("r[0] = %g, want 1", r[0])
+	}
+	// Strong correlation at the true period.
+	if r[50] < 0.7 {
+		t.Fatalf("r[50] = %g, want high", r[50])
+	}
+	// Much weaker off-period.
+	if r[25] > r[50]/2 {
+		t.Fatalf("r[25] = %g vs r[50] = %g", r[25], r[50])
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if r := Autocorrelation(nil, 5); r != nil {
+		t.Fatal("nil signal")
+	}
+	r := Autocorrelation([]float64{3, 3, 3}, 2)
+	if r[1] != 0 || r[2] != 0 {
+		t.Fatalf("constant signal autocorrelation = %v", r)
+	}
+	// maxLag beyond signal length is clamped.
+	r = Autocorrelation([]float64{1, 2}, 100)
+	if len(r) != 2 {
+		t.Fatalf("clamped length = %d", len(r))
+	}
+}
+
+func mkPeriodicOps(period, opDur float64, count int, bytes int64) []interval.Interval {
+	var ops []interval.Interval
+	for i := 0; i < count; i++ {
+		s := float64(i)*period + period/2
+		ops = append(ops, interval.Interval{Start: s, End: s + opDur, Bytes: bytes})
+	}
+	return ops
+}
+
+func TestBinned(t *testing.T) {
+	ops := []interval.Interval{{Start: 0, End: 50, Bytes: 100}}
+	sig := Binned(ops, 100, 10)
+	var total float64
+	for _, v := range sig {
+		total += v
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("binned volume = %g, want 100", total)
+	}
+	if sig[7] != 0 {
+		t.Fatalf("volume leaked past op end: %v", sig)
+	}
+	if s := Binned(nil, 0, 10); len(s) != 10 {
+		t.Fatal("zero runtime")
+	}
+}
+
+func TestDetectPeriodicityOnCheckpointTrain(t *testing.T) {
+	ops := mkPeriodicOps(100, 5, 50, 1<<20) // period 100s over 5000s
+	det := DetectPeriodicity(ops, 5000, DetectorConfig{})
+	if !det.Periodic {
+		t.Fatalf("periodic train not detected: %+v", det)
+	}
+	if math.Abs(det.Period-100)/100 > 0.15 {
+		t.Fatalf("period = %g, want ~100", det.Period)
+	}
+}
+
+func TestDetectPeriodicityRejectsAperiodic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ops []interval.Interval
+	// Two isolated bursts: on-start and on-end, nothing periodic.
+	ops = append(ops, interval.Interval{Start: 10, End: 60, Bytes: 1 << 30})
+	ops = append(ops, interval.Interval{Start: 4800, End: 4900, Bytes: 1 << 30})
+	det := DetectPeriodicity(ops, 5000, DetectorConfig{})
+	if det.Periodic {
+		t.Fatalf("aperiodic trace detected periodic: %+v", det)
+	}
+	_ = rng
+	if DetectPeriodicity(nil, 100, DetectorConfig{}).Periodic {
+		t.Fatal("empty trace periodic")
+	}
+	if DetectPeriodicity(ops, 0, DetectorConfig{}).Periodic {
+		t.Fatal("zero runtime periodic")
+	}
+}
+
+func TestDetectByAutocorrelationOnCheckpointTrain(t *testing.T) {
+	ops := mkPeriodicOps(100, 5, 50, 1<<20)
+	det := DetectByAutocorrelation(ops, 5000, DetectorConfig{})
+	if !det.Periodic {
+		t.Fatalf("autocorr missed periodic train: %+v", det)
+	}
+	if math.Abs(det.Period-100)/100 > 0.2 {
+		t.Fatalf("autocorr period = %g, want ~100", det.Period)
+	}
+}
+
+// The paper's criticism of frequency techniques: two interleaved periodic
+// behaviours produce a single dominant frequency, losing one of them.
+func TestDFTSinglePeriodLimitation(t *testing.T) {
+	ops := append(mkPeriodicOps(100, 4, 50, 1<<20), mkPeriodicOps(173, 4, 28, 64<<20)...)
+	interval.SortByStart(ops)
+	det := DetectPeriodicity(ops, 5000, DetectorConfig{})
+	// The detector returns at most one period — whichever dominates.
+	if det.Periodic {
+		near100 := math.Abs(det.Period-100)/100 < 0.2
+		near173 := math.Abs(det.Period-173)/173 < 0.2
+		if near100 && near173 {
+			t.Fatal("impossible")
+		}
+	}
+	// Either way, it cannot report both; that is the point the ablation
+	// bench quantifies against Mean Shift segmentation.
+}
+
+func TestDetectorConfigDefaults(t *testing.T) {
+	c := DetectorConfig{}.withDefaults()
+	if c.Bins != 1024 || c.MinConfidence != 8 || c.MinCycles != 3 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestDetectMultiplePeriodicities(t *testing.T) {
+	// Two well-separated periods of comparable volume: peeling recovers
+	// both.
+	ops := append(mkPeriodicOps(100, 4, 50, 4<<20), mkPeriodicOps(173, 4, 28, 8<<20)...)
+	interval.SortByStart(ops)
+	det := DetectMultiplePeriodicities(ops, 5000, 3, DetectorConfig{})
+	if !det.Periodic() {
+		t.Fatal("nothing detected")
+	}
+	found100, found173 := false, false
+	for _, p := range det.Periods {
+		if math.Abs(p-100)/100 < 0.15 {
+			found100 = true
+		}
+		if math.Abs(p-173)/173 < 0.15 {
+			found173 = true
+		}
+	}
+	if !found100 || !found173 {
+		t.Fatalf("periods missed (want ~100 and ~173): %v", det.Periods)
+	}
+	if len(det.Periods) != len(det.Confidences) {
+		t.Fatal("confidences misaligned")
+	}
+}
+
+// Documented limitation: when one periodic operation moves orders of
+// magnitude more data, its spectral leakage buries the weaker train and
+// peeling cannot recover it — the segmentation detector, which clusters
+// on (duration, volume) pairs, is unaffected (see the ablation bench).
+func TestDetectMultipleAmplitudeDisparityLimitation(t *testing.T) {
+	ops := append(mkPeriodicOps(100, 4, 50, 1<<20), mkPeriodicOps(173, 4, 28, 64<<20)...)
+	interval.SortByStart(ops)
+	det := DetectMultiplePeriodicities(ops, 5000, 3, DetectorConfig{})
+	found100 := false
+	for _, p := range det.Periods {
+		if math.Abs(p-100)/100 < 0.15 {
+			found100 = true
+		}
+	}
+	if found100 {
+		t.Log("weak train recovered despite disparity — peeling did better than documented")
+	}
+}
+
+func TestDetectMultipleSinglePeriodNoDuplicates(t *testing.T) {
+	ops := mkPeriodicOps(100, 4, 50, 1<<20)
+	det := DetectMultiplePeriodicities(ops, 5000, 4, DetectorConfig{})
+	if len(det.Periods) == 0 {
+		t.Fatal("single period missed")
+	}
+	// Harmonics of the single true period must not be reported as
+	// separate periodicities.
+	for i, p := range det.Periods {
+		for j := i + 1; j < len(det.Periods); j++ {
+			q := det.Periods[j]
+			ratio := p / q
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			frac := math.Mod(ratio, 1)
+			if frac < 0.1 || frac > 0.9 {
+				t.Fatalf("harmonic duplicate: %v", det.Periods)
+			}
+		}
+	}
+}
+
+func TestDetectMultipleEdgeCases(t *testing.T) {
+	if DetectMultiplePeriodicities(nil, 100, 2, DetectorConfig{}).Periodic() {
+		t.Fatal("empty ops")
+	}
+	ops := []interval.Interval{{Start: 1, End: 2, Bytes: 5}, {Start: 90, End: 95, Bytes: 5}}
+	if det := DetectMultiplePeriodicities(ops, 0, 2, DetectorConfig{}); det.Periodic() {
+		t.Fatal("zero runtime")
+	}
+}

@@ -1,0 +1,180 @@
+// Package dsp implements the signal-processing baseline for periodic I/O
+// detection referenced by the paper (Tarraf et al., "Capturing Periodic
+// I/O Using Frequency Techniques", IPDPS 2024): a radix-2 FFT, a
+// periodogram, autocorrelation, and a frequency-domain periodicity
+// detector operating on binned I/O activity signals.
+//
+// MOSAIC's related-work section argues this approach "fails to distinguish
+// between two intricate periodic behaviors"; the ablation benches use this
+// package to demonstrate exactly that against the Mean Shift detector.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo reports an FFT input whose length is not a power of 2.
+var ErrNotPowerOfTwo = errors.New("dsp: FFT length must be a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPowerOfTwo(n) {
+		return ErrNotPowerOfTwo
+	}
+	bitReverse(x)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wBase
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place. len(x) must be a power of
+// two.
+func IFFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPowerOfTwo(n) {
+		return ErrNotPowerOfTwo
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+func bitReverse(x []complex128) {
+	n := len(x)
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// FFTReal transforms a real signal, zero-padding to the next power of two,
+// and returns the complex spectrum.
+func FFTReal(signal []float64) []complex128 {
+	n := NextPowerOfTwo(len(signal))
+	x := make([]complex128, n)
+	for i, v := range signal {
+		x[i] = complex(v, 0)
+	}
+	// Length is a power of two by construction; FFT cannot fail.
+	_ = FFT(x)
+	return x
+}
+
+// Periodogram returns the one-sided power spectrum of a real signal
+// sampled at sampleRate Hz: power[k] is the energy at frequency
+// freq[k] = k * sampleRate / N for k in [0, N/2]. The DC component is
+// removed first so that a constant offset does not mask periodic peaks.
+func Periodogram(signal []float64, sampleRate float64) (power, freq []float64) {
+	if len(signal) == 0 {
+		return nil, nil
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(len(signal))
+	centered := make([]float64, len(signal))
+	for i, v := range signal {
+		centered[i] = v - mean
+	}
+	spec := FFTReal(centered)
+	n := len(spec)
+	half := n/2 + 1
+	power = make([]float64, half)
+	freq = make([]float64, half)
+	for k := 0; k < half; k++ {
+		re, im := real(spec[k]), imag(spec[k])
+		power[k] = (re*re + im*im) / float64(n)
+		freq[k] = float64(k) * sampleRate / float64(n)
+	}
+	return power, freq
+}
+
+// Autocorrelation returns the normalized autocorrelation of the signal for
+// lags 0..maxLag (inclusive), computed via FFT in O(n log n). r[0] is 1
+// for non-constant signals; constant signals return all zeros beyond a
+// leading 1-or-0 convention (r[0]=0 when variance is 0).
+func Autocorrelation(signal []float64, maxLag int) []float64 {
+	n := len(signal)
+	if n == 0 || maxLag < 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(n)
+	// Zero-pad to 2n to avoid circular correlation.
+	size := NextPowerOfTwo(2 * n)
+	x := make([]complex128, size)
+	for i, v := range signal {
+		x[i] = complex(v-mean, 0)
+	}
+	_ = FFT(x)
+	for i := range x {
+		x[i] *= cmplx.Conj(x[i])
+	}
+	_ = IFFT(x)
+	out := make([]float64, maxLag+1)
+	variance := real(x[0])
+	if variance <= 0 {
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = real(x[lag]) / variance
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package dsp
+
+import (
+	"math"
+
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+)
+
+// Frequency-domain periodicity detector: the FTIO-style baseline [24]
+// against which MOSAIC's segmentation approach is compared in the
+// ablation experiments.
+
+// DetectorConfig parametrizes the DFT detector.
+type DetectorConfig struct {
+	// Bins is the number of samples the trace activity is discretized
+	// into (default 1024). Higher resolutions resolve shorter periods at
+	// the cost of O(n log n) work.
+	Bins int
+	// MinConfidence is the dominance ratio (peak power over mean
+	// off-peak power) above which a periodicity is reported (default 8).
+	MinConfidence float64
+	// MinCycles is the minimum number of full periods that must fit in
+	// the runtime for a detection to be trusted (default 3).
+	MinCycles float64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Bins <= 0 {
+		c.Bins = 1024
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 8
+	}
+	if c.MinCycles <= 0 {
+		c.MinCycles = 3
+	}
+	return c
+}
+
+// Detection is the outcome of the frequency analysis.
+type Detection struct {
+	Periodic   bool
+	Period     float64 // seconds; dominant period when Periodic
+	Frequency  float64 // Hz
+	Confidence float64 // peak power / mean off-peak power
+}
+
+// Binned rasterizes a set of operations into a byte-rate signal with the
+// given number of bins over [0, runtime): each operation's volume is
+// distributed uniformly across the bins it overlaps. This is the signal
+// representation frequency techniques operate on.
+func Binned(ops []interval.Interval, runtime float64, bins int) []float64 {
+	sig := make([]float64, bins)
+	if runtime <= 0 || bins <= 0 {
+		return sig
+	}
+	binW := runtime / float64(bins)
+	for _, op := range ops {
+		lo := int(op.Start / binW)
+		hi := int(op.End / binW)
+		if hi >= bins {
+			hi = bins - 1
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > hi {
+			continue
+		}
+		share := float64(op.Bytes) / float64(hi-lo+1)
+		for b := lo; b <= hi; b++ {
+			sig[b] += share
+		}
+	}
+	return sig
+}
+
+// DetectPeriodicity runs the DFT detector on the operations of a trace.
+// It reports the dominant period if one frequency concentrates
+// sufficiently more power than the background.
+func DetectPeriodicity(ops []interval.Interval, runtime float64, cfg DetectorConfig) Detection {
+	cfg = cfg.withDefaults()
+	if runtime <= 0 || len(ops) < 2 {
+		return Detection{}
+	}
+	signal := Binned(ops, runtime, cfg.Bins)
+	sampleRate := float64(cfg.Bins) / runtime
+	power, freq := Periodogram(signal, sampleRate)
+	if len(power) < 3 {
+		return Detection{}
+	}
+	// Skip DC (k=0); find the dominant peak.
+	peakK, peakP := 0, 0.0
+	var total float64
+	for k := 1; k < len(power); k++ {
+		total += power[k]
+		if power[k] > peakP {
+			peakK, peakP = k, power[k]
+		}
+	}
+	if peakK == 0 || peakP == 0 {
+		return Detection{}
+	}
+	rest := total - peakP
+	meanRest := rest / float64(len(power)-2)
+	confidence := math.Inf(1)
+	if meanRest > 0 {
+		confidence = peakP / meanRest
+	}
+	f := freq[peakK]
+	period := 1 / f
+	det := Detection{
+		Period:     period,
+		Frequency:  f,
+		Confidence: confidence,
+	}
+	cycles := runtime / period
+	det.Periodic = confidence >= cfg.MinConfidence && cycles >= cfg.MinCycles
+	return det
+}
+
+// DetectByAutocorrelation is an alternative time-domain detector: it looks
+// for the first significant peak of the autocorrelation of the binned
+// signal. Exposed for the ablation bench comparing the three approaches
+// (Mean Shift segmentation, DFT, autocorrelation).
+func DetectByAutocorrelation(ops []interval.Interval, runtime float64, cfg DetectorConfig) Detection {
+	cfg = cfg.withDefaults()
+	if runtime <= 0 || len(ops) < 2 {
+		return Detection{}
+	}
+	signal := Binned(ops, runtime, cfg.Bins)
+	binW := runtime / float64(cfg.Bins)
+	r := Autocorrelation(signal, cfg.Bins/2)
+	// Find the first local maximum after the zero-lag peak decays.
+	lag := firstPeak(r)
+	if lag <= 0 {
+		return Detection{}
+	}
+	period := float64(lag) * binW
+	det := Detection{
+		Period:     period,
+		Frequency:  1 / period,
+		Confidence: r[lag] * 10, // scale so thresholds are comparable
+	}
+	cycles := runtime / period
+	det.Periodic = r[lag] >= 0.3 && cycles >= cfg.MinCycles
+	return det
+}
+
+func firstPeak(r []float64) int {
+	// Skip the initial decay from lag 0.
+	i := 1
+	for i < len(r)-1 && r[i] >= r[i-1] {
+		i++
+	}
+	for ; i < len(r)-1; i++ {
+		if r[i] > r[i-1] && r[i] >= r[i+1] && r[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}

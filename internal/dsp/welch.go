@@ -1,0 +1,152 @@
+package dsp
+
+import "math"
+
+// Welch's method and spectrograms: higher-fidelity spectral estimation for
+// the frequency-technique baseline. Averaging windowed periodograms
+// reduces estimator variance at the cost of frequency resolution — useful
+// on long traces where a single periodogram is noisy.
+
+// HannWindow returns the n-point Hann window coefficients.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// WelchConfig parametrizes Welch.
+type WelchConfig struct {
+	// SegmentSize is the window length in samples; rounded down to a
+	// power of two (default 256).
+	SegmentSize int
+	// Overlap is the fractional overlap between consecutive segments in
+	// [0, 0.95] (default 0.5).
+	Overlap float64
+}
+
+func (c WelchConfig) withDefaults() WelchConfig {
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 256
+	}
+	// Round down to a power of two for the FFT.
+	p := 1
+	for p*2 <= c.SegmentSize {
+		p *= 2
+	}
+	c.SegmentSize = p
+	if c.Overlap < 0 {
+		c.Overlap = 0
+	}
+	if c.Overlap > 0.95 {
+		c.Overlap = 0.95
+	}
+	if c.Overlap == 0 {
+		c.Overlap = 0.5
+	}
+	return c
+}
+
+// Welch estimates the one-sided power spectral density of a real signal
+// sampled at sampleRate Hz by averaging Hann-windowed, overlapping
+// periodograms. Returns nil spectra for signals shorter than one segment.
+func Welch(signal []float64, sampleRate float64, cfg WelchConfig) (power, freq []float64) {
+	cfg = cfg.withDefaults()
+	seg := cfg.SegmentSize
+	if len(signal) < seg {
+		// Fall back to the largest power-of-two prefix.
+		p := 1
+		for p*2 <= len(signal) {
+			p *= 2
+		}
+		if p < 8 {
+			return nil, nil
+		}
+		seg = p
+	}
+	step := int(float64(seg) * (1 - cfg.Overlap))
+	if step < 1 {
+		step = 1
+	}
+	window := HannWindow(seg)
+	var windowPower float64
+	for _, w := range window {
+		windowPower += w * w
+	}
+
+	half := seg/2 + 1
+	power = make([]float64, half)
+	freq = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freq[k] = float64(k) * sampleRate / float64(seg)
+	}
+
+	segments := 0
+	buf := make([]complex128, seg)
+	for start := 0; start+seg <= len(signal); start += step {
+		// De-mean within the window, apply the window, transform.
+		var mean float64
+		for i := 0; i < seg; i++ {
+			mean += signal[start+i]
+		}
+		mean /= float64(seg)
+		for i := 0; i < seg; i++ {
+			buf[i] = complex((signal[start+i]-mean)*window[i], 0)
+		}
+		_ = FFT(buf)
+		for k := 0; k < half; k++ {
+			re, im := real(buf[k]), imag(buf[k])
+			power[k] += (re*re + im*im) / (windowPower * sampleRate)
+		}
+		segments++
+	}
+	if segments == 0 {
+		return nil, nil
+	}
+	for k := range power {
+		power[k] /= float64(segments)
+	}
+	return power, freq
+}
+
+// Spectrogram computes a short-time power spectrum: one Welch-style
+// windowed periodogram per hop. Rows are time steps, columns frequency
+// bins; times holds the center of each window in seconds. Useful for
+// visualizing when a periodic phase starts and stops within a trace.
+func Spectrogram(signal []float64, sampleRate float64, cfg WelchConfig) (spec [][]float64, times, freq []float64) {
+	cfg = cfg.withDefaults()
+	seg := cfg.SegmentSize
+	if len(signal) < seg {
+		return nil, nil, nil
+	}
+	step := int(float64(seg) * (1 - cfg.Overlap))
+	if step < 1 {
+		step = 1
+	}
+	window := HannWindow(seg)
+	half := seg/2 + 1
+	freq = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freq[k] = float64(k) * sampleRate / float64(seg)
+	}
+	buf := make([]complex128, seg)
+	for start := 0; start+seg <= len(signal); start += step {
+		row := make([]float64, half)
+		for i := 0; i < seg; i++ {
+			buf[i] = complex(signal[start+i]*window[i], 0)
+		}
+		_ = FFT(buf)
+		for k := 0; k < half; k++ {
+			re, im := real(buf[k]), imag(buf[k])
+			row[k] = re*re + im*im
+		}
+		spec = append(spec, row)
+		times = append(times, (float64(start)+float64(seg)/2)/sampleRate)
+	}
+	return spec, times, freq
+}

@@ -1,0 +1,130 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHannWindow(t *testing.T) {
+	w := HannWindow(9)
+	if w[0] > 1e-12 || w[8] > 1e-12 {
+		t.Fatalf("edges = %g, %g, want 0", w[0], w[8])
+	}
+	if math.Abs(w[4]-1) > 1e-12 {
+		t.Fatalf("center = %g, want 1", w[4])
+	}
+	if got := HannWindow(1); got[0] != 1 {
+		t.Fatal("single-point window")
+	}
+}
+
+func TestWelchFindsSinusoidInNoise(t *testing.T) {
+	const (
+		n          = 4096
+		sampleRate = 64.0
+		f0         = 4.0
+	)
+	rng := rand.New(rand.NewSource(1))
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = math.Sin(2*math.Pi*f0*float64(i)/sampleRate) + rng.NormFloat64()*0.8
+	}
+	power, freq := Welch(signal, sampleRate, WelchConfig{SegmentSize: 512, Overlap: 0.5})
+	if power == nil {
+		t.Fatal("nil spectrum")
+	}
+	peakK := 1
+	for k := 2; k < len(power); k++ {
+		if power[k] > power[peakK] {
+			peakK = k
+		}
+	}
+	if math.Abs(freq[peakK]-f0) > sampleRate/512 {
+		t.Fatalf("peak at %g Hz, want %g", freq[peakK], f0)
+	}
+}
+
+func TestWelchVarianceReduction(t *testing.T) {
+	// White noise: the Welch estimate should fluctuate less across
+	// frequency bins than a single periodogram.
+	rng := rand.New(rand.NewSource(2))
+	n := 4096
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	welchP, _ := Welch(signal, 1, WelchConfig{SegmentSize: 256})
+	periodoP, _ := Periodogram(signal, 1)
+	cv := func(xs []float64) float64 {
+		if len(xs) < 3 {
+			return 0
+		}
+		xs = xs[1 : len(xs)-1] // drop DC and Nyquist
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		return math.Sqrt(v/float64(len(xs))) / mean
+	}
+	if cv(welchP) >= cv(periodoP) {
+		t.Fatalf("Welch CV %.3f not below periodogram CV %.3f", cv(welchP), cv(periodoP))
+	}
+}
+
+func TestWelchShortSignal(t *testing.T) {
+	if p, _ := Welch(make([]float64, 4), 1, WelchConfig{}); p != nil {
+		t.Fatal("too-short signal should return nil")
+	}
+	// Signal shorter than the default segment but usable: falls back.
+	sig := make([]float64, 64)
+	for i := range sig {
+		sig[i] = math.Sin(float64(i))
+	}
+	p, f := Welch(sig, 1, WelchConfig{SegmentSize: 256})
+	if p == nil || len(p) != len(f) {
+		t.Fatal("fallback segment sizing failed")
+	}
+}
+
+func TestWelchConfigDefaults(t *testing.T) {
+	c := WelchConfig{SegmentSize: 300, Overlap: 2}.withDefaults()
+	if c.SegmentSize != 256 {
+		t.Fatalf("segment rounded to %d", c.SegmentSize)
+	}
+	if c.Overlap != 0.95 {
+		t.Fatalf("overlap clamped to %g", c.Overlap)
+	}
+}
+
+func TestSpectrogramShape(t *testing.T) {
+	const n = 2048
+	signal := make([]float64, n)
+	// Periodic activity only in the second half.
+	for i := n / 2; i < n; i++ {
+		signal[i] = math.Sin(2 * math.Pi * 0.1 * float64(i))
+	}
+	spec, times, freq := Spectrogram(signal, 1, WelchConfig{SegmentSize: 256, Overlap: 0.5})
+	if len(spec) == 0 || len(spec[0]) != len(freq) || len(times) != len(spec) {
+		t.Fatalf("shape: %d rows, %d cols, %d times, %d freqs", len(spec), len(spec[0]), len(times), len(freq))
+	}
+	// Energy at 0.1 Hz should be concentrated in late windows.
+	k := 0
+	for i, f := range freq {
+		if math.Abs(f-0.1) < math.Abs(freq[k]-0.1) {
+			k = i
+		}
+	}
+	early, late := spec[0][k], spec[len(spec)-1][k]
+	if late <= early*10 {
+		t.Fatalf("late energy %g not dominant over early %g", late, early)
+	}
+	if s, _, _ := Spectrogram(make([]float64, 4), 1, WelchConfig{}); s != nil {
+		t.Fatal("short signal spectrogram should be nil")
+	}
+}

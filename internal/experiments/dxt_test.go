@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+)
+
+func TestDXTExperiment(t *testing.T) {
+	res, err := DXT(3, 15, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caveat: aggregate-only traces hide the periodicity entirely...
+	if res.AggregateRecall > 0.1 {
+		t.Fatalf("aggregate recall = %g, expected ~0 (hidden periodicity)", res.AggregateRecall)
+	}
+	// ...and land in write_steady, the category the paper flags.
+	if res.SteadyRate < 0.9 {
+		t.Fatalf("steady rate = %g, expected ~1", res.SteadyRate)
+	}
+	// DXT recovers it.
+	if res.DXTRecall < 0.9 {
+		t.Fatalf("DXT recall = %g, expected ~1", res.DXTRecall)
+	}
+	// Disabling DXT restores the aggregate behaviour.
+	if res.DXTDisabledRecall > 0.1 {
+		t.Fatalf("disabled-DXT recall = %g, expected ~0", res.DXTDisabledRecall)
+	}
+	if res.MeanPeriodError > 0.15 {
+		t.Fatalf("period error = %g", res.MeanPeriodError)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty output")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/mosaic-hpc/mosaic/internal/sched"
+)
+
+// Scheduling experiment: the paper's Section V application. A contended
+// workload (several heavy start-readers plus periodic checkpointers) runs
+// under FCFS and under a schedule built from MOSAIC categories
+// (staggering the input-read phases, interleaving checkpointers). The
+// measured I/O stall reduction is the value the categorization delivers.
+
+// SchedResult reports the policy comparison across several seeds.
+type SchedResult struct {
+	Trials         int
+	MeanStallFCFS  float64 // seconds per trial
+	MeanStallAware float64
+	StallReduction float64 // 1 - aware/fcfs
+	MakespanChange float64 // aware/fcfs - 1 (cost of staggering)
+	MeanSlowFCFS   float64
+	MeanSlowAware  float64
+}
+
+// Sched runs the comparison over `trials` jittered workloads.
+func Sched(seed int64, trials int) (*SchedResult, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	cfg := sched.Config{Slots: 32, PFSBandwidth: 20e9, JobBandwidth: 10e9}
+	spec := sched.DefaultWorkloadSpec()
+	stagger := spec.ReadBytes / cfg.JobBandwidth
+
+	res := &SchedResult{Trials: trials}
+	var makespanF, makespanA float64
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		jobs := sched.BuildWorkload(spec, rng)
+		cmp, err := sched.Compare(jobs, cfg, stagger)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sched trial %d: %w", i, err)
+		}
+		res.MeanStallFCFS += cmp.FCFS.StallTime
+		res.MeanStallAware += cmp.Aware.StallTime
+		res.MeanSlowFCFS += cmp.FCFS.MeanSlowdown
+		res.MeanSlowAware += cmp.Aware.MeanSlowdown
+		makespanF += cmp.FCFS.Makespan
+		makespanA += cmp.Aware.Makespan
+	}
+	n := float64(trials)
+	res.MeanStallFCFS /= n
+	res.MeanStallAware /= n
+	res.MeanSlowFCFS /= n
+	res.MeanSlowAware /= n
+	if res.MeanStallFCFS > 0 {
+		res.StallReduction = 1 - res.MeanStallAware/res.MeanStallFCFS
+	}
+	if makespanF > 0 {
+		res.MakespanChange = makespanA/makespanF - 1
+	}
+	return res, nil
+}
+
+// Write renders the result.
+func (r *SchedResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "I/O-aware scheduling (Section V application), %d trials\n", r.Trials)
+	fmt.Fprintf(w, "  cumulative I/O stall, FCFS            %8.0f s\n", r.MeanStallFCFS)
+	fmt.Fprintf(w, "  cumulative I/O stall, category-aware  %8.0f s\n", r.MeanStallAware)
+	fmt.Fprintf(w, "  stall reduction                       %8.1f%%\n", r.StallReduction*100)
+	fmt.Fprintf(w, "  mean job slowdown: FCFS %.2fx -> aware %.2fx\n", r.MeanSlowFCFS, r.MeanSlowAware)
+	fmt.Fprintf(w, "  makespan change from staggering       %+8.1f%%\n", r.MakespanChange*100)
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSchedExperiment(t *testing.T) {
+	res, err := Sched(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStallFCFS <= 0 {
+		t.Fatal("FCFS workload not contended")
+	}
+	if res.StallReduction < 0.3 {
+		t.Fatalf("stall reduction = %.2f, want >= 0.3", res.StallReduction)
+	}
+	if res.MakespanChange > 0.5 {
+		t.Fatalf("makespan regression %.2f too large", res.MakespanChange)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty output")
+	}
+}

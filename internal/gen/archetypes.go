@@ -1,0 +1,531 @@
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// Archetypes model the application families observed on Blue Waters. Each
+// archetype fixes per-application parameters once (an application behaves
+// the same across its executions — the hypothesis MOSAIC validates on
+// LAMMPS/NEK5000 in Section III-B1) and adds small per-run jitter.
+//
+// The AppShare/MeanRuns columns are calibrated so that the corpus
+// reproduces the paper's reported distributions. With apps-to-runs
+// expansion R/A ≈ 18, the run-share targets are (all-runs view):
+//
+//	read:  insignificant 27%, on_start 38%, steady 30%, others 5%
+//	write: insignificant 47%, on_end 14%, steady 37%, others 2%
+//	periodic writes 8%, metadata high_spike 60%, multiple_spikes 46%,
+//	high_density 13%
+//
+// and (single-run view) read insignificant 85%, read on_start 9%, write
+// on_end 8%, periodic apps 2%, P(write_on_end | read_on_start) = 66%.
+
+// AppParams are the per-application parameters drawn once and reused by
+// every execution of the application.
+type AppParams struct {
+	RuntimeBase float64 // typical runtime, seconds
+	Ranks       int32   // MPI ranks
+	Records     int     // records per I/O phase
+	Bytes       int64   // bytes per significant phase
+	Period      float64 // checkpoint period for periodic archetypes
+	BusyFrac    float64 // fraction of the period spent in the phase
+	Variant     int     // archetype-specific sub-behaviour selector
+}
+
+// Archetype is one application family.
+type Archetype struct {
+	Name     string
+	Exe      string  // executable name used for the trace
+	AppShare float64 // fraction of unique applications in the corpus
+	MeanRuns float64 // mean executions per application (geometric tail)
+	Params   func(rng *rand.Rand) AppParams
+	Build    func(b *Builder, p AppParams)
+}
+
+// Byte-size helpers.
+const (
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// Record-count regimes for metadata intent. With one OPEN and one SEEK per
+// record landing in the same second (collective open), `records` records
+// produce 2×records requests: ≥130 records crosses the 250 req/s
+// high-spike threshold with margin; ≤20 records stays under the 50 req/s
+// spike threshold.
+const (
+	recsHighSpike = 130
+	recsQuietMeta = 12
+)
+
+func uniformF(rng *rand.Rand, lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+func uniformI64(rng *rand.Rand, lo, hi int64) int64 { return lo + rng.Int63n(hi-lo+1) }
+
+// runJitter perturbs the per-app runtime for one execution.
+func runJitter(rng *rand.Rand, base float64) float64 {
+	return base * uniformF(rng, 0.9, 1.15)
+}
+
+// insignificantBytes returns a volume safely below the 100 MB threshold.
+func insignificantBytes(rng *rand.Rand) int64 { return uniformI64(rng, 1*mb, 40*mb) }
+
+// significantBytes returns a volume safely above the threshold.
+func significantBytes(rng *rand.Rand, scale int64) int64 {
+	return uniformI64(rng, 300*mb, scale)
+}
+
+// labelQuietData marks both directions insignificant.
+func labelQuietData(b *Builder) {
+	b.Label(category.Temporal(category.DirRead, category.Insignificant))
+	b.Label(category.Temporal(category.DirWrite, category.Insignificant))
+}
+
+// sustainedMetaChurn adds metadata traffic spread over the whole run at a
+// mean rate safely above the high-density threshold (50 req/s), and labels
+// the resulting categories. Each churn record is itself a >=250 req/s
+// spike.
+func sustainedMetaChurn(b *Builder) {
+	rt := b.Runtime()
+	records := 120 + b.Rng().Intn(80)
+	per := int64(75*rt/float64(records)) + 300
+	b.MetadataStorm(0.02*rt, 0.98*rt, records, per)
+	b.Label(category.MetaHighSpike, category.MetaMultipleSpikes, category.MetaHighDensity)
+}
+
+// quiet: negligible I/O — the bulk of unique applications (85%+ read
+// insignificant in Table III single-run).
+func quietArchetype() Archetype {
+	return Archetype{
+		Name: "quiet", Exe: "/apps/bin/solver", AppShare: 0.492, MeanRuns: 1.8,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 400, 14400),
+				Ranks:       int32(32 << rng.Intn(3)),
+				Records:     2 + rng.Intn(6),
+				Bytes:       insignificantBytes(rng),
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			b.Burst(BurstSpec{At: 0.01 * rt, Duration: 0.02 * rt, Bytes: p.Bytes / 2, Records: p.Records, Write: false})
+			b.Burst(BurstSpec{At: 0.9 * rt, Duration: 0.02 * rt, Bytes: p.Bytes / 2, Records: p.Records, Write: true, Module: darshan.ModSTDIO})
+			labelQuietData(b)
+			b.Label(category.MetaInsignificantLoad)
+		},
+	}
+}
+
+// quietLong: like quiet but mostly executed once with longer runs; kept
+// distinct so the dominant class has diversity.
+func quietLongArchetype() Archetype {
+	a := quietArchetype()
+	a.Name, a.Exe = "quiet-long", "/apps/bin/mdrun"
+	a.AppShare, a.MeanRuns = 0.284, 1.4
+	return a
+}
+
+// readerOnStart: loads a large input at the very beginning, computes, and
+// barely writes. Mirrors the dominant all-runs read behaviour (38%
+// read_on_start). Variants: 0-3 shared-file collective input (few
+// records, insignificant metadata), 4-6 file-per-process open storm (high
+// spike), 7-9 open storm plus sustained small-file churn (high spike +
+// high density) — the paper's observed correlation between metadata
+// density and read-on-start.
+func readerOnStartArchetype() Archetype {
+	return Archetype{
+		Name: "reader-onstart", Exe: "/apps/bin/milc", AppShare: 0.030, MeanRuns: 145,
+		Params: func(rng *rand.Rand) AppParams {
+			p := AppParams{
+				RuntimeBase: uniformF(rng, 900, 21600),
+				Ranks:       int32(128 << rng.Intn(2)),
+				Bytes:       significantBytes(rng, 80*gb),
+				Variant:     rng.Intn(10),
+			}
+			if p.Variant < 4 {
+				p.Records = 40 + rng.Intn(80) // shared-file collective read
+			} else {
+				// File per process: one record per rank, so the metadata
+				// traffic always exceeds the rank count.
+				p.Records = int(p.Ranks) + rng.Intn(60)
+			}
+			return p
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			dur := minF(120, 0.12*rt)
+			mod := darshan.ModPOSIX
+			if p.Variant < 4 {
+				mod = darshan.ModMPIIO // collective read of a shared dataset
+			}
+			b.Burst(BurstSpec{At: 0.01 * rt, Duration: dur, Bytes: p.Bytes, Records: p.Records, Desync: 0.05, Write: false, Shared: p.Variant < 4, Module: mod})
+			b.Burst(BurstSpec{At: 0.95 * rt, Duration: 0.01 * rt, Bytes: insignificantBytes(b.Rng()), Records: 4, Write: true})
+			b.Label(category.Temporal(category.DirRead, category.OnStart))
+			b.Label(category.Temporal(category.DirWrite, category.Insignificant))
+			switch {
+			case p.Variant < 4:
+				b.Label(category.MetaInsignificantLoad)
+			case p.Variant < 7:
+				b.Label(category.MetaHighSpike)
+			default:
+				b.Label(category.MetaHighSpike)
+				sustainedMetaChurn(b)
+			}
+		},
+	}
+}
+
+// readComputeWrite: the canonical read-compute-write pattern — read on
+// start, write on end. Two out of three read_on_start applications follow
+// it (the paper's 66% conditional). Variant 0-7: open storms at both ends;
+// 8-9: storms plus sustained metadata churn (density).
+func readComputeWriteArchetype() Archetype {
+	return Archetype{
+		Name: "read-compute-write", Exe: "/apps/bin/vasp", AppShare: 0.060, MeanRuns: 28,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 1200, 28800),
+				Ranks:       int32(128 << rng.Intn(3)),
+				Records:     recsHighSpike + rng.Intn(100),
+				Bytes:       significantBytes(rng, 40*gb),
+				Variant:     rng.Intn(10),
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			dur := minF(90, 0.1*rt)
+			b.Burst(BurstSpec{At: 0.01 * rt, Duration: dur, Bytes: p.Bytes, Records: p.Records, Desync: 0.05, Write: false})
+			b.Burst(BurstSpec{At: 0.85 * rt, Duration: minF(120, 0.1*rt), Bytes: p.Bytes / 2, Records: p.Records, Desync: 0.05, Write: true})
+			b.Label(category.Temporal(category.DirRead, category.OnStart))
+			b.Label(category.Temporal(category.DirWrite, category.OnEnd))
+			b.Label(category.MetaHighSpike)
+			if p.Variant >= 8 {
+				sustainedMetaChurn(b)
+			}
+		},
+	}
+}
+
+// writerOnEnd: computes from generated state and dumps results at the end;
+// modest rank counts keep the metadata load below every spike threshold.
+func writerOnEndArchetype() Archetype {
+	return Archetype{
+		Name: "writer-onend", Exe: "/apps/bin/chemshell", AppShare: 0.020, MeanRuns: 28,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 600, 14400),
+				Ranks:       64,
+				Records:     recsQuietMeta,
+				Bytes:       significantBytes(rng, 20*gb),
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			b.Burst(BurstSpec{At: 0.82 * rt, Duration: minF(180, 0.12*rt), Bytes: p.Bytes, Records: p.Records, Desync: 0.05, Write: true})
+			b.Burst(BurstSpec{At: 0.01 * rt, Duration: 0.01 * rt, Bytes: insignificantBytes(b.Rng()), Records: 4, Write: false})
+			b.Label(category.Temporal(category.DirRead, category.Insignificant))
+			b.Label(category.Temporal(category.DirWrite, category.OnEnd))
+			b.Label(category.MetaInsignificantLoad)
+		},
+	}
+}
+
+// steadyBoth: reads continuously through rotating input segments (the
+// segment windows touch, so merging restores one steady read operation
+// per the Darshan aggregated-record caveat) and keeps an output stream
+// open for the whole run. The per-rotation collective opens produce both
+// a high spike and multiple spikes — the association the paper notes
+// between steady behaviour and metadata spikes. The heaviest runs class
+// in the corpus.
+func steadyBothArchetype() Archetype {
+	return Archetype{
+		Name: "steady-both", Exe: "/apps/bin/nwchem", AppShare: 0.012, MeanRuns: 414,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 1800, 43200),
+				Ranks:       int32(128 << rng.Intn(2)),
+				Records:     recsHighSpike + rng.Intn(60), // per rotation
+				Bytes:       significantBytes(rng, 60*gb),
+				Variant:     8 + rng.Intn(5), // read rotations
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			n := p.Variant
+			per := rt / float64(n)
+			for i := 0; i < n; i++ {
+				b.Burst(BurstSpec{
+					At:       float64(i) * per,
+					Duration: per, // windows touch: merging yields one steady op
+					Bytes:    p.Bytes / int64(n),
+					Records:  p.Records,
+					Desync:   0.02,
+					Write:    false,
+				})
+			}
+			b.Steady(true, p.Bytes/2, p.Records/4)
+			b.Label(category.Temporal(category.DirRead, category.Steady))
+			b.Label(category.Temporal(category.DirWrite, category.Steady))
+			b.Label(category.MetaHighSpike, category.MetaMultipleSpikes)
+		},
+	}
+}
+
+// steadyReader: one whole-run aggregated read record per rank (files held
+// open throughout), insignificant writes, quiet metadata.
+func steadyReaderArchetype() Archetype {
+	return Archetype{
+		Name: "steady-reader", Exe: "/apps/bin/ingest", AppShare: 0.008, MeanRuns: 46,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 1800, 28800),
+				Ranks:       64,
+				Records:     recsQuietMeta,
+				Bytes:       significantBytes(rng, 30*gb),
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			b.Steady(false, p.Bytes, p.Records)
+			b.Burst(BurstSpec{At: 0.9 * b.Runtime(), Duration: 5, Bytes: insignificantBytes(b.Rng()), Records: 4, Write: true})
+			b.Label(category.Temporal(category.DirRead, category.Steady))
+			b.Label(category.Temporal(category.DirWrite, category.Insignificant))
+			b.Label(category.MetaInsignificantLoad)
+		},
+	}
+}
+
+// rotatedSteadyWriter: writes continuously but rotates output files every
+// tenth of the run. Neighbor merging fuses the rotations back into one
+// steady operation, while the per-rotation open bursts leave multiple
+// metadata spikes (below the high-spike threshold).
+func rotatedSteadyWriterArchetype() Archetype {
+	return Archetype{
+		Name: "rotated-steady-writer", Exe: "/apps/bin/wrf", AppShare: 0.014, MeanRuns: 26,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 3600, 43200),
+				Ranks:       int32(64 << rng.Intn(2)),
+				Records:     40 + rng.Intn(40),
+				Bytes:       significantBytes(rng, 100*gb),
+				Variant:     8 + rng.Intn(5), // rotations
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			n := p.Variant
+			per := rt / float64(n)
+			for i := 0; i < n; i++ {
+				b.Burst(BurstSpec{
+					At:       float64(i) * per,
+					Duration: per,
+					Bytes:    p.Bytes / int64(n),
+					Records:  p.Records,
+					Desync:   0.02,
+					Write:    true,
+				})
+			}
+			b.Burst(BurstSpec{At: 0.01 * rt, Duration: 0.01 * rt, Bytes: insignificantBytes(b.Rng()), Records: 4, Write: false})
+			b.Label(category.Temporal(category.DirRead, category.Insignificant))
+			b.Label(category.Temporal(category.DirWrite, category.Steady))
+			b.Label(category.MetaMultipleSpikes)
+		},
+	}
+}
+
+// checkpointer: the classic HPC simulation — periodic checkpoint writes
+// throughout the run. Period magnitude is minutes or hours depending on
+// the variant; each checkpoint's open burst is a metadata spike.
+func checkpointerArchetype(hourly bool) Archetype {
+	name, exe, share := "checkpointer-minute", "/apps/bin/lammps", 0.010
+	if hourly {
+		name, exe, share = "checkpointer-hour", "/apps/bin/nek5000", 0.006
+	}
+	return Archetype{
+		Name: name, Exe: exe, AppShare: share, MeanRuns: 66,
+		Params: func(rng *rand.Rand) AppParams {
+			p := AppParams{
+				Ranks:    int32(64 << rng.Intn(3)),
+				Records:  30 + rng.Intn(160),
+				Bytes:    significantBytes(rng, 8*gb),
+				BusyFrac: uniformF(rng, 0.03, 0.15),
+			}
+			if hourly {
+				p.Period = uniformF(rng, 4000, 9000)
+				p.RuntimeBase = p.Period * uniformF(rng, 9, 14)
+			} else {
+				p.Period = uniformF(rng, 90, 1500)
+				p.RuntimeBase = p.Period * uniformF(rng, 10, 30)
+			}
+			if rng.Float64() < 0.04 {
+				// Rare high-busy checkpointers: the paper reports 96% of
+				// periodic writers spend <25% of the time writing.
+				p.BusyFrac = uniformF(rng, 0.3, 0.45)
+			}
+			return p
+		},
+		Build: func(b *Builder, p AppParams) {
+			b.Periodic(PeriodicSpec{
+				Period: p.Period, PhaseFrac: p.BusyFrac, BytesPer: p.Bytes,
+				Records: p.Records, Jitter: 0.02, Write: true,
+			})
+			b.Burst(BurstSpec{At: 0.001 * b.Runtime(), Duration: 5, Bytes: insignificantBytes(b.Rng()), Records: 8, Write: false})
+			b.Label(category.Temporal(category.DirRead, category.Insignificant))
+			b.Label(category.Temporal(category.DirWrite, category.Steady))
+			b.Label(category.Periodic(category.DirWrite))
+			b.Label(category.PeriodicMagnitude(category.DirWrite, category.MagnitudeOf(p.Period)))
+			b.Label(category.PeriodicBusy(category.DirWrite, p.BusyFrac >= 0.25))
+			b.Annotate(TruthPeriodKey, formatSeconds(p.Period))
+			b.Label(category.MetaMultipleSpikes)
+			if p.Records >= recsHighSpike {
+				b.Label(category.MetaHighSpike)
+			}
+		},
+	}
+}
+
+// periodicReader: re-reads input at short regular intervals (seconds to
+// minutes) — e.g. iterative analysis sweeping a dataset.
+func periodicReaderArchetype() Archetype {
+	return Archetype{
+		Name: "periodic-reader", Exe: "/apps/bin/analysis", AppShare: 0.008, MeanRuns: 23,
+		Params: func(rng *rand.Rand) AppParams {
+			p := AppParams{
+				Ranks:    64,
+				Records:  30 + rng.Intn(40),
+				Bytes:    significantBytes(rng, 2*gb),
+				Period:   uniformF(rng, 8, 45),
+				BusyFrac: uniformF(rng, 0.05, 0.2),
+			}
+			p.RuntimeBase = p.Period * uniformF(rng, 15, 60)
+			return p
+		},
+		Build: func(b *Builder, p AppParams) {
+			b.Periodic(PeriodicSpec{
+				Period: p.Period, PhaseFrac: p.BusyFrac, BytesPer: p.Bytes,
+				Records: p.Records, Jitter: 0.02, Write: false,
+			})
+			b.Label(category.Temporal(category.DirRead, category.Steady))
+			b.Label(category.Temporal(category.DirWrite, category.Insignificant))
+			b.Label(category.Periodic(category.DirRead))
+			b.Label(category.PeriodicMagnitude(category.DirRead, category.MagnitudeOf(p.Period)))
+			b.Label(category.PeriodicBusy(category.DirRead, p.BusyFrac >= 0.25))
+			b.Annotate(TruthPeriodKey, formatSeconds(p.Period))
+			b.Label(category.MetaMultipleSpikes)
+		},
+	}
+}
+
+// metastorm: small-file churn — negligible data volume but a sustained
+// metadata request rate, driving the high_density category.
+func metastormArchetype() Archetype {
+	return Archetype{
+		Name: "metastorm", Exe: "/apps/bin/untar-stage", AppShare: 0.012, MeanRuns: 46,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 400, 1500),
+				Ranks:       64,
+				Records:     200 + rng.Intn(100),
+				Bytes:       insignificantBytes(rng),
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			// requestsPer × records / runtime >= 70 req/s mean with margin.
+			per := int64(70*rt/float64(p.Records)) + 300
+			b.MetadataStorm(0.01*rt, 0.99*rt, p.Records, per)
+			labelQuietData(b)
+			b.Label(category.MetaHighSpike, category.MetaMultipleSpikes, category.MetaHighDensity)
+		},
+	}
+}
+
+// miscTemporal covers the rarer temporality labels: after_start,
+// before_end, and after_start_before_end bursts (the "Others" column of
+// Table III).
+func miscTemporalArchetype() Archetype {
+	return Archetype{
+		Name: "misc-temporal", Exe: "/apps/bin/postproc", AppShare: 0.044, MeanRuns: 21,
+		Params: func(rng *rand.Rand) AppParams {
+			return AppParams{
+				RuntimeBase: uniformF(rng, 900, 14400),
+				Ranks:       64,
+				Records:     recsQuietMeta,
+				Bytes:       significantBytes(rng, 10*gb),
+				Variant:     rng.Intn(6),
+			}
+		},
+		Build: func(b *Builder, p AppParams) {
+			rt := b.Runtime()
+			write := p.Variant%2 == 1
+			dir := category.DirRead
+			if write {
+				dir = category.DirWrite
+			}
+			other := category.DirWrite
+			if write {
+				other = category.DirRead
+			}
+			dur := minF(120, 0.1*rt)
+			switch p.Variant / 2 {
+			case 0: // after_start: burst in the second quarter
+				b.Burst(BurstSpec{At: 0.3 * rt, Duration: dur, Bytes: p.Bytes, Records: p.Records, Write: write})
+				b.Label(category.Temporal(dir, category.AfterStart))
+			case 1: // before_end: burst in the third quarter
+				b.Burst(BurstSpec{At: 0.58 * rt, Duration: dur, Bytes: p.Bytes, Records: p.Records, Write: write})
+				b.Label(category.Temporal(dir, category.BeforeEnd))
+			default: // after_start_before_end: both interior quarters
+				b.Burst(BurstSpec{At: 0.3 * rt, Duration: dur, Bytes: p.Bytes / 2, Records: p.Records, Write: write})
+				b.Burst(BurstSpec{At: 0.58 * rt, Duration: dur, Bytes: p.Bytes / 2, Records: p.Records, Write: write})
+				b.Label(category.Temporal(dir, category.AfterStartBeforeEnd))
+			}
+			b.Label(category.Temporal(other, category.Insignificant))
+			b.Label(category.MetaInsignificantLoad)
+		},
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func formatSeconds(s float64) string {
+	return fmtFloat(s)
+}
+
+// DefaultArchetypes returns the corpus mixture calibrated so that the
+// harness reproduces the shape of the paper's Tables II/III and Figures
+// 3/4/5 (see DESIGN.md §4 for the per-experiment mapping).
+func DefaultArchetypes() []Archetype {
+	return []Archetype{
+		quietArchetype(),
+		quietLongArchetype(),
+		readerOnStartArchetype(),
+		readComputeWriteArchetype(),
+		writerOnEndArchetype(),
+		steadyBothArchetype(),
+		steadyReaderArchetype(),
+		rotatedSteadyWriterArchetype(),
+		checkpointerArchetype(false),
+		checkpointerArchetype(true),
+		periodicReaderArchetype(),
+		metastormArchetype(),
+		miscTemporalArchetype(),
+	}
+}
+
+// ArchetypeByName returns the named archetype from DefaultArchetypes.
+func ArchetypeByName(name string) (Archetype, bool) {
+	for _, a := range DefaultArchetypes() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Archetype{}, false
+}

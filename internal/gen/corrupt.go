@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// Corruption injection: mutates a valid trace into one the validation step
+// must evict, reproducing the damaged 32% of the Blue Waters corpus
+// (Figure 3). The canonical paper example — "a deallocation happens before
+// the end of the application's execution" — is covered by the
+// early-deallocation kind.
+
+// CorruptKinds is the number of distinct corruption mutations.
+const CorruptKinds = 5
+
+// Corrupt applies one randomly selected corruption to the job in place and
+// returns the mutation applied (index in [0, CorruptKinds)). Traces
+// emitted to JSON stay encodable: no NaN/Inf is introduced.
+func Corrupt(j *darshan.Job, rng *rand.Rand) int {
+	kind := rng.Intn(CorruptKinds)
+	switch kind {
+	case 0: // bad header: impossible runtime
+		j.Runtime = -1
+	case 1: // inverted timestamps on an active record
+		if r := pickActive(j, rng); r != nil {
+			if r.C.HasWrite() {
+				r.C.WriteStart, r.C.WriteEnd = r.C.WriteEnd+1, r.C.WriteStart
+			} else {
+				r.C.ReadStart, r.C.ReadEnd = r.C.ReadEnd+1, r.C.ReadStart
+			}
+		} else {
+			j.End = j.Start - 10
+		}
+	case 2: // early deallocation: closed before the I/O finished
+		if r := pickActive(j, rng); r != nil {
+			end := r.C.WriteEnd
+			if r.C.HasRead() && r.C.ReadEnd > end {
+				end = r.C.ReadEnd
+			}
+			r.C.Closes = maxI64(r.C.Closes, 1)
+			r.C.CloseStart = end - 2
+			r.C.CloseEnd = end - 1
+			if r.C.CloseStart < 0 {
+				r.C.CloseStart = 0
+			}
+			if r.C.CloseEnd < 0 {
+				r.C.CloseEnd = 0
+				r.C.CloseStart = 0
+				// Ensure strict "before end" even for tiny windows.
+				if r.C.HasWrite() {
+					r.C.WriteEnd += 2
+				} else {
+					r.C.ReadEnd += 2
+				}
+			}
+		} else {
+			j.Runtime = 0
+		}
+	case 3: // activity recorded past the end of the execution
+		if r := pickActive(j, rng); r != nil {
+			if r.C.HasWrite() {
+				r.C.WriteEnd = j.Runtime + 30
+				if r.C.Closes > 0 && r.C.CloseEnd < r.C.WriteEnd {
+					r.C.CloseEnd = r.C.WriteEnd + 1
+					r.C.CloseStart = r.C.WriteEnd
+				}
+			} else {
+				r.C.ReadEnd = j.Runtime + 30
+				if r.C.Closes > 0 && r.C.CloseEnd < r.C.ReadEnd {
+					r.C.CloseEnd = r.C.ReadEnd + 1
+					r.C.CloseStart = r.C.ReadEnd
+				}
+			}
+		} else {
+			j.Runtime = -1
+		}
+	default: // negative counter
+		if len(j.Records) > 0 {
+			r := &j.Records[rng.Intn(len(j.Records))]
+			r.C.BytesRead = -int64(rng.Intn(1000) + 1)
+		} else {
+			j.NProcs = 0
+		}
+	}
+	return kind
+}
+
+func pickActive(j *darshan.Job, rng *rand.Rand) *darshan.FileRecord {
+	if len(j.Records) == 0 {
+		return nil
+	}
+	start := rng.Intn(len(j.Records))
+	for i := 0; i < len(j.Records); i++ {
+		r := &j.Records[(start+i)%len(j.Records)]
+		if r.C.HasRead() || r.C.HasWrite() {
+			return r
+		}
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

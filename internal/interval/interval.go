@@ -1,0 +1,259 @@
+// Package interval provides time-interval algebra used by the MOSAIC
+// pre-processing stage: overlap tests, unions, and the two merging
+// algorithms of the paper (concurrent-operation merging and neighbor
+// merging, Section III-B2).
+//
+// All times are float64 seconds relative to the start of the job, which
+// matches the semantics of Darshan's timing counters.
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a half-open time span [Start, End) with an associated byte
+// volume and a count of metadata requests (OPEN/CLOSE/SEEK) attributed to
+// the operation. Volume and Meta are additive under merging.
+type Interval struct {
+	Start float64 // seconds since job start
+	End   float64 // seconds since job start, End >= Start
+	Bytes int64   // bytes moved during the operation
+	Meta  int64   // metadata requests attributed to the operation
+}
+
+// ErrInvalid reports a malformed interval (NaN, negative duration, ...).
+var ErrInvalid = errors.New("interval: invalid interval")
+
+// Duration returns End - Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Valid reports whether the interval is well formed: finite bounds,
+// non-negative duration, non-negative volume and metadata count.
+func (iv Interval) Valid() bool {
+	if math.IsNaN(iv.Start) || math.IsNaN(iv.End) {
+		return false
+	}
+	if math.IsInf(iv.Start, 0) || math.IsInf(iv.End, 0) {
+		return false
+	}
+	return iv.End >= iv.Start && iv.Bytes >= 0 && iv.Meta >= 0
+}
+
+// Check returns a descriptive error if the interval is not well formed.
+func (iv Interval) Check() error {
+	if !iv.Valid() {
+		return fmt.Errorf("%w: [%g, %g) bytes=%d meta=%d", ErrInvalid, iv.Start, iv.End, iv.Bytes, iv.Meta)
+	}
+	return nil
+}
+
+// Overlaps reports whether two intervals share at least one instant.
+// Touching intervals ([0,1) and [1,2)) do not overlap.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Contains reports whether t lies within [Start, End).
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
+
+// Gap returns the distance between two disjoint intervals, or 0 when they
+// overlap or touch.
+func (iv Interval) Gap(other Interval) float64 {
+	switch {
+	case iv.End <= other.Start:
+		return other.Start - iv.End
+	case other.End <= iv.Start:
+		return iv.Start - other.End
+	default:
+		return 0
+	}
+}
+
+// Union returns the smallest interval covering both operands, with volumes
+// and metadata counts summed. It is the primitive used by both merging
+// algorithms.
+func (iv Interval) Union(other Interval) Interval {
+	return Interval{
+		Start: math.Min(iv.Start, other.Start),
+		End:   math.Max(iv.End, other.End),
+		Bytes: iv.Bytes + other.Bytes,
+		Meta:  iv.Meta + other.Meta,
+	}
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.3fs, %.3fs) %dB %dmeta", iv.Start, iv.End, iv.Bytes, iv.Meta)
+}
+
+// SortByStart sorts intervals in place by (Start, End).
+func SortByStart(ivs []Interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		return ivs[i].End < ivs[j].End
+	})
+}
+
+// TotalBytes sums the byte volume of all intervals.
+func TotalBytes(ivs []Interval) int64 {
+	var n int64
+	for _, iv := range ivs {
+		n += iv.Bytes
+	}
+	return n
+}
+
+// TotalMeta sums the metadata requests of all intervals.
+func TotalMeta(ivs []Interval) int64 {
+	var n int64
+	for _, iv := range ivs {
+		n += iv.Meta
+	}
+	return n
+}
+
+// BusyTime returns the cumulative duration of all intervals. On merged
+// (disjoint) interval sets it equals the time the application spent doing
+// I/O, used for the periodic_{low,high}_busy_time categories.
+func BusyTime(ivs []Interval) float64 {
+	var d float64
+	for _, iv := range ivs {
+		d += iv.Duration()
+	}
+	return d
+}
+
+// Span returns the interval covering all operations: from the earliest
+// start to the latest end. Span of an empty set is the zero Interval.
+func Span(ivs []Interval) Interval {
+	if len(ivs) == 0 {
+		return Interval{}
+	}
+	sp := Interval{Start: math.Inf(1), End: math.Inf(-1)}
+	for _, iv := range ivs {
+		sp.Start = math.Min(sp.Start, iv.Start)
+		sp.End = math.Max(sp.End, iv.End)
+	}
+	return sp
+}
+
+// MergeConcurrent implements algorithm (2)(a) of the paper: any two
+// overlapping operations are fused into one. The result is a sorted set of
+// pairwise disjoint intervals whose total volume equals the input's.
+//
+// This manages rank desynchronization: several processes writing to the
+// same file slightly out of step appear as a single logical operation. It
+// also declutters the trace so that segmentation sees one event per I/O
+// phase. The input slice is not modified.
+func MergeConcurrent(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	SortByStart(sorted)
+
+	out := make([]Interval, 0, len(sorted))
+	cur := sorted[0]
+	for _, iv := range sorted[1:] {
+		if cur.Overlaps(iv) || iv.Start == cur.End {
+			// Overlapping (or exactly abutting) operations belong to
+			// the same I/O phase.
+			cur = cur.Union(iv)
+			continue
+		}
+		out = append(out, cur)
+		cur = iv
+	}
+	return append(out, cur)
+}
+
+// NeighborPolicy holds the thresholds of algorithm (2)(b). A gap between
+// two consecutive operations is negligible — and the operations are merged
+// — when it is shorter than RuntimeFraction of the job runtime OR shorter
+// than NeighborFraction of the duration of the adjacent merged operation.
+type NeighborPolicy struct {
+	RuntimeFraction  float64 // paper default: 0.001 (0.1% of total execution time)
+	NeighborFraction float64 // paper default: 0.01  (1% of neighbor merged op duration)
+}
+
+// DefaultNeighborPolicy returns the thresholds used in the paper.
+func DefaultNeighborPolicy() NeighborPolicy {
+	return NeighborPolicy{RuntimeFraction: 0.001, NeighborFraction: 0.01}
+}
+
+// MergeNeighbors implements algorithm (2)(b): consecutive operations whose
+// separating gap is negligible under the policy are fused. The input must
+// be sorted and disjoint (i.e. the output of MergeConcurrent); runtime is
+// the total execution time of the job.
+//
+// Operations that slide slowly out of sync — no longer overlapping but
+// still close — are re-attached to the same logical phase here.
+func MergeNeighbors(ivs []Interval, runtime float64, p NeighborPolicy) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := make([]Interval, 0, len(ivs))
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		gap := cur.Gap(iv)
+		if gap <= p.RuntimeFraction*runtime || gap <= p.NeighborFraction*cur.Duration() {
+			cur = cur.Union(iv)
+			continue
+		}
+		out = append(out, cur)
+		cur = iv
+	}
+	return append(out, cur)
+}
+
+// Merge applies both merging algorithms in order, as the MOSAIC
+// pre-processing does: concurrent merging first, then neighbor merging.
+func Merge(ivs []Interval, runtime float64, p NeighborPolicy) []Interval {
+	return MergeNeighbors(MergeConcurrent(ivs), runtime, p)
+}
+
+// Clip restricts every interval to [0, runtime), dropping intervals that
+// fall entirely outside. Used to sanitize slightly out-of-range trace
+// entries that are not corrupted enough to evict.
+func Clip(ivs []Interval, runtime float64) []Interval {
+	out := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.End <= 0 || iv.Start >= runtime {
+			continue
+		}
+		if iv.Start < 0 {
+			iv.Start = 0
+		}
+		if iv.End > runtime {
+			iv.End = runtime
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Disjoint reports whether the (sorted) intervals are pairwise disjoint.
+func Disjoint(ivs []Interval) bool {
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i-1].Overlaps(ivs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted reports whether the intervals are sorted by (Start, End).
+func Sorted(ivs []Interval) bool {
+	return sort.SliceIsSorted(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		return ivs[i].End < ivs[j].End
+	})
+}

@@ -1,0 +1,169 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+)
+
+// Machine-readable exports of MOSAIC's output (step 4): per-trace JSON —
+// as the paper's implementation produced — plus CSV views of the
+// aggregate tables for spreadsheet/plotting pipelines.
+
+// Export is the JSON document written for one analyzed corpus.
+type Export struct {
+	Funnel  core.FunnelStats `json:"funnel"`
+	Apps    []ExportApp      `json:"apps"`
+	Summary ExportSummary    `json:"summary"`
+}
+
+// ExportApp is one deduplicated application in the export.
+type ExportApp struct {
+	Result *core.Result `json:"result"`
+	Runs   int          `json:"runs"`
+}
+
+// ExportSummary carries the aggregate distributions.
+type ExportSummary struct {
+	Apps         int                `json:"apps"`
+	Runs         int                `json:"runs"`
+	SingleRates  map[string]float64 `json:"single_rates"`
+	AllRates     map[string]float64 `json:"all_rates"`
+	Correlations Correlations       `json:"correlations"`
+	JaccardPairs []ExportPair       `json:"jaccard_pairs"`
+}
+
+// ExportPair is one significant Jaccard pair.
+type ExportPair struct {
+	A       string  `json:"a"`
+	B       string  `json:"b"`
+	Jaccard float64 `json:"jaccard"`
+}
+
+// BuildExport assembles the export document from a funnel, per-app
+// results and an aggregator. pairThreshold filters the Jaccard pair list
+// (the paper's Figure 5 shows values above 1%).
+func BuildExport(funnel core.FunnelStats, apps []ExportApp, agg *Aggregator, pairThreshold float64) *Export {
+	summary := ExportSummary{
+		Apps:         agg.Apps(),
+		Runs:         agg.Runs(),
+		SingleRates:  map[string]float64{},
+		AllRates:     map[string]float64{},
+		Correlations: agg.Correlations(),
+	}
+	for _, c := range category.All() {
+		if r := agg.SingleRate(c); r > 0 {
+			summary.SingleRates[string(c)] = r
+		}
+		if r := agg.AllRate(c); r > 0 {
+			summary.AllRates[string(c)] = r
+		}
+	}
+	for _, p := range agg.Co().TopPairs(pairThreshold) {
+		summary.JaccardPairs = append(summary.JaccardPairs, ExportPair{
+			A: string(p.A), B: string(p.B), Jaccard: p.Jaccard,
+		})
+	}
+	return &Export{Funnel: funnel, Apps: apps, Summary: summary}
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadExport parses a JSON export document.
+func ReadExport(r io.Reader) (*Export, error) {
+	var e Export
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("report: decoding export: %w", err)
+	}
+	return &e, nil
+}
+
+// WriteCategoriesCSV writes one row per category with single-run and
+// all-runs rates: the data behind Tables II/III and Figure 4.
+func WriteCategoriesCSV(w io.Writer, agg *Aggregator) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"category", "axis", "direction", "single_rate", "all_rate"}); err != nil {
+		return err
+	}
+	for _, c := range category.All() {
+		single, all := agg.SingleRate(c), agg.AllRate(c)
+		if single == 0 && all == 0 {
+			continue
+		}
+		rec := []string{
+			string(c),
+			c.Axis().String(),
+			c.Direction().String(),
+			strconv.FormatFloat(single, 'f', 6, 64),
+			strconv.FormatFloat(all, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJaccardCSV writes the full pairwise Jaccard matrix in long form:
+// one row per (a, b) pair with index >= threshold — the data behind
+// Figure 5.
+func WriteJaccardCSV(w io.Writer, agg *Aggregator, threshold float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"category_a", "category_b", "jaccard"}); err != nil {
+		return err
+	}
+	for _, p := range agg.Co().TopPairs(threshold) {
+		rec := []string{string(p.A), string(p.B), strconv.FormatFloat(p.Jaccard, 'f', 6, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAppsCSV writes one row per application: identity, run count,
+// volumes, dominant period and assigned categories. The flat file a
+// scheduler integration would ingest.
+func WriteAppsCSV(w io.Writer, apps []ExportApp) error {
+	cw := csv.NewWriter(w)
+	header := []string{"user", "app", "runs", "nprocs", "runtime_s",
+		"bytes_read", "bytes_written", "write_period_s", "read_period_s", "categories"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, a := range apps {
+		r := a.Result
+		if r == nil {
+			continue
+		}
+		rec := []string{
+			r.User,
+			r.App,
+			strconv.Itoa(a.Runs),
+			strconv.Itoa(int(r.NProcs)),
+			strconv.FormatFloat(r.Runtime, 'f', 1, 64),
+			strconv.FormatInt(r.Read.TotalBytes, 10),
+			strconv.FormatInt(r.Write.TotalBytes, 10),
+			strconv.FormatFloat(r.Write.DominantPeriod(), 'f', 1, 64),
+			strconv.FormatFloat(r.Read.DominantPeriod(), 'f', 1, 64),
+			r.Categories.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

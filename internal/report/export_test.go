@@ -1,0 +1,180 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"image/png"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+)
+
+func exportFixture() (*Aggregator, []ExportApp, core.FunnelStats) {
+	agg := NewAggregator()
+	apps := []ExportApp{
+		{Result: resultWith(1,
+			category.Temporal(category.DirRead, category.OnStart),
+			category.Temporal(category.DirWrite, category.OnEnd),
+			category.MetaHighSpike), Runs: 5},
+		{Result: resultWith(2,
+			category.Temporal(category.DirRead, category.Insignificant),
+			category.Temporal(category.DirWrite, category.Insignificant),
+			category.Periodic(category.DirWrite)), Runs: 2},
+	}
+	for _, a := range apps {
+		agg.Add(a.Result, a.Runs)
+	}
+	funnel := core.FunnelStats{Total: 10, Corrupted: 3, Valid: 7, UniqueApps: 2,
+		ByReason: map[string]int{"bad_header": 3}}
+	return agg, apps, funnel
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	agg, apps, funnel := exportFixture()
+	e := BuildExport(funnel, apps, agg, 0.01)
+	if e.Summary.Apps != 2 || e.Summary.Runs != 7 {
+		t.Fatalf("summary = %+v", e.Summary)
+	}
+	if len(e.Summary.SingleRates) == 0 || len(e.Summary.JaccardPairs) == 0 {
+		t.Fatal("summary rates/pairs missing")
+	}
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Funnel.Total != 10 || len(back.Apps) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Summary.SingleRates["read_on_start"] != 0.5 {
+		t.Fatalf("rates = %v", back.Summary.SingleRates)
+	}
+}
+
+func TestReadExportRejectsGarbage(t *testing.T) {
+	if _, err := ReadExport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteCategoriesCSV(t *testing.T) {
+	agg, _, _ := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteCategoriesCSV(&buf, agg); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 { // header + at least 3 populated categories
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "category" || rows[0][3] != "single_rate" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	found := false
+	for _, r := range rows[1:] {
+		if r[0] == "read_on_start" {
+			found = true
+			if r[1] != "temporality" || r[2] != "read" {
+				t.Fatalf("row = %v", r)
+			}
+			if r[3] != "0.500000" {
+				t.Fatalf("single rate = %s", r[3])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("read_on_start row missing")
+	}
+}
+
+func TestWriteJaccardCSV(t *testing.T) {
+	agg, _, _ := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteJaccardCSV(&buf, agg, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestWriteAppsCSV(t *testing.T) {
+	_, apps, _ := exportFixture()
+	apps = append(apps, ExportApp{Result: nil, Runs: 3}) // must be skipped
+	var buf bytes.Buffer
+	if err := WriteAppsCSV(&buf, apps); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 apps
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][2] != "5" {
+		t.Fatalf("runs column = %s", rows[1][2])
+	}
+	if !strings.Contains(rows[1][9], "read_on_start") {
+		t.Fatalf("categories column = %s", rows[1][9])
+	}
+}
+
+func TestHeatmapPNG(t *testing.T) {
+	agg, _, _ := exportFixture()
+	var buf bytes.Buffer
+	if err := HeatmapPNG(&buf, agg, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("invalid PNG: %v", err)
+	}
+	if img.Bounds().Dx() < 10 || img.Bounds().Dx() != img.Bounds().Dy() {
+		t.Fatalf("bounds = %v", img.Bounds())
+	}
+	// No populated categories above an impossible rate: error.
+	if err := HeatmapPNG(&buf, agg, 2, 8); err == nil {
+		t.Fatal("impossible rate accepted")
+	}
+}
+
+func TestMetadataBarsPNG(t *testing.T) {
+	agg, _, _ := exportFixture()
+	var buf bytes.Buffer
+	if err := MetadataBarsPNG(&buf, agg); err != nil {
+		t.Fatal(err)
+	}
+	cfgImg, err := png.DecodeConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgImg.Width != 420 {
+		t.Fatalf("width = %d", cfgImg.Width)
+	}
+	if err := BarsPNG(&buf, nil, 8, 100); err == nil {
+		t.Fatal("empty values accepted")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	lo, mid, hi := ramp(0), ramp(0.5), ramp(1)
+	if lo == hi || mid == lo || mid == hi {
+		t.Fatal("ramp not monotone-ish")
+	}
+	if ramp(-1) != lo || ramp(2) != hi {
+		t.Fatal("ramp clamping")
+	}
+}

@@ -1,0 +1,384 @@
+// Package sched implements a discrete-event simulator of jobs sharing a
+// parallel file system, used to evaluate the scheduling application the
+// paper motivates: categorization-aware placement that avoids I/O
+// interference ("two jobs categorized as reading large volumes of data at
+// the start of execution could be scheduled so as not to overlap",
+// Section V).
+//
+// The model is deliberately simple — the goal is to measure the *relative*
+// benefit of using MOSAIC categories, not to simulate Lustre: jobs are
+// sequences of compute and I/O phases; concurrent I/O phases share the
+// PFS bandwidth fairly; an I/O phase stretches proportionally to the
+// contention it experiences. Compute capacity is modelled as a bounded
+// number of slots.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Phase is one step of a job: Compute seconds of CPU work, or an I/O
+// transfer of Bytes at the job's native bandwidth.
+type Phase struct {
+	Compute float64 // seconds of computation (0 for I/O phases)
+	Bytes   float64 // bytes transferred (0 for compute phases)
+}
+
+// IsIO reports whether the phase does I/O.
+func (p Phase) IsIO() bool { return p.Bytes > 0 }
+
+// Job is a simulated application: its phases plus the MOSAIC categories
+// that a scheduler may exploit.
+type Job struct {
+	ID     int
+	Phases []Phase
+	// Hints available to category-aware policies.
+	ReadOnStart   bool    // heavy read in the first phase
+	PeriodicWrite bool    // checkpoint-style periodic writes
+	Period        float64 // detected checkpoint period, seconds
+}
+
+// Duration returns the job's ideal runtime on an uncontended system with
+// the given per-job bandwidth.
+func (j *Job) Duration(bw float64) float64 {
+	var d float64
+	for _, p := range j.Phases {
+		if p.IsIO() {
+			d += p.Bytes / bw
+		} else {
+			d += p.Compute
+		}
+	}
+	return d
+}
+
+// Config describes the simulated platform.
+type Config struct {
+	Slots        int     // concurrent job slots (compute nodes groups)
+	PFSBandwidth float64 // aggregate PFS bandwidth, bytes/s
+	JobBandwidth float64 // max bandwidth one job can draw, bytes/s
+}
+
+// Validate checks the platform description.
+func (c Config) Validate() error {
+	if c.Slots < 1 {
+		return errors.New("sched: need at least one slot")
+	}
+	if c.PFSBandwidth <= 0 || c.JobBandwidth <= 0 {
+		return errors.New("sched: bandwidths must be positive")
+	}
+	return nil
+}
+
+// Metrics summarizes one simulation.
+type Metrics struct {
+	Makespan     float64 // time until the last job finishes
+	TotalIOTime  float64 // cumulative wall time jobs spent in I/O phases
+	IdealIOTime  float64 // same, had every transfer run at full job bandwidth
+	StallTime    float64 // TotalIOTime - IdealIOTime: time lost to contention
+	MeanSlowdown float64 // mean of per-job (actual runtime / ideal runtime)
+	PeakDemand   float64 // peak instantaneous bandwidth demand / PFS bandwidth
+}
+
+// Stretch returns the aggregate I/O stretch factor (1 = no contention).
+func (m Metrics) Stretch() float64 {
+	if m.IdealIOTime == 0 {
+		return 1
+	}
+	return m.TotalIOTime / m.IdealIOTime
+}
+
+// state of one running job inside the simulator.
+type running struct {
+	job       *Job
+	phase     int
+	remaining float64 // seconds of compute, or bytes of I/O, left in the phase
+	started   float64
+	ioTime    float64
+}
+
+// Order is a start schedule: Delay[i] is the earliest time job i may
+// start (on top of slot availability). Policies produce Orders.
+type Order struct {
+	Sequence []int     // submission order (indices into the job slice)
+	Delay    []float64 // per-job release offsets, aligned with Sequence
+}
+
+// Simulate runs the jobs through the platform honoring the order and
+// returns the metrics. Event-driven: between events, every active I/O
+// phase progresses at bandwidth min(JobBandwidth, PFS/activeIO).
+func Simulate(jobs []*Job, cfg Config, order Order) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if len(order.Sequence) != len(jobs) || len(order.Delay) != len(jobs) {
+		return Metrics{}, fmt.Errorf("sched: order covers %d/%d jobs", len(order.Sequence), len(jobs))
+	}
+
+	type pending struct {
+		job     *Job
+		release float64
+	}
+	queue := make([]pending, len(order.Sequence))
+	for qi, ji := range order.Sequence {
+		if ji < 0 || ji >= len(jobs) {
+			return Metrics{}, fmt.Errorf("sched: order references job %d", ji)
+		}
+		queue[qi] = pending{job: jobs[ji], release: order.Delay[qi]}
+	}
+
+	var (
+		now     float64
+		active  []*running
+		metrics Metrics
+		slowSum float64
+		done    int
+	)
+	const eps = 1e-9
+
+	startEligible := func() {
+		for len(active) < cfg.Slots && len(queue) > 0 && queue[0].release <= now+eps {
+			j := queue[0]
+			queue = queue[1:]
+			r := &running{job: j.job, started: now}
+			if len(j.job.Phases) > 0 {
+				ph := j.job.Phases[0]
+				if ph.IsIO() {
+					r.remaining = ph.Bytes
+				} else {
+					r.remaining = ph.Compute
+				}
+			}
+			active = append(active, r)
+		}
+	}
+
+	ioBandwidth := func(nIO int) float64 {
+		if nIO == 0 {
+			return 0
+		}
+		return math.Min(cfg.JobBandwidth, cfg.PFSBandwidth/float64(nIO))
+	}
+
+	for done < len(jobs) {
+		startEligible()
+		if len(active) == 0 {
+			// Idle until the next release.
+			if len(queue) == 0 {
+				return Metrics{}, errors.New("sched: deadlock — no active jobs and empty queue")
+			}
+			if queue[0].release > now {
+				now = queue[0].release
+			}
+			continue
+		}
+		// Count active I/O phases to size the fair share.
+		nIO := 0
+		for _, r := range active {
+			if r.phase < len(r.job.Phases) && r.job.Phases[r.phase].IsIO() {
+				nIO++
+			}
+		}
+		bw := ioBandwidth(nIO)
+		if demand := float64(nIO) * cfg.JobBandwidth / cfg.PFSBandwidth; demand > metrics.PeakDemand {
+			metrics.PeakDemand = demand
+		}
+
+		// Time to the next phase completion.
+		dt := math.Inf(1)
+		for _, r := range active {
+			if r.phase >= len(r.job.Phases) {
+				dt = 0
+				break
+			}
+			ph := r.job.Phases[r.phase]
+			var t float64
+			if ph.IsIO() {
+				t = r.remaining / bw
+			} else {
+				t = r.remaining
+			}
+			if t < dt {
+				dt = t
+			}
+		}
+		// Next queue release can also be the next event.
+		if len(queue) > 0 && len(active) < cfg.Slots {
+			if t := queue[0].release - now; t >= 0 && t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return Metrics{}, errors.New("sched: no progress possible")
+		}
+
+		// Advance all active jobs by dt.
+		now += dt
+		keep := active[:0]
+		for _, r := range active {
+			if r.phase < len(r.job.Phases) {
+				ph := r.job.Phases[r.phase]
+				if ph.IsIO() {
+					r.remaining -= bw * dt
+					r.ioTime += dt
+				} else {
+					r.remaining -= dt
+				}
+				for r.phase < len(r.job.Phases) && r.remaining <= eps {
+					r.phase++
+					if r.phase < len(r.job.Phases) {
+						nph := r.job.Phases[r.phase]
+						if nph.IsIO() {
+							r.remaining = nph.Bytes
+						} else {
+							r.remaining = nph.Compute
+						}
+					}
+				}
+			}
+			if r.phase >= len(r.job.Phases) {
+				// Job finished.
+				metrics.TotalIOTime += r.ioTime
+				ideal := r.job.Duration(cfg.JobBandwidth)
+				metrics.IdealIOTime += idealIO(r.job, cfg.JobBandwidth)
+				actual := now - r.started
+				if ideal > 0 {
+					slowSum += actual / ideal
+				} else {
+					slowSum++
+				}
+				done++
+				continue
+			}
+			keep = append(keep, r)
+		}
+		active = keep
+	}
+	metrics.Makespan = now
+	metrics.StallTime = metrics.TotalIOTime - metrics.IdealIOTime
+	if metrics.StallTime < 0 {
+		metrics.StallTime = 0
+	}
+	metrics.MeanSlowdown = slowSum / float64(len(jobs))
+	return metrics, nil
+}
+
+func idealIO(j *Job, bw float64) float64 {
+	var t float64
+	for _, p := range j.Phases {
+		if p.IsIO() {
+			t += p.Bytes / bw
+		}
+	}
+	return t
+}
+
+// ---- Policies -----------------------------------------------------------
+
+// FCFS releases every job immediately in submission order: the baseline.
+func FCFS(jobs []*Job) Order {
+	o := Order{Sequence: make([]int, len(jobs)), Delay: make([]float64, len(jobs))}
+	for i := range jobs {
+		o.Sequence[i] = i
+	}
+	return o
+}
+
+// CategoryAware builds a schedule from MOSAIC hints:
+//
+//   - jobs that read heavily on start are released with staggered offsets
+//     so their input phases do not overlap (the paper's Section V
+//     example);
+//   - periodic writers are interleaved between the start-readers so the
+//     PFS sees checkpoint traffic while readers compute;
+//   - everything else keeps FCFS order after them.
+//
+// stagger is the release offset between consecutive start-readers,
+// typically the duration of their read phase.
+func CategoryAware(jobs []*Job, stagger float64) Order {
+	var readers, periodic, rest []int
+	for i, j := range jobs {
+		switch {
+		case j.ReadOnStart:
+			readers = append(readers, i)
+		case j.PeriodicWrite:
+			periodic = append(periodic, i)
+		default:
+			rest = append(rest, i)
+		}
+	}
+	// Heaviest readers first: their staggering matters most.
+	sort.SliceStable(readers, func(a, b int) bool {
+		return startReadBytes(jobs[readers[a]]) > startReadBytes(jobs[readers[b]])
+	})
+	o := Order{}
+	for k, ji := range readers {
+		o.Sequence = append(o.Sequence, ji)
+		o.Delay = append(o.Delay, float64(k)*stagger)
+	}
+	for _, ji := range periodic {
+		o.Sequence = append(o.Sequence, ji)
+		o.Delay = append(o.Delay, 0)
+	}
+	phaseShiftPeriodic(jobs, &o, periodic)
+	for _, ji := range rest {
+		o.Sequence = append(o.Sequence, ji)
+		o.Delay = append(o.Delay, 0)
+	}
+	return o
+}
+
+// phaseShiftPeriodic desynchronizes checkpoint windows: periodic writers
+// whose detected periods agree within 20% are released with offsets of
+// period/n so their I/O phases interleave instead of colliding every
+// cycle. This uses the period magnitude MOSAIC computes per periodic
+// group (Section III-B3a).
+func phaseShiftPeriodic(jobs []*Job, o *Order, periodic []int) {
+	// Group by compatible period.
+	type group struct {
+		period  float64
+		members []int // positions in o.Sequence
+	}
+	var groups []*group
+	pos := map[int]int{}
+	for qi, ji := range o.Sequence {
+		pos[ji] = qi
+	}
+	for _, ji := range periodic {
+		p := jobs[ji].Period
+		if p <= 0 {
+			continue
+		}
+		var g *group
+		for _, cand := range groups {
+			if math.Abs(cand.period-p)/cand.period <= 0.2 {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{period: p}
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, pos[ji])
+	}
+	for _, g := range groups {
+		n := len(g.members)
+		if n < 2 {
+			continue
+		}
+		for k, qi := range g.members {
+			o.Delay[qi] = g.period * float64(k) / float64(n)
+		}
+	}
+}
+
+func startReadBytes(j *Job) float64 {
+	if len(j.Phases) > 0 && j.Phases[0].IsIO() {
+		return j.Phases[0].Bytes
+	}
+	return 0
+}

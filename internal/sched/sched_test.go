@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+func platform() Config {
+	return Config{Slots: 16, PFSBandwidth: 10e9, JobBandwidth: 5e9}
+}
+
+func TestSimulateSingleJobNoContention(t *testing.T) {
+	j := &Job{ID: 0, Phases: []Phase{{Bytes: 10e9}, {Compute: 100}}}
+	m, err := Simulate([]*Job{j}, platform(), FCFS([]*Job{j}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 GB at 5 GB/s = 2s I/O + 100s compute.
+	if math.Abs(m.Makespan-102) > 1e-6 {
+		t.Fatalf("makespan = %g, want 102", m.Makespan)
+	}
+	if m.StallTime > 1e-9 {
+		t.Fatalf("stall = %g on an idle system", m.StallTime)
+	}
+	if math.Abs(m.MeanSlowdown-1) > 1e-9 {
+		t.Fatalf("slowdown = %g", m.MeanSlowdown)
+	}
+}
+
+func TestSimulateContentionStretchesIO(t *testing.T) {
+	// Four jobs each demanding 5 GB/s on a 10 GB/s PFS: fair share
+	// 2.5 GB/s, so each 10 GB read takes 4s instead of 2s.
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, &Job{ID: i, Phases: []Phase{{Bytes: 10e9}}})
+	}
+	m, err := Simulate(jobs, platform(), FCFS(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Makespan-4) > 1e-6 {
+		t.Fatalf("makespan = %g, want 4", m.Makespan)
+	}
+	if m.Stretch() < 1.9 {
+		t.Fatalf("stretch = %g, want ~2", m.Stretch())
+	}
+	if m.StallTime <= 0 {
+		t.Fatal("no stall recorded under contention")
+	}
+}
+
+func TestSimulateSlotLimit(t *testing.T) {
+	cfg := platform()
+	cfg.Slots = 1
+	jobs := []*Job{
+		{ID: 0, Phases: []Phase{{Compute: 10}}},
+		{ID: 1, Phases: []Phase{{Compute: 10}}},
+	}
+	m, err := Simulate(jobs, cfg, FCFS(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Makespan-20) > 1e-6 {
+		t.Fatalf("makespan = %g, want 20 (serialized)", m.Makespan)
+	}
+}
+
+func TestSimulateHonorsDelays(t *testing.T) {
+	jobs := []*Job{
+		{ID: 0, Phases: []Phase{{Compute: 5}}},
+		{ID: 1, Phases: []Phase{{Compute: 5}}},
+	}
+	order := Order{Sequence: []int{0, 1}, Delay: []float64{0, 50}}
+	m, err := Simulate(jobs, platform(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Makespan-55) > 1e-6 {
+		t.Fatalf("makespan = %g, want 55", m.Makespan)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	jobs := []*Job{{ID: 0, Phases: []Phase{{Compute: 1}}}}
+	if _, err := Simulate(jobs, Config{}, FCFS(jobs)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Simulate(jobs, platform(), Order{}); err == nil {
+		t.Fatal("incomplete order accepted")
+	}
+	bad := Order{Sequence: []int{7}, Delay: []float64{0}}
+	if _, err := Simulate(jobs, platform(), bad); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+}
+
+func TestCategoryAwareBeatsFCFSOnContendedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jobs := BuildWorkload(DefaultWorkloadSpec(), rng)
+	cfg := Config{Slots: 32, PFSBandwidth: 20e9, JobBandwidth: 10e9}
+	// Stagger by roughly one uncontended input-read duration.
+	stagger := DefaultWorkloadSpec().ReadBytes / cfg.JobBandwidth
+	cmp, err := Compare(jobs, cfg, stagger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FCFS.StallTime <= 0 {
+		t.Fatal("workload not contended under FCFS; test is vacuous")
+	}
+	if cmp.Aware.StallTime >= cmp.FCFS.StallTime {
+		t.Fatalf("category-aware stall %.0fs not below FCFS %.0fs",
+			cmp.Aware.StallTime, cmp.FCFS.StallTime)
+	}
+	if cmp.StallReduction < 0.3 {
+		t.Fatalf("stall reduction = %.2f, want >= 0.3", cmp.StallReduction)
+	}
+	// Staggering must not explode the makespan (bounded regression).
+	if cmp.Aware.Makespan > cmp.FCFS.Makespan*1.5 {
+		t.Fatalf("makespan regression: %.0f vs %.0f", cmp.Aware.Makespan, cmp.FCFS.Makespan)
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	j := &darshan.Job{
+		JobID: 1, User: "u", Exe: "/bin/x", NProcs: 8,
+		Start: 0, End: 4000, Runtime: 4000,
+	}
+	j.Records = append(j.Records, darshan.FileRecord{
+		Module: darshan.ModPOSIX, Path: "/in",
+		C: darshan.Counters{Reads: 1, BytesRead: 1 << 30, ReadStart: 10, ReadEnd: 60},
+	})
+	res, err := core.Categorize(j, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := FromResult(res, 7)
+	if sj.ID != 7 || len(sj.Phases) == 0 {
+		t.Fatalf("job = %+v", sj)
+	}
+	if !sj.ReadOnStart {
+		t.Fatal("read-on-start hint lost")
+	}
+	var bytes float64
+	for _, p := range sj.Phases {
+		bytes += p.Bytes
+	}
+	if math.Abs(bytes-float64(1<<30)) > 1 {
+		t.Fatalf("phase bytes = %g", bytes)
+	}
+}
+
+func TestJobDuration(t *testing.T) {
+	j := &Job{Phases: []Phase{{Bytes: 10e9}, {Compute: 50}}}
+	if got := j.Duration(5e9); got != 52 {
+		t.Fatalf("duration = %g", got)
+	}
+}
+
+func TestCategoryAwareOrderShape(t *testing.T) {
+	jobs := []*Job{
+		{ID: 0},
+		{ID: 1, ReadOnStart: true, Phases: []Phase{{Bytes: 5e9}}},
+		{ID: 2, PeriodicWrite: true},
+		{ID: 3, ReadOnStart: true, Phases: []Phase{{Bytes: 9e9}}},
+	}
+	o := CategoryAware(jobs, 100)
+	if len(o.Sequence) != 4 {
+		t.Fatalf("sequence = %v", o.Sequence)
+	}
+	// Heaviest reader first, delays staggered.
+	if o.Sequence[0] != 3 || o.Sequence[1] != 1 {
+		t.Fatalf("reader order = %v", o.Sequence)
+	}
+	if o.Delay[0] != 0 || o.Delay[1] != 100 {
+		t.Fatalf("delays = %v", o.Delay)
+	}
+}
+
+func TestPhaseShiftPeriodicWriters(t *testing.T) {
+	// Four checkpointers sharing a 600s cadence: the aware policy must
+	// give them distinct release offsets spanning the period.
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, &Job{ID: i, PeriodicWrite: true, Period: 600,
+			Phases: []Phase{{Compute: 570}, {Bytes: 50e9}}})
+	}
+	o := CategoryAware(jobs, 0)
+	seen := map[float64]bool{}
+	for _, d := range o.Delay {
+		if seen[d] {
+			t.Fatalf("duplicate offset %g: %v", d, o.Delay)
+		}
+		seen[d] = true
+		if d < 0 || d >= 600 {
+			t.Fatalf("offset %g outside one period", d)
+		}
+	}
+	// Phase-shifting must reduce checkpoint collisions vs FCFS.
+	cfg := Config{Slots: 8, PFSBandwidth: 10e9, JobBandwidth: 8e9}
+	fcfs, err := Simulate(jobs, cfg, FCFS(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Simulate(jobs, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcfs.StallTime <= 0 {
+		t.Fatal("no FCFS contention; vacuous")
+	}
+	if aware.StallTime >= fcfs.StallTime*0.7 {
+		t.Fatalf("phase shift did not help: aware %.0fs vs fcfs %.0fs", aware.StallTime, fcfs.StallTime)
+	}
+}
+
+func TestPhaseShiftDistinctPeriodsUntouched(t *testing.T) {
+	jobs := []*Job{
+		{ID: 0, PeriodicWrite: true, Period: 100, Phases: []Phase{{Compute: 95}, {Bytes: 1e9}}},
+		{ID: 1, PeriodicWrite: true, Period: 900, Phases: []Phase{{Compute: 855}, {Bytes: 1e9}}},
+	}
+	o := CategoryAware(jobs, 0)
+	// Incompatible periods: no shifting applied.
+	for _, d := range o.Delay {
+		if d != 0 {
+			t.Fatalf("distinct-period writers should not be shifted: %v", o.Delay)
+		}
+	}
+}

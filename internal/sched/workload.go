@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"math/rand"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+)
+
+// Workload construction: turn MOSAIC categorization results into simulated
+// jobs, and synthesize mixed workloads for the scheduling experiment.
+
+// FromResult converts a categorized application into a simulator job: the
+// per-chunk volumes become alternating compute/I-O phases, and the
+// category hints are carried over for the policies.
+func FromResult(res *core.Result, id int) *Job {
+	j := &Job{ID: id}
+	rt := res.Runtime
+	chunkDur := rt / float64(maxI(1, len(res.Read.Chunks)))
+
+	// Interleave read and write chunk volumes along the timeline; chunks
+	// with negligible I/O become pure compute.
+	n := maxI(len(res.Read.Chunks), len(res.Write.Chunks))
+	for c := 0; c < n; c++ {
+		var bytes float64
+		if c < len(res.Read.Chunks) {
+			bytes += res.Read.Chunks[c]
+		}
+		if c < len(res.Write.Chunks) {
+			bytes += res.Write.Chunks[c]
+		}
+		if bytes > 0 {
+			j.Phases = append(j.Phases, Phase{Bytes: bytes})
+			// Remaining chunk time is computation.
+			j.Phases = append(j.Phases, Phase{Compute: chunkDur * 0.5})
+		} else {
+			j.Phases = append(j.Phases, Phase{Compute: chunkDur})
+		}
+	}
+	j.ReadOnStart = res.Read.TemporalS == "on_start"
+	j.PeriodicWrite = res.Write.Periodic()
+	j.Period = res.Write.DominantPeriod()
+	return j
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WorkloadSpec sizes a synthetic scheduling workload.
+type WorkloadSpec struct {
+	StartReaders  int     // jobs reading a large input at launch
+	Checkpointers int     // periodic writers
+	ComputeOnly   int     // jobs with negligible I/O
+	ReadBytes     float64 // input size per start-reader
+	CkptBytes     float64 // bytes per checkpoint
+	CkptPeriod    float64 // seconds between checkpoints
+	ComputeTime   float64 // compute time per job, seconds
+}
+
+// DefaultWorkloadSpec returns a contended mixture: several heavy
+// start-readers fighting for the PFS at launch plus background
+// checkpointers.
+func DefaultWorkloadSpec() WorkloadSpec {
+	return WorkloadSpec{
+		StartReaders:  6,
+		Checkpointers: 4,
+		ComputeOnly:   6,
+		ReadBytes:     400e9, // 400 GB input each
+		CkptBytes:     50e9,
+		CkptPeriod:    600,
+		ComputeTime:   3600,
+	}
+}
+
+// BuildWorkload synthesizes the jobs of a spec with mild jitter.
+func BuildWorkload(spec WorkloadSpec, rng *rand.Rand) []*Job {
+	var jobs []*Job
+	id := 0
+	jit := func(v float64) float64 { return v * (0.9 + rng.Float64()*0.2) }
+
+	for i := 0; i < spec.StartReaders; i++ {
+		jobs = append(jobs, &Job{
+			ID: id,
+			Phases: []Phase{
+				{Bytes: jit(spec.ReadBytes)},
+				{Compute: jit(spec.ComputeTime)},
+			},
+			ReadOnStart: true,
+		})
+		id++
+	}
+	for i := 0; i < spec.Checkpointers; i++ {
+		j := &Job{ID: id, PeriodicWrite: true, Period: spec.CkptPeriod}
+		total := jit(spec.ComputeTime)
+		for t := 0.0; t < total; t += spec.CkptPeriod {
+			j.Phases = append(j.Phases,
+				Phase{Compute: spec.CkptPeriod * 0.95},
+				Phase{Bytes: jit(spec.CkptBytes)},
+			)
+		}
+		jobs = append(jobs, j)
+		id++
+	}
+	for i := 0; i < spec.ComputeOnly; i++ {
+		jobs = append(jobs, &Job{
+			ID:     id,
+			Phases: []Phase{{Compute: jit(spec.ComputeTime)}},
+		})
+		id++
+	}
+	return jobs
+}
+
+// Comparison holds the FCFS vs category-aware results for one workload.
+type Comparison struct {
+	FCFS  Metrics
+	Aware Metrics
+	// StallReduction is 1 - aware.Stall/fcfs.Stall (0 when FCFS has none).
+	StallReduction float64
+	// SlowdownReduction compares mean slowdowns the same way.
+	SlowdownReduction float64
+}
+
+// Compare runs both policies on the same workload and platform. stagger
+// is the release offset the aware policy uses between start-readers.
+func Compare(jobs []*Job, cfg Config, stagger float64) (Comparison, error) {
+	fcfs, err := Simulate(jobs, cfg, FCFS(jobs))
+	if err != nil {
+		return Comparison{}, err
+	}
+	aware, err := Simulate(jobs, cfg, CategoryAware(jobs, stagger))
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{FCFS: fcfs, Aware: aware}
+	if fcfs.StallTime > 0 {
+		cmp.StallReduction = 1 - aware.StallTime/fcfs.StallTime
+	}
+	if fcfs.MeanSlowdown > 0 {
+		cmp.SlowdownReduction = 1 - aware.MeanSlowdown/fcfs.MeanSlowdown
+	}
+	return cmp, nil
+}

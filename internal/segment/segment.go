@@ -1,0 +1,243 @@
+// Package segment implements MOSAIC's trace segmentation and
+// segmentation-based periodic-operation detection (Section III-B3a).
+//
+// After merging, the trace is divided into segments: a segment starts at
+// the beginning of an I/O operation and ends at the beginning of the next
+// one (the last segment ends at the end of the execution). Each segment is
+// described by its duration and the volume of data moved by the operation
+// that opens it. Segments sharing comparable duration and volume are
+// grouped with Mean Shift; any group with more than one member is a
+// periodic operation.
+package segment
+
+import (
+	"math"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/cluster"
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+)
+
+// Segment spans from the start of one merged operation to the start of the
+// next.
+type Segment struct {
+	Op       interval.Interval // the operation opening the segment
+	Duration float64           // inter-arrival time to the next operation (or to end of run)
+}
+
+// Split segments a merged, sorted operation list. runtime closes the last
+// segment. Operations must be disjoint and sorted (the output of
+// interval.Merge); Split does not re-sort.
+func Split(ops []interval.Interval, runtime float64) []Segment {
+	segs := make([]Segment, len(ops))
+	for i, op := range ops {
+		end := runtime
+		if i+1 < len(ops) {
+			end = ops[i+1].Start
+		}
+		d := end - op.Start
+		if d < 0 {
+			d = 0
+		}
+		segs[i] = Segment{Op: op, Duration: d}
+	}
+	return segs
+}
+
+// FeatureConfig controls how segments are embedded into the 2D feature
+// space used for clustering.
+type FeatureConfig struct {
+	// Runtime normalizes segment durations so that the duration axis is
+	// a fraction of the execution. Must be > 0.
+	Runtime float64
+	// VolumeLogScale divides log2(1+bytes) to put the volume axis on a
+	// comparable scale; with the default 64, one unit spans the entire
+	// representable byte range, and a 2x volume change moves a point by
+	// 1/64 ≈ 0.016.
+	VolumeLogScale float64
+}
+
+// DefaultVolumeLogScale is the default divisor for the log-volume axis.
+const DefaultVolumeLogScale = 64
+
+// Features embeds segments as (duration/runtime, log2(1+bytes)/scale)
+// points. This scaling realizes the paper's "comparable duration and data
+// size" criterion: the Mean Shift bandwidth then expresses, in one number,
+// how much two occurrences of the same logical operation may drift apart
+// in time and volume.
+func Features(segs []Segment, cfg FeatureConfig) []cluster.Point {
+	scale := cfg.VolumeLogScale
+	if scale <= 0 {
+		scale = DefaultVolumeLogScale
+	}
+	rt := cfg.Runtime
+	if rt <= 0 {
+		rt = 1
+	}
+	pts := make([]cluster.Point, len(segs))
+	for i, s := range segs {
+		pts[i] = cluster.Point{
+			s.Duration / rt,
+			math.Log2(1+float64(s.Op.Bytes)) / scale,
+		}
+	}
+	return pts
+}
+
+// Group is a detected periodic operation: a cluster of at least two
+// segments with comparable duration and volume.
+type Group struct {
+	Count     int                      // number of occurrences
+	Period    float64                  // mean inter-arrival time, seconds
+	Magnitude category.PeriodMagnitude // order of magnitude of the period
+	MeanBytes float64                  // mean volume per occurrence
+	BusyRatio float64                  // mean fraction of the period spent doing I/O
+	Segments  []int                    // indices into the segment slice
+}
+
+// DetectConfig parametrizes periodic-group detection.
+type DetectConfig struct {
+	// Bandwidth is the Mean Shift bandwidth in feature-space units
+	// (default 0.05 — set empirically like the paper's thresholds:
+	// occurrences may drift by 5% of the runtime in cadence or ~8x in
+	// volume and still group).
+	Bandwidth float64
+	// Kernel is the Mean Shift kernel (default flat, like the paper's
+	// scikit-learn).
+	Kernel cluster.Kernel
+	// MinGroupSize is the minimum cluster size to call a group periodic
+	// (paper: strictly greater than 1, i.e. 2).
+	MinGroupSize int
+	// Feature scaling.
+	Features FeatureConfig
+	// MinCoverage is the minimum fraction of the runtime the group's
+	// occurrences must span for the periodicity to be meaningful; it
+	// guards against two accidental near-identical operations at the
+	// very start of a long job (default 0.5).
+	MinCoverage float64
+}
+
+// DefaultDetectConfig returns the detection defaults for a job of the
+// given runtime.
+func DefaultDetectConfig(runtime float64) DetectConfig {
+	return DetectConfig{
+		Bandwidth:    0.05,
+		Kernel:       cluster.FlatKernel,
+		MinGroupSize: 2,
+		Features:     FeatureConfig{Runtime: runtime, VolumeLogScale: DefaultVolumeLogScale},
+		MinCoverage:  0.5,
+	}
+}
+
+// busyHighThreshold splits periodic_low_busy_time from
+// periodic_high_busy_time: the paper observes that almost all periodic
+// writers spend less than 25% of the time writing.
+const busyHighThreshold = 0.25
+
+// Detect clusters the segments and returns every periodic group found, or
+// nil when the trace has no periodic behaviour. Multiple groups model
+// applications with several interleaved periodic operations (e.g.
+// checkpointing and regular input reading).
+func Detect(segs []Segment, cfg DetectConfig) ([]Group, error) {
+	if cfg.MinGroupSize < 2 {
+		cfg.MinGroupSize = 2
+	}
+	if cfg.MinCoverage <= 0 {
+		cfg.MinCoverage = 0.5
+	}
+	if len(segs) < cfg.MinGroupSize {
+		return nil, nil
+	}
+	pts := Features(segs, cfg.Features)
+	res, err := cluster.MeanShift(pts, cluster.MeanShiftConfig{
+		Bandwidth: cfg.Bandwidth,
+		Kernel:    cfg.Kernel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	byCluster := make(map[int][]int)
+	for i, l := range res.Labels {
+		byCluster[l] = append(byCluster[l], i)
+	}
+	runtime := cfg.Features.Runtime
+	var groups []Group
+	for l := 0; l < len(res.Centers); l++ {
+		members := byCluster[l]
+		if len(members) < cfg.MinGroupSize {
+			continue
+		}
+		g := buildGroup(segs, members)
+		if runtime > 0 {
+			span := spanOf(segs, members)
+			if span/runtime < cfg.MinCoverage {
+				continue
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+func buildGroup(segs []Segment, members []int) Group {
+	var sumDur, sumBytes, sumBusy float64
+	for _, i := range members {
+		s := segs[i]
+		sumDur += s.Duration
+		sumBytes += float64(s.Op.Bytes)
+		if s.Duration > 0 {
+			sumBusy += s.Op.Duration() / s.Duration
+		}
+	}
+	n := float64(len(members))
+	period := sumDur / n
+	return Group{
+		Count:     len(members),
+		Period:    period,
+		Magnitude: category.MagnitudeOf(period),
+		MeanBytes: sumBytes / n,
+		BusyRatio: sumBusy / n,
+		Segments:  append([]int(nil), members...),
+	}
+}
+
+// spanOf returns the time covered from the first to the last member
+// segment (including the last member's duration).
+func spanOf(segs []Segment, members []int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range members {
+		s := segs[i]
+		if s.Op.Start < lo {
+			lo = s.Op.Start
+		}
+		if end := s.Op.Start + s.Duration; end > hi {
+			hi = end
+		}
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// BusyHigh reports whether a group's busy ratio crosses the
+// low/high-busy-time boundary.
+func (g Group) BusyHigh() bool { return g.BusyRatio >= busyHighThreshold }
+
+// Categories returns the periodicity categories implied by the groups for
+// the given direction: the base periodic label, one magnitude label per
+// distinct magnitude, and a busy-time label per group.
+func Categories(dir category.Direction, groups []Group) category.Set {
+	s := category.NewSet()
+	if len(groups) == 0 {
+		return s
+	}
+	s.Add(category.Periodic(dir))
+	for _, g := range groups {
+		if g.Magnitude != category.MagNone {
+			s.Add(category.PeriodicMagnitude(dir, g.Magnitude))
+		}
+		s.Add(category.PeriodicBusy(dir, g.BusyHigh()))
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"sort"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+)
+
+// CoMatrix is a symmetric category co-occurrence matrix over a population
+// of category sets, from which Jaccard indices and conditional rates are
+// derived. It backs the Figure 5 heatmap and the Section IV-D correlation
+// statements.
+type CoMatrix struct {
+	Labels []category.Category       // row/column order
+	index  map[category.Category]int // label -> position
+	both   [][]int                   // both[i][j]: samples in i and j
+	count  []int                     // count[i]: samples in i
+	total  int                       // population size
+}
+
+// NewCoMatrix builds an empty matrix over the given labels. Duplicate
+// labels are collapsed; order of first appearance is kept.
+func NewCoMatrix(labels []category.Category) *CoMatrix {
+	m := &CoMatrix{index: make(map[category.Category]int, len(labels))}
+	for _, l := range labels {
+		if _, dup := m.index[l]; dup {
+			continue
+		}
+		m.index[l] = len(m.Labels)
+		m.Labels = append(m.Labels, l)
+	}
+	n := len(m.Labels)
+	m.both = make([][]int, n)
+	for i := range m.both {
+		m.both[i] = make([]int, n)
+	}
+	m.count = make([]int, n)
+	return m
+}
+
+// Observe adds one sample's category set to the matrix. Categories outside
+// the label set are ignored.
+func (m *CoMatrix) Observe(s category.Set) {
+	m.total++
+	present := make([]int, 0, len(s))
+	for c := range s {
+		if i, ok := m.index[c]; ok {
+			present = append(present, i)
+		}
+	}
+	sort.Ints(present)
+	for _, i := range present {
+		m.count[i]++
+		for _, j := range present {
+			m.both[i][j]++
+		}
+	}
+}
+
+// Total returns the number of observed samples.
+func (m *CoMatrix) Total() int { return m.total }
+
+// Count returns how many samples carry category c.
+func (m *CoMatrix) Count(c category.Category) int {
+	if i, ok := m.index[c]; ok {
+		return m.count[i]
+	}
+	return 0
+}
+
+// Rate returns the fraction of samples carrying category c.
+func (m *CoMatrix) Rate(c category.Category) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return float64(m.Count(c)) / float64(m.total)
+}
+
+// Jaccard returns the Jaccard index between the sample sets of two
+// categories: |A∩B| / |A∪B|.
+func (m *CoMatrix) Jaccard(a, b category.Category) float64 {
+	i, ok1 := m.index[a]
+	j, ok2 := m.index[b]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	both := m.both[i][j]
+	return Jaccard(both, m.count[i]-both, m.count[j]-both)
+}
+
+// Conditional returns P(b | a) over the observed population.
+func (m *CoMatrix) Conditional(b, a category.Category) float64 {
+	i, ok1 := m.index[a]
+	j, ok2 := m.index[b]
+	if !ok1 || !ok2 || m.count[i] == 0 {
+		return 0
+	}
+	return float64(m.both[i][j]) / float64(m.count[i])
+}
+
+// JaccardMatrix materializes the full pairwise Jaccard matrix in label
+// order. The diagonal is 1 for categories with at least one sample.
+func (m *CoMatrix) JaccardMatrix() [][]float64 {
+	n := len(m.Labels)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			both := m.both[i][j]
+			out[i][j] = Jaccard(both, m.count[i]-both, m.count[j]-both)
+		}
+	}
+	return out
+}
+
+// Pair is one off-diagonal entry of the Jaccard matrix.
+type Pair struct {
+	A, B    category.Category
+	Jaccard float64
+}
+
+// TopPairs returns the off-diagonal category pairs with Jaccard index of
+// at least threshold, sorted by decreasing index. Mirrors the paper's
+// "only values higher than 1% are shown" filtering of Figure 5.
+func (m *CoMatrix) TopPairs(threshold float64) []Pair {
+	var out []Pair
+	for i := 0; i < len(m.Labels); i++ {
+		for j := i + 1; j < len(m.Labels); j++ {
+			both := m.both[i][j]
+			jc := Jaccard(both, m.count[i]-both, m.count[j]-both)
+			if jc >= threshold {
+				out = append(out, Pair{A: m.Labels[i], B: m.Labels[j], Jaccard: jc})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Jaccard > out[b].Jaccard })
+	return out
+}

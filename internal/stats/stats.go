@@ -1,0 +1,232 @@
+// Package stats provides the statistical primitives MOSAIC relies on:
+// coefficient of variation (temporality's "steady" rule), Jaccard indices
+// (category co-occurrence analysis, Figure 5), histograms and percentiles
+// for reporting.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoefficientOfVariation returns stddev/mean. The paper's temporality rule
+// marks a trace "steady" when the CV of per-chunk volumes is below 25%.
+// For a zero mean the CV is defined as 0 when all values are zero and +Inf
+// otherwise.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if m == 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / m
+}
+
+// Min returns the smallest element, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (average of the two middle elements for
+// even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile of xs using linear interpolation
+// between closest ranks, with p in [0, 100]. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Jaccard returns |A∩B| / |A∪B| for two sample sets represented as counts:
+// both is |A∩B|, onlyA and onlyB the exclusive memberships. Returns 0 when
+// the union is empty.
+func Jaccard(both, onlyA, onlyB int) float64 {
+	union := both + onlyA + onlyB
+	if union == 0 {
+		return 0
+	}
+	return float64(both) / float64(union)
+}
+
+// JaccardSets computes the Jaccard index between two boolean membership
+// vectors of equal length (panics otherwise): element i tells whether
+// sample i belongs to the set.
+func JaccardSets(a, b []bool) float64 {
+	if len(a) != len(b) {
+		panic("stats: JaccardSets length mismatch")
+	}
+	var both, onlyA, onlyB int
+	for i := range a {
+		switch {
+		case a[i] && b[i]:
+			both++
+		case a[i]:
+			onlyA++
+		case b[i]:
+			onlyB++
+		}
+	}
+	return Jaccard(both, onlyA, onlyB)
+}
+
+// ConditionalRate returns P(b | a): among samples where a holds, the
+// fraction where b also holds. Used for the paper's "66% of applications
+// reading on start write on end" style statements. Returns 0 when a never
+// holds.
+func ConditionalRate(a, b []bool) float64 {
+	if len(a) != len(b) {
+		panic("stats: ConditionalRate length mismatch")
+	}
+	var na, nab int
+	for i := range a {
+		if a[i] {
+			na++
+			if b[i] {
+				nab++
+			}
+		}
+	}
+	if na == 0 {
+		return 0
+	}
+	return float64(nab) / float64(na)
+}
+
+// Histogram bins values into n equal-width buckets over [min, max]. Values
+// outside the range are clamped into the first/last bucket. Returns the
+// counts and the bucket width; width is 0 when max <= min.
+func Histogram(xs []float64, n int, min, max float64) (counts []int, width float64) {
+	if n <= 0 {
+		return nil, 0
+	}
+	counts = make([]int, n)
+	if max <= min {
+		counts[0] = len(xs)
+		return counts, 0
+	}
+	width = (max - min) / float64(n)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts, width
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95), using b resamples
+// drawn with the provided deterministic seed. Returns (mean, mean) for
+// fewer than 2 samples.
+func BootstrapCI(xs []float64, level float64, b int, seed int64) (lo, hi float64) {
+	m := Mean(xs)
+	if len(xs) < 2 || b < 1 {
+		return m, m
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, b)
+	for i := 0; i < b; i++ {
+		var s float64
+		for k := 0; k < len(xs); k++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[i] = s / float64(len(xs))
+	}
+	alpha := (1 - level) / 2 * 100
+	return Percentile(means, alpha), Percentile(means, 100-alpha)
+}
+
+// BootstrapProportionCI is BootstrapCI for a Bernoulli sample given as
+// (successes, total): the CI of the underlying proportion.
+func BootstrapProportionCI(successes, total int, level float64, b int, seed int64) (lo, hi float64) {
+	if total <= 0 {
+		return 0, 0
+	}
+	xs := make([]float64, total)
+	for i := 0; i < successes; i++ {
+		xs[i] = 1
+	}
+	return BootstrapCI(xs, level, b, seed)
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %g", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %g", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/singleton cases")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("CV of constant = %g", got)
+	}
+	// The paper's steady rule: CV < 0.25.
+	steady := []float64{100, 110, 95, 105}
+	if got := CoefficientOfVariation(steady); got >= 0.25 {
+		t.Fatalf("CV(%v) = %g, expected < 0.25", steady, got)
+	}
+	bursty := []float64{1000, 10, 10, 10}
+	if got := CoefficientOfVariation(bursty); got < 0.25 {
+		t.Fatalf("CV(%v) = %g, expected >= 0.25", bursty, got)
+	}
+	if got := CoefficientOfVariation([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("CV of zeros = %g", got)
+	}
+	if got := CoefficientOfVariation([]float64{-5, 5}); !math.IsInf(got, 1) {
+		t.Fatalf("CV with zero mean = %g, want +Inf", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("Min/Max")
+	}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("Median odd = %g", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Median even = %g", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty cases")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {110, 50}, {12.5, 15},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	in := []float64{5, 1, 3}
+	Percentile(in, 50)
+	if in[0] != 5 {
+		t.Fatal("Percentile modified input")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(2, 1, 1); got != 0.5 {
+		t.Fatalf("Jaccard = %g", got)
+	}
+	if got := Jaccard(0, 0, 0); got != 0 {
+		t.Fatalf("empty Jaccard = %g", got)
+	}
+	if got := Jaccard(5, 0, 0); got != 1 {
+		t.Fatalf("identical Jaccard = %g", got)
+	}
+}
+
+func TestJaccardSets(t *testing.T) {
+	a := []bool{true, true, false, true}
+	b := []bool{true, false, false, true}
+	// intersection 2, union 3.
+	if got := JaccardSets(a, b); !approx(got, 2.0/3, 1e-12) {
+		t.Fatalf("JaccardSets = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	JaccardSets([]bool{true}, []bool{true, false})
+}
+
+// Property: Jaccard is symmetric and bounded in [0,1].
+func TestJaccardProperties(t *testing.T) {
+	f := func(both, onlyA, onlyB uint8) bool {
+		j1 := Jaccard(int(both), int(onlyA), int(onlyB))
+		j2 := Jaccard(int(both), int(onlyB), int(onlyA))
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionalRate(t *testing.T) {
+	a := []bool{true, true, true, false}
+	b := []bool{true, false, true, true}
+	if got := ConditionalRate(a, b); !approx(got, 2.0/3, 1e-12) {
+		t.Fatalf("ConditionalRate = %g", got)
+	}
+	if got := ConditionalRate([]bool{false}, []bool{true}); got != 0 {
+		t.Fatalf("never-a rate = %g", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, width := Histogram([]float64{0, 1, 2, 3, 9.9, -5, 20}, 10, 0, 10)
+	if width != 1 {
+		t.Fatalf("width = %g", width)
+	}
+	if counts[0] != 3 { // 0, 1-eps clamp of -5... values 0 and -5 clamp to bucket 0, 1 goes to bucket 1
+		t.Logf("counts = %v", counts)
+	}
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("histogram lost values: %d", total)
+	}
+	if counts[9] != 2 { // 9.9 and clamped 20
+		t.Fatalf("last bucket = %d", counts[9])
+	}
+	if c, w := Histogram([]float64{1, 2}, 3, 5, 5); w != 0 || c[0] != 2 {
+		t.Fatal("degenerate range")
+	}
+	if c, _ := Histogram(nil, 0, 0, 1); c != nil {
+		t.Fatal("n<=0 should return nil")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10) // mean 4.5
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 500, 1)
+	if lo > 4.5 || hi < 4.5 {
+		t.Fatalf("CI [%g, %g] excludes the true mean", lo, hi)
+	}
+	if hi-lo > 1.5 {
+		t.Fatalf("CI [%g, %g] too wide for n=200", lo, hi)
+	}
+	// Determinism.
+	lo2, hi2 := BootstrapCI(xs, 0.95, 500, 1)
+	if lo != lo2 || hi != hi2 {
+		t.Fatal("bootstrap not deterministic with fixed seed")
+	}
+	// Degenerate inputs.
+	if lo, hi := BootstrapCI([]float64{7}, 0.95, 100, 1); lo != 7 || hi != 7 {
+		t.Fatal("singleton CI")
+	}
+}
+
+func TestBootstrapProportionCI(t *testing.T) {
+	lo, hi := BootstrapProportionCI(470, 512, 0.95, 500, 2)
+	p := 470.0 / 512
+	if lo > p || hi < p {
+		t.Fatalf("CI [%g, %g] excludes %g", lo, hi, p)
+	}
+	if lo < 0.85 || hi > 0.97 {
+		t.Fatalf("CI [%g, %g] implausibly wide", lo, hi)
+	}
+	if lo, hi := BootstrapProportionCI(1, 0, 0.95, 100, 1); lo != 0 || hi != 0 {
+		t.Fatal("zero total")
+	}
+}

@@ -1,0 +1,192 @@
+package mosaic
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/parallel"
+	"github.com/mosaic-hpc/mosaic/internal/report"
+)
+
+// Options configures the corpus pipeline.
+type Options struct {
+	// Config holds the detection thresholds; zero value means
+	// DefaultConfig.
+	Config Config
+	// Workers is the categorization parallelism (<= 0: one per CPU).
+	Workers int
+}
+
+func (o Options) config() Config {
+	if o.Config == (Config{}) {
+		return DefaultConfig()
+	}
+	return o.Config
+}
+
+// AppResult pairs an application's categorization with its execution
+// count, the unit of the "all runs" statistics.
+type AppResult struct {
+	Result *Result `json:"result"`
+	Runs   int     `json:"runs"`
+}
+
+// Analysis is the outcome of a corpus run: the pre-processing funnel, one
+// result per deduplicated application, and the aggregate distributions.
+type Analysis struct {
+	Funnel    FunnelStats
+	Apps      []AppResult
+	Aggregate *Aggregator
+}
+
+// AnalyzeJobs runs the full pipeline over in-memory traces: funnel
+// (validation + deduplication), parallel categorization of each
+// application's heaviest run, and aggregation.
+func AnalyzeJobs(jobs []*Job, opt Options) (*Analysis, error) {
+	pre := core.NewPreprocessor()
+	for _, j := range jobs {
+		pre.Add(j, nil)
+	}
+	return analyzeGroups(pre, opt)
+}
+
+// AnalyzeCorpus streams every trace under dir through the pipeline.
+// Decode failures count as corrupted traces, like damaged logs in the
+// Blue Waters dataset.
+func AnalyzeCorpus(dir string, opt Options) (*Analysis, error) {
+	entries, err := darshan.StreamCorpusParallel(dir, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	pre := core.NewPreprocessor()
+	for e := range entries {
+		pre.Add(e.Job, e.Err)
+	}
+	return analyzeGroups(pre, opt)
+}
+
+func analyzeGroups(pre *core.Preprocessor, opt Options) (*Analysis, error) {
+	cfg := opt.config()
+	groups := pre.Groups()
+	results := make([]AppResult, len(groups))
+	var firstErr error
+	var mu sync.Mutex
+	parallel.ForEach(opt.Workers, len(groups), func(i int) {
+		res, err := core.Categorize(groups[i].Heaviest, cfg)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mosaic: app %s/%s: %w", groups[i].User, groups[i].App, err)
+			}
+			mu.Unlock()
+			return
+		}
+		results[i] = AppResult{Result: res, Runs: groups[i].Runs}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	agg := report.NewAggregator()
+	for _, r := range results {
+		agg.Add(r.Result, r.Runs)
+	}
+	return &Analysis{Funnel: pre.Stats(), Apps: results, Aggregate: agg}, nil
+}
+
+// CategorizeAll runs Categorize over many traces in parallel, preserving
+// input order. Invalid traces yield a nil Result (with validation applied
+// first); pipeline errors abort.
+func CategorizeAll(ctx context.Context, jobs []*Job, opt Options) ([]*Result, error) {
+	cfg := opt.config()
+	out := make([]*Result, len(jobs))
+	var firstErr error
+	var mu sync.Mutex
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallel.ForEach(workers, len(jobs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		if err := darshan.Validate(jobs[i]); err != nil {
+			return // corrupted: nil result
+		}
+		res, err := core.Categorize(jobs[i], cfg)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = res
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// WriteReport renders the complete text report of an analysis: funnel,
+// periodicity and temporality tables, metadata distribution, correlations
+// and the Jaccard pair list.
+func (a *Analysis) WriteReport(w io.Writer) {
+	report.WriteFunnel(w, a.Funnel)
+	fmt.Fprintln(w)
+	report.WritePeriodicity(w, a.Aggregate, category.DirWrite)
+	report.WritePeriodicity(w, a.Aggregate, category.DirRead)
+	fmt.Fprintln(w)
+	report.WriteTemporality(w, a.Aggregate)
+	fmt.Fprintln(w)
+	report.WriteMetadata(w, a.Aggregate)
+	fmt.Fprintln(w)
+	report.WriteCorrelations(w, a.Aggregate.Correlations())
+	fmt.Fprintln(w)
+	report.WriteJaccard(w, a.Aggregate, 0.01)
+}
+
+// TopCategories returns the categories sorted by decreasing application
+// rate, for quick summaries.
+func (a *Analysis) TopCategories() []Category {
+	agg := a.Aggregate
+	cats := AllCategories()
+	sort.Slice(cats, func(i, j int) bool {
+		return agg.SingleRate(cats[i]) > agg.SingleRate(cats[j])
+	})
+	var out []Category
+	for _, c := range cats {
+		if agg.SingleRate(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Explain renders the detection walkthrough of one result — merged
+// operation counts, per-chunk volumes, periodic groups and metadata rates
+// (the Figure 2 view of the paper).
+func Explain(w io.Writer, res *Result) { report.WriteResult(w, res) }
+
+// WriteHeatmap renders the Jaccard co-occurrence grid over all categories
+// whose application rate is at least minRate.
+func WriteHeatmap(w io.Writer, agg *Aggregator, minRate float64) {
+	report.WriteHeatmap(w, agg, minRate)
+}
+
+// WriteTimeline renders the ASCII timeline of one trace — raw vs merged
+// operations, periodic groups, and chunk volumes (the Figure 2 view).
+func WriteTimeline(w io.Writer, j *Job, res *Result, cfg Config) {
+	report.WriteTimeline(w, j, res, cfg)
+}

@@ -1,0 +1,58 @@
+package mosaic
+
+import (
+	"math/rand"
+
+	"github.com/mosaic-hpc/mosaic/internal/sched"
+)
+
+// I/O-aware scheduling simulation, re-exported: the Section V application
+// of the paper. Convert categorization results into simulated jobs, then
+// compare FCFS against a category-aware policy that staggers heavy
+// start-readers and interleaves periodic checkpointers.
+type (
+	// SchedJob is one simulated application.
+	SchedJob = sched.Job
+	// SchedPhase is one compute or I/O step of a job.
+	SchedPhase = sched.Phase
+	// SchedConfig describes the simulated platform.
+	SchedConfig = sched.Config
+	// SchedMetrics summarizes one simulation.
+	SchedMetrics = sched.Metrics
+	// SchedOrder is a start schedule produced by a policy.
+	SchedOrder = sched.Order
+	// SchedComparison holds FCFS vs category-aware results.
+	SchedComparison = sched.Comparison
+	// SchedWorkloadSpec sizes a synthetic scheduling workload.
+	SchedWorkloadSpec = sched.WorkloadSpec
+)
+
+// SchedJobFromResult converts a categorization result into a simulator
+// job carrying the category hints.
+func SchedJobFromResult(res *Result, id int) *SchedJob { return sched.FromResult(res, id) }
+
+// Simulate runs jobs through the platform under the given order.
+func Simulate(jobs []*SchedJob, cfg SchedConfig, order SchedOrder) (SchedMetrics, error) {
+	return sched.Simulate(jobs, cfg, order)
+}
+
+// ScheduleFCFS is the first-come-first-served baseline policy.
+func ScheduleFCFS(jobs []*SchedJob) SchedOrder { return sched.FCFS(jobs) }
+
+// ScheduleCategoryAware builds a schedule from MOSAIC category hints.
+func ScheduleCategoryAware(jobs []*SchedJob, stagger float64) SchedOrder {
+	return sched.CategoryAware(jobs, stagger)
+}
+
+// CompareSchedules runs both policies on the same workload.
+func CompareSchedules(jobs []*SchedJob, cfg SchedConfig, stagger float64) (SchedComparison, error) {
+	return sched.Compare(jobs, cfg, stagger)
+}
+
+// BuildSchedWorkload synthesizes a contended workload from a spec.
+func BuildSchedWorkload(spec SchedWorkloadSpec, rng *rand.Rand) []*SchedJob {
+	return sched.BuildWorkload(spec, rng)
+}
+
+// DefaultSchedWorkloadSpec returns the default contended mixture.
+func DefaultSchedWorkloadSpec() SchedWorkloadSpec { return sched.DefaultWorkloadSpec() }

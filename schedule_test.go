@@ -1,0 +1,68 @@
+package mosaic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func TestScheduleFacadeEndToEnd(t *testing.T) {
+	// Categorize real traces, convert them to simulator jobs, and verify
+	// the category-aware schedule reduces contention — the full loop from
+	// trace to scheduling decision through the public API.
+	profile := mosaic.DefaultCorpusProfile()
+	profile.Apps = 40
+	profile.Seed = 21
+	profile.CorruptionRate = 0
+	corpus := mosaic.PlanCorpus(profile)
+
+	var jobs []*mosaic.SchedJob
+	var readers int
+	corpus.Each(func(r mosaic.CorpusRun) bool {
+		res, err := mosaic.Categorize(r.Job, mosaic.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := mosaic.SchedJobFromResult(res, len(jobs))
+		if j.ReadOnStart {
+			readers++
+		}
+		jobs = append(jobs, j)
+		return len(jobs) < 60
+	})
+	if readers == 0 {
+		t.Fatal("no start-readers in sample; scheduling test vacuous")
+	}
+
+	cfg := mosaic.SchedConfig{Slots: 64, PFSBandwidth: 20e9, JobBandwidth: 10e9}
+	fcfs, err := mosaic.Simulate(jobs, cfg, mosaic.ScheduleFCFS(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := mosaic.Simulate(jobs, cfg, mosaic.ScheduleCategoryAware(jobs, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.StallTime > fcfs.StallTime {
+		t.Fatalf("category-aware stall %.0fs worse than FCFS %.0fs", aware.StallTime, fcfs.StallTime)
+	}
+}
+
+func TestScheduleFacadeWorkloadBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := mosaic.DefaultSchedWorkloadSpec()
+	jobs := mosaic.BuildSchedWorkload(spec, rng)
+	want := spec.StartReaders + spec.Checkpointers + spec.ComputeOnly
+	if len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	cfg := mosaic.SchedConfig{Slots: 32, PFSBandwidth: 20e9, JobBandwidth: 10e9}
+	cmp, err := mosaic.CompareSchedules(jobs, cfg, spec.ReadBytes/cfg.JobBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.StallReduction <= 0 {
+		t.Fatalf("stall reduction = %g", cmp.StallReduction)
+	}
+}
