@@ -18,7 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"encoding/json"
+
 	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/experiments"
 	"github.com/mosaic-hpc/mosaic/internal/report"
 )
@@ -52,7 +55,6 @@ func run(exp string, apps int, seed int64, workers, sample int, outDir string) e
 	var cr *experiments.CorpusRun
 	needCorpus := want("table2") || want("table3") || want("fig4") || want("fig5")
 	if needCorpus {
-		start := time.Now()
 		var err error
 		cr, err = experiments.Run(profile, cfg, workers)
 		if err != nil {
@@ -61,7 +63,7 @@ func run(exp string, apps int, seed int64, workers, sample int, outDir string) e
 		fmt.Fprintf(out, "corpus: %d traces / %d valid / %d unique apps — generated+funneled in %v, categorized in %v\n",
 			cr.Funnel.Total, cr.Funnel.Valid, cr.Funnel.UniqueApps,
 			cr.GenerateTime.Round(time.Millisecond), cr.CategorizeTime.Round(time.Millisecond))
-		_ = start
+		writeStageBreakdown(out, cr.Stages)
 	}
 
 	if want("fig3") {
@@ -88,7 +90,7 @@ func run(exp string, apps int, seed int64, workers, sample int, outDir string) e
 		if err := writeArtifacts(outDir, cr); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "\nartifacts written to %s (export.json, categories.csv, jaccard.csv, apps.csv, heatmap.png, metadata.png)\n", outDir)
+		fmt.Fprintf(out, "\nartifacts written to %s (export.json, categories.csv, jaccard.csv, apps.csv, heatmap.png, metadata.png, stages.json)\n", outDir)
 	}
 	if want("accuracy") {
 		header("Section IV-E: accuracy (sampled validation)")
@@ -146,6 +148,25 @@ func run(exp string, apps int, seed int64, workers, sample int, outDir string) e
 	return nil
 }
 
+// writeStageBreakdown prints the engine's per-stage counters and wall
+// times, so a perf regression in BENCH_*.json runs can be attributed to
+// one stage (decode vs categorize throughput, funnel stall, ...).
+func writeStageBreakdown(out io.Writer, stages []engine.StageSnapshot) {
+	if len(stages) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "pipeline stage breakdown:\n")
+	fmt.Fprintf(out, "  %-12s %10s %10s %8s %12s %14s\n", "stage", "in", "out", "errors", "wall", "items/s")
+	for _, s := range stages {
+		tp := "-"
+		if t := s.Throughput(); t > 0 {
+			tp = fmt.Sprintf("%.0f", t)
+		}
+		fmt.Fprintf(out, "  %-12s %10d %10d %8d %12v %14s\n",
+			s.Stage, s.In, s.Out, s.Errors, s.Wall.Round(time.Millisecond), tp)
+	}
+}
+
 // writeArtifacts stores the machine-readable outputs of a corpus run:
 // the step-4 JSON export, CSV views of the tables, and PNG figures.
 func writeArtifacts(dir string, cr *experiments.CorpusRun) error {
@@ -167,6 +188,11 @@ func writeArtifacts(dir string, cr *experiments.CorpusRun) error {
 		{"apps.csv", func(w io.Writer) error { return report.WriteAppsCSV(w, apps) }},
 		{"heatmap.png", func(w io.Writer) error { return report.HeatmapPNG(w, cr.Agg, 0.002, 12) }},
 		{"metadata.png", func(w io.Writer) error { return report.MetadataBarsPNG(w, cr.Agg) }},
+		{"stages.json", func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(cr.Stages)
+		}},
 	}
 	for _, art := range writers {
 		f, err := os.Create(filepath.Join(dir, art.name))

@@ -6,17 +6,27 @@
 //
 // Given a single trace file, it prints the trace's categories (and, with
 // -explain, the full detection walkthrough mirroring Figure 2 of the
-// paper). Given a directory, it runs the full pipeline — validation,
-// deduplication, categorization — and prints the aggregate report
-// (funnel, Tables II/III, Figures 4/5). With -json, per-trace results are
-// written as a JSON array to the given file, the paper's step (4).
+// paper). Given a directory, it streams the corpus through the staged
+// engine — scan, decode, validation, deduplication, categorization — and
+// prints the aggregate report (funnel, Tables II/III, Figures 4/5). With
+// -json, per-trace results are written as a JSON array to the given
+// file, the paper's step (4).
+//
+// Corpus runs are cancellable: Ctrl-C (SIGINT) or -timeout drains every
+// pipeline stage cleanly, and -progress shows live per-stage counters
+// fed by the engine's observer.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/mosaic-hpc/mosaic"
 )
@@ -35,6 +45,8 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print an ASCII timeline of a single trace (Figure 2 view)")
 		convert  = flag.String("convert", "", "convert a single trace to this path (.mosd, .json or .txt) and exit")
 		anonSalt = flag.String("anonymize", "", "when converting, anonymize identities with this salt")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		progress = flag.Bool("progress", false, "print live per-stage pipeline progress to stderr (corpus mode)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mosaic [flags] <trace-file | corpus-dir>\n")
@@ -52,19 +64,37 @@ func main() {
 	cfg.SpikeHighRate = *spikeHi
 	cfg.SpikeRate = *spike
 
-	if err := run(flag.Arg(0), cfg, *workers, *explain, *jsonOut, *heatmap, *timeline, *convert, *anonSalt); err != nil {
+	// SIGINT/SIGTERM cancel the pipeline context: the engine drains its
+	// stages and the process exits cleanly instead of mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	err := run(ctx, flag.Arg(0), cfg, *workers, *explain, *jsonOut, *heatmap, *timeline, *convert, *anonSalt, *progress)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "mosaic: interrupted")
+		os.Exit(130)
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "mosaic: timeout exceeded")
+		os.Exit(1)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "mosaic:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, cfg mosaic.Config, workers int, explain bool, jsonOut string, heatmap, timeline bool, convert, anonSalt string) error {
+func run(ctx context.Context, target string, cfg mosaic.Config, workers int, explain bool, jsonOut string, heatmap, timeline bool, convert, anonSalt string, progress bool) error {
 	info, err := os.Stat(target)
 	if err != nil {
 		return err
 	}
 	if info.IsDir() {
-		return runCorpus(target, cfg, workers, jsonOut, heatmap)
+		return runCorpus(ctx, target, cfg, workers, jsonOut, heatmap, progress)
 	}
 	if convert != "" {
 		return runConvert(target, convert, anonSalt)
@@ -122,8 +152,18 @@ func runSingle(path string, cfg mosaic.Config, explain bool, jsonOut string, tim
 	return nil
 }
 
-func runCorpus(dir string, cfg mosaic.Config, workers int, jsonOut string, heatmap bool) error {
-	analysis, err := mosaic.AnalyzeCorpus(dir, mosaic.Options{Config: cfg, Workers: workers})
+func runCorpus(ctx context.Context, dir string, cfg mosaic.Config, workers int, jsonOut string, heatmap, progress bool) error {
+	opt := mosaic.Options{Config: cfg, Workers: workers}
+	var stopProgress func()
+	if progress {
+		stats := mosaic.NewStageStats()
+		opt.Observer = stats
+		stopProgress = startProgress(stats)
+	}
+	analysis, err := mosaic.AnalyzeCorpusContext(ctx, dir, opt)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		return err
 	}
@@ -140,6 +180,32 @@ func runCorpus(dir string, cfg mosaic.Config, workers int, jsonOut string, heatm
 		return writeJSON(jsonOut, results)
 	}
 	return nil
+}
+
+// startProgress renders the per-stage counters of a running pipeline to
+// stderr a few times per second; the returned stop function prints the
+// final line and ends the refresher.
+func startProgress(stats *mosaic.StageStats) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "\r\033[K%s", stats.String())
+			case <-done:
+				fmt.Fprintf(os.Stderr, "\r\033[K%s\n", stats.String())
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 func writeJSON(path string, results []*mosaic.Result) error {

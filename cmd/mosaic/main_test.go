@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -27,16 +28,16 @@ func TestRunSingleTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := writeTestTrace(t, dir, "a.mosd")
 	cfg := mosaic.DefaultConfig()
-	if err := run(path, cfg, 1, false, "", false, false, "", ""); err != nil {
+	if err := run(context.Background(), path, cfg, 1, false, "", false, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	// Explain + timeline paths.
-	if err := run(path, cfg, 1, true, "", false, true, "", ""); err != nil {
+	if err := run(context.Background(), path, cfg, 1, true, "", false, true, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	// JSON output.
 	jsonPath := filepath.Join(dir, "out.json")
-	if err := run(path, cfg, 1, false, jsonPath, false, false, "", ""); err != nil {
+	if err := run(context.Background(), path, cfg, 1, false, jsonPath, false, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
@@ -49,7 +50,7 @@ func TestRunCorpusDir(t *testing.T) {
 	writeTestTrace(t, dir, "a.mosd")
 	writeTestTrace(t, dir, "b.mosd")
 	jsonPath := filepath.Join(dir, "corpus.json")
-	if err := run(dir, mosaic.DefaultConfig(), 2, false, jsonPath, true, false, "", ""); err != nil {
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, jsonPath, true, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
@@ -62,7 +63,7 @@ func TestRunConvertAndAnonymize(t *testing.T) {
 	path := writeTestTrace(t, dir, "a.mosd")
 	for _, out := range []string{"b.json", "c.txt", "d.mosd"} {
 		target := filepath.Join(dir, out)
-		if err := run(path, mosaic.DefaultConfig(), 1, false, "", false, false, target, "pepper"); err != nil {
+		if err := run(context.Background(), path, mosaic.DefaultConfig(), 1, false, "", false, false, target, "pepper", false); err != nil {
 			t.Fatalf("convert to %s: %v", out, err)
 		}
 		back, err := mosaic.ReadTrace(target)
@@ -87,13 +88,33 @@ func TestRunRejectsCorruptedSingle(t *testing.T) {
 	if err := mosaic.WriteTrace(bad, j); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, mosaic.DefaultConfig(), 1, false, "", false, false, "", ""); err == nil {
+	if err := run(context.Background(), bad, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", false); err == nil {
 		t.Fatal("corrupted single trace accepted")
 	}
 }
 
 func TestRunMissingTarget(t *testing.T) {
-	if err := run("/nonexistent/path", mosaic.DefaultConfig(), 1, false, "", false, false, "", ""); err == nil {
+	if err := run(context.Background(), "/nonexistent/path", mosaic.DefaultConfig(), 1, false, "", false, false, "", "", false); err == nil {
 		t.Fatal("missing target accepted")
+	}
+}
+
+func TestRunCorpusCancelled(t *testing.T) {
+	dir := t.TempDir()
+	writeTestTrace(t, dir, "a.mosd")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, dir, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", false)
+	if err == nil {
+		t.Fatal("cancelled corpus run succeeded")
+	}
+}
+
+func TestRunCorpusProgress(t *testing.T) {
+	dir := t.TempDir()
+	writeTestTrace(t, dir, "a.mosd")
+	writeTestTrace(t, dir, "b.mosd")
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, "", false, false, "", "", true); err != nil {
+		t.Fatal(err)
 	}
 }

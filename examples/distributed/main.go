@@ -1,15 +1,19 @@
 // Distributed categorization over loopback RPC: start two in-process
-// workers (stand-ins for mosaic-worker daemons on other hosts), stream a
-// synthetic corpus through a master, and aggregate the results — the
-// Dispy-style deployment of the paper's Section IV-E, in Go.
+// workers (stand-ins for mosaic-worker daemons on other hosts), then
+// drive the staged corpus engine with the distributed Master plugged in
+// as the Categorize-stage executor — the Dispy-style deployment of the
+// paper's Section IV-E, in Go, sharing the exact same pipeline as the
+// local CLI.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"github.com/mosaic-hpc/mosaic"
 )
@@ -31,7 +35,9 @@ func main() {
 	}
 	fmt.Println("workers listening on", addrs)
 
-	// Connect the master.
+	// Connect the master: it is an alternate executor for the engine's
+	// Categorize stage, so the funnel, backpressure, cancellation and
+	// observability all come from the same pipeline the CLI uses.
 	var clients []*mosaic.WorkerClient
 	for _, a := range addrs {
 		c, err := mosaic.DialWorker(a)
@@ -43,38 +49,34 @@ func main() {
 	}
 	master := mosaic.NewMaster(clients, mosaic.DefaultConfig())
 
-	// Stream a small corpus through the cluster.
+	// A small synthetic corpus (including corrupted traces the funnel
+	// will evict before they ever reach the cluster).
 	profile := mosaic.DefaultCorpusProfile()
 	profile.Apps = 30
 	profile.Seed = 11
 	corpus := mosaic.PlanCorpus(profile)
+	var jobs []*mosaic.Job
+	corpus.Each(func(r mosaic.CorpusRun) bool {
+		jobs = append(jobs, r.Job)
+		return len(jobs) < 400
+	})
 
-	jobs := make(chan *mosaic.Job, 16)
-	go func() {
-		defer close(jobs)
-		n := 0
-		corpus.Each(func(r mosaic.CorpusRun) bool {
-			jobs <- r.Job
-			n++
-			return n < 400
-		})
-	}()
-
-	agg := mosaic.NewAggregator()
-	var processed, evicted, failed int
-	for out := range master.Run(jobs, 4) {
-		switch {
-		case out.Err != nil:
-			failed++
-		case out.Result == nil:
-			evicted++ // corrupted trace, rejected by the worker's validation
-		default:
-			processed++
-			agg.Add(out.Result, 1)
-		}
+	// Run the full staged pipeline with remote categorization and a
+	// deadline: Scan → Decode → Funnel locally, Categorize on the
+	// cluster, Aggregate locally.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	stats := mosaic.NewStageStats()
+	analysis, err := mosaic.AnalyzeJobsContext(ctx, jobs, mosaic.Options{
+		Executor: master,
+		Observer: stats,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("processed %d traces on %d workers (%d corrupted evicted, %d errors)\n",
-		processed, len(clients), evicted, failed)
+	fmt.Printf("funnel: %d traces, %d corrupted evicted, %d unique apps categorized on %d workers\n",
+		analysis.Funnel.Total, analysis.Funnel.Corrupted, analysis.Funnel.UniqueApps, len(clients))
+	fmt.Println("stages:", stats)
 
 	fmt.Println("\ncategory rates over the distributed run:")
 	for _, c := range []mosaic.Category{
@@ -83,6 +85,6 @@ func main() {
 		mosaic.Periodic(mosaic.DirWrite),
 		mosaic.MetaHighSpike,
 	} {
-		fmt.Printf("  %-28s %5.1f%%\n", c, agg.SingleRate(c)*100)
+		fmt.Printf("  %-28s %5.1f%%\n", c, analysis.Aggregate.SingleRate(c)*100)
 	}
 }

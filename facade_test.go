@@ -3,6 +3,10 @@ package mosaic_test
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -106,5 +110,89 @@ func TestTruthFacade(t *testing.T) {
 	}
 	if run.Job.Metadata[mosaic.TruthKey] == "" {
 		t.Fatal("truth key missing")
+	}
+}
+
+func buildFacadeCorpus(t *testing.T, n int) []*mosaic.Job {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]*mosaic.Job, 0, n)
+	for i := 0; i < n; i++ {
+		b := mosaic.NewTraceBuilder(rng, "user", "/bin/app", uint64(i+1), 8, 3600)
+		b.Burst(mosaic.BurstSpec{At: 30, Duration: 60, Bytes: 1 << 30, Records: 4})
+		jobs = append(jobs, b.Job())
+	}
+	return jobs
+}
+
+func TestAnalyzeJobsShimMatchesContextAPI(t *testing.T) {
+	jobs := buildFacadeCorpus(t, 20)
+	a1, err := mosaic.AnalyzeJobs(jobs, mosaic.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Funnel.Total != a2.Funnel.Total || a1.Funnel.UniqueApps != a2.Funnel.UniqueApps {
+		t.Fatalf("shim and context API disagree: %+v vs %+v", a1.Funnel, a2.Funnel)
+	}
+	if len(a1.Apps) != len(a2.Apps) {
+		t.Fatalf("apps %d vs %d", len(a1.Apps), len(a2.Apps))
+	}
+}
+
+func TestAnalyzeCorpusContextCancelled(t *testing.T) {
+	dir := t.TempDir()
+	for i, j := range buildFacadeCorpus(t, 5) {
+		if err := mosaic.WriteTrace(filepath.Join(dir, fmt.Sprintf("t%d.mosd", i)), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mosaic.AnalyzeCorpusContext(ctx, dir, mosaic.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeCorpusContextObserver(t *testing.T) {
+	dir := t.TempDir()
+	for i, j := range buildFacadeCorpus(t, 6) {
+		if err := mosaic.WriteTrace(filepath.Join(dir, fmt.Sprintf("t%d.mosd", i)), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := mosaic.NewStageStats()
+	a, err := mosaic.AnalyzeCorpusContext(context.Background(), dir, mosaic.Options{Observer: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Funnel.Total != 6 {
+		t.Fatalf("funnel total = %d, want 6", a.Funnel.Total)
+	}
+	if got := stats.Stage(mosaic.StageDecode).Out; got != 6 {
+		t.Fatalf("decode out = %d, want 6", got)
+	}
+	if got := stats.Stage(mosaic.StageCategorize).Out; got != int64(len(a.Apps)) {
+		t.Fatalf("categorize out = %d, want %d", got, len(a.Apps))
+	}
+}
+
+func TestOptionsPartialConfigNotDiscarded(t *testing.T) {
+	// A config with only one threshold set must be honored (sane-clamped),
+	// not silently replaced by DefaultConfig — the old zero-value
+	// comparison got this right only by accident of comparability.
+	jobs := buildFacadeCorpus(t, 4)
+	cfg := mosaic.Config{SignificanceBytes: 1 << 50} // absurdly high: everything insignificant
+	a, err := mosaic.AnalyzeJobs(jobs, mosaic.Options{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range a.Apps {
+		if app.Result.Read.Significant() || app.Result.Write.Significant() {
+			t.Fatal("partial config was discarded: significance threshold ignored")
+		}
 	}
 }

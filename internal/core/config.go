@@ -80,6 +80,44 @@ func DefaultConfig() Config {
 	}
 }
 
+// IsZero reports whether the config is entirely unset, i.e. the caller
+// never chose thresholds and the defaults should apply. Each field is
+// checked explicitly — never compare Config values with == here: that
+// silently breaks (or stops compiling) the moment Config grows a
+// non-comparable field, and a partially-filled config must NOT be
+// treated as zero.
+func (c Config) IsZero() bool {
+	return c.SignificanceBytes == 0 &&
+		c.MergeRuntimeFraction == 0 &&
+		c.MergeNeighborFraction == 0 &&
+		c.ChunkCount == 0 &&
+		c.DominanceFactor == 0 &&
+		c.SteadyCV == 0 &&
+		c.PeriodicityDetector == 0 &&
+		c.MeanShiftBandwidth == 0 &&
+		c.MeanShiftKernel == 0 &&
+		c.MinGroupSize == 0 &&
+		c.MinGroupCoverage == 0 &&
+		c.VolumeLogScale == 0 &&
+		!c.DisableDXT &&
+		c.SpikeHighRate == 0 &&
+		c.SpikeRate == 0 &&
+		c.MultipleSpikes == 0 &&
+		c.DensityRate == 0
+}
+
+// Normalized is the single config-normalization point of the pipeline
+// (the engine boundary): a zero config becomes DefaultConfig, and any
+// config is sane-clamped so partially filled values cannot crash the
+// detectors. Categorize applies the same clamps internally, so
+// normalizing early never changes results.
+func (c Config) Normalized() Config {
+	if c.IsZero() {
+		return DefaultConfig()
+	}
+	return c.sane()
+}
+
 // neighborPolicy adapts the merge thresholds to the interval package.
 func (c *Config) neighborPolicy() interval.NeighborPolicy {
 	return interval.NeighborPolicy{

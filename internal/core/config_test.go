@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConfigIsZero(t *testing.T) {
+	if !(Config{}).IsZero() {
+		t.Fatal("zero Config not reported as zero")
+	}
+	if DefaultConfig().IsZero() {
+		t.Fatal("DefaultConfig reported as zero")
+	}
+	// A partially filled config must NOT be treated as zero (the bug the
+	// old `o.Config == (Config{})` comparison would reintroduce).
+	partial := Config{ChunkCount: 8}
+	if partial.IsZero() {
+		t.Fatal("partially filled config treated as zero")
+	}
+}
+
+// TestConfigIsZeroCoversEveryField walks the struct by reflection: for
+// each field, a config with only that field set must be non-zero. This
+// fails the moment Config grows a field that IsZero forgets to check.
+func TestConfigIsZeroCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		v := reflect.New(typ).Elem()
+		fv := v.Field(i)
+		switch {
+		case fv.CanInt():
+			fv.SetInt(1)
+		case fv.CanUint():
+			fv.SetUint(1)
+		case fv.CanFloat():
+			fv.SetFloat(1)
+		case fv.Kind() == reflect.Bool:
+			fv.SetBool(true)
+		default:
+			t.Fatalf("field %s has kind %s: teach this test (and IsZero) about it", f.Name, fv.Kind())
+		}
+		if v.Interface().(Config).IsZero() {
+			t.Fatalf("config with only %s set reported as zero — IsZero misses the field", f.Name)
+		}
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	if got := (Config{}).Normalized(); got != DefaultConfig() {
+		t.Fatalf("zero config normalized to %+v, want defaults", got)
+	}
+	// Non-zero configs keep their values but get sane-clamped.
+	c := DefaultConfig()
+	c.SignificanceBytes = 1 << 20
+	if got := c.Normalized(); got.SignificanceBytes != 1<<20 {
+		t.Fatal("normalization discarded a chosen threshold")
+	}
+	broken := Config{SignificanceBytes: 1, ChunkCount: 1}
+	if got := broken.Normalized(); got.ChunkCount < 2 {
+		t.Fatalf("normalization did not clamp ChunkCount: %+v", got)
+	}
+}

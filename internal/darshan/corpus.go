@@ -1,14 +1,16 @@
 package darshan
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/mosaic-hpc/mosaic/internal/parallel"
 )
 
 // Corpus utilities: reading and writing directories of trace files, the
@@ -83,6 +85,44 @@ func ListCorpus(dir string) ([]string, error) {
 	return paths, nil
 }
 
+// ScanCorpus streams the trace paths under dir in deterministic lexical
+// walk order, calling fn for each. It stops early — returning ctx.Err()
+// — when ctx is cancelled or fn returns false. Unlike ListCorpus it
+// never materializes the full path list, so the first trace can flow
+// into a pipeline before the walk finishes: this is the Scan stage of
+// the engine.
+func ScanCorpus(ctx context.Context, dir string, fn func(path string) bool) error {
+	errStop := fmt.Errorf("darshan: scan stopped")
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if d.IsDir() {
+			return nil
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ExtBinary, ExtJSON, ExtText:
+			if !fn(path) {
+				return errStop
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		return nil
+	case err == errStop: //nolint:errorlint // sentinel, never wrapped
+		return ctx.Err()
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		return fmt.Errorf("darshan: scanning corpus %s: %w", dir, err)
+	}
+}
+
 // CorpusEntry is one trace streamed out of a corpus directory: either a
 // decoded job or the error that prevented decoding it (the path is always
 // set). Decoding errors are data, not failures: the pre-processing funnel
@@ -150,7 +190,7 @@ func StreamCorpusParallel(dir string, workers int) (<-chan CorpusEntry, error) {
 		return nil, err
 	}
 	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = parallel.DefaultWorkers()
 	}
 	type slot struct {
 		idx   int

@@ -10,17 +10,18 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
-	"sync"
 	"sync/atomic"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/parallel"
 )
 
 // ServiceName is the RPC service name workers register.
@@ -118,14 +119,27 @@ func (c *Client) Close() error { return c.c.Close() }
 // Categorize sends one trace to the worker. An invalid trace returns
 // (nil, reason, nil).
 func (c *Client) Categorize(j *darshan.Job, cfg core.Config) (*core.Result, string, error) {
+	return c.CategorizeContext(context.Background(), j, cfg)
+}
+
+// CategorizeContext is Categorize with cancellation: when ctx ends
+// before the RPC completes, it returns ctx.Err() without waiting for the
+// reply (the in-flight call is abandoned to net/rpc's bookkeeping).
+func (c *Client) CategorizeContext(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, string, error) {
 	data, err := darshan.MarshalBinary(j)
 	if err != nil {
 		return nil, "", err
 	}
 	args := &CategorizeArgs{Trace: data, Config: cfg}
 	var reply CategorizeReply
-	if err := c.c.Call(ServiceName+".Categorize", args, &reply); err != nil {
-		return nil, "", fmt.Errorf("dist: RPC: %w", err)
+	call := c.c.Go(ServiceName+".Categorize", args, &reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	case done := <-call.Done:
+		if done.Error != nil {
+			return nil, "", fmt.Errorf("dist: RPC: %w", done.Error)
+		}
 	}
 	if !reply.Valid {
 		return nil, reply.Reason, nil
@@ -149,16 +163,53 @@ type Outcome struct {
 }
 
 // Master fans traces out over a set of workers, each handling several
-// in-flight requests, with failover across workers.
+// in-flight requests, with failover across workers. It is an alternate
+// executor for the engine's Categorize stage (it satisfies
+// engine.Executor): pass it as mosaic.Options.Executor and the staged
+// pipeline runs its detection chain on the remote cluster instead of
+// in-process — no separate orchestration loop.
 type Master struct {
 	clients []*Client
 	cfg     core.Config
 	dead    []atomic.Bool // dead[i]: worker i hit a transport error
+	next    atomic.Int64  // round-robin home-worker cursor
+	// PerWorker is the number of in-flight requests per worker used to
+	// size the stage concurrency (Concurrency); <= 0 means 2, enough to
+	// overlap RPC round trips with remote compute.
+	PerWorker int
 }
 
 // NewMaster wraps the given worker connections.
 func NewMaster(clients []*Client, cfg core.Config) *Master {
 	return &Master{clients: clients, cfg: cfg, dead: make([]atomic.Bool, len(clients))}
+}
+
+// Concurrency implements the engine executor contract: how many
+// categorizations the engine should keep in flight across the cluster.
+func (m *Master) Concurrency() int {
+	per := m.PerWorker
+	if per < 1 {
+		per = 2
+	}
+	return len(m.clients) * per
+}
+
+// Categorize implements the engine's Categorize-stage executor: one
+// validated trace in, one result out, with round-robin load spreading
+// and failover across workers. Traces the cluster judges invalid (a
+// master/worker validation skew) surface as errors here, since the
+// engine's funnel has already filtered corrupted traces.
+func (m *Master) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error) {
+	home := int(m.next.Add(1)-1) % max(len(m.clients), 1)
+	out := m.dispatch(ctx, j, cfg, home)
+	switch {
+	case out.Err != nil:
+		return nil, out.Err
+	case out.Result == nil:
+		return nil, fmt.Errorf("dist: worker rejected validated trace %d: %s", j.JobID, out.Reason)
+	default:
+		return out.Result, nil
+	}
 }
 
 // LiveWorkers returns how many workers have not failed.
@@ -172,20 +223,27 @@ func (m *Master) LiveWorkers() int {
 	return n
 }
 
-// dispatch categorizes one job with failover: starting from the stream's
+// dispatch categorizes one job with failover: starting from the job's
 // home worker, it tries every live worker in round-robin order, marking
 // workers dead on transport errors. When every worker has failed, the
-// last error is reported in the outcome.
-func (m *Master) dispatch(j *darshan.Job, home int) Outcome {
+// last error is reported in the outcome; cancellation surfaces as
+// ctx.Err() without marking workers dead.
+func (m *Master) dispatch(ctx context.Context, j *darshan.Job, cfg core.Config, home int) Outcome {
 	n := len(m.clients)
 	var lastErr error
 	for k := 0; k < n; k++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{Err: err}
+		}
 		ci := (home + k) % n
 		if m.dead[ci].Load() {
 			continue
 		}
-		res, reason, err := m.clients[ci].Categorize(j, m.cfg)
+		res, reason, err := m.clients[ci].CategorizeContext(ctx, j, cfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				return Outcome{Err: ctx.Err()}
+			}
 			m.dead[ci].Store(true)
 			lastErr = err
 			continue
@@ -203,26 +261,18 @@ func (m *Master) dispatch(j *darshan.Job, home int) Outcome {
 // input channel is exhausted. Order is not preserved. Transport failures
 // fail over to the remaining workers; a job is reported with an error
 // only when every worker has failed.
+//
+// Run predates the engine and is kept for direct channel-style use; the
+// fan-out itself is parallel.Map, so there is no second orchestration
+// loop. New code should prefer driving the engine with the Master as
+// Options.Executor, which adds the funnel and aggregation around the
+// same dispatch path.
 func (m *Master) Run(jobs <-chan *darshan.Job, perWorker int) <-chan Outcome {
 	if perWorker < 1 {
 		perWorker = 2
 	}
-	out := make(chan Outcome, len(m.clients)*perWorker)
-	var wg sync.WaitGroup
-	for ci := range m.clients {
-		for s := 0; s < perWorker; s++ {
-			wg.Add(1)
-			go func(home int) {
-				defer wg.Done()
-				for j := range jobs {
-					out <- m.dispatch(j, home)
-				}
-			}(ci)
-		}
-	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
-	return out
+	return parallel.Map(context.Background(), len(m.clients)*perWorker, jobs, func(j *darshan.Job) Outcome {
+		home := int(m.next.Add(1)-1) % max(len(m.clients), 1)
+		return m.dispatch(context.Background(), j, m.cfg, home)
+	})
 }

@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"context"
 	"net"
 	"testing"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
 )
 
 func startWorker(t *testing.T) string {
@@ -214,5 +216,65 @@ func TestMasterAllWorkersDead(t *testing.T) {
 	}
 	if failed != 1 {
 		t.Fatalf("failed = %d, want 1 (no live workers)", failed)
+	}
+}
+
+// TestMasterAsEngineExecutor proves the distributed Master plugs into the
+// staged engine as the Categorize-stage executor: same funnel, same
+// aggregation, remote detection — no second orchestration loop.
+func TestMasterAsEngineExecutor(t *testing.T) {
+	addrs := []string{startWorker(t), startWorker(t)}
+	var clients []*Client
+	for _, a := range addrs {
+		c, err := Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+	}
+	m := NewMaster(clients, core.DefaultConfig())
+	if m.Concurrency() != 4 {
+		t.Fatalf("Concurrency = %d, want 2 workers x 2 in flight", m.Concurrency())
+	}
+
+	jobs := make([]*darshan.Job, 0, 12)
+	for i := 1; i <= 12; i++ {
+		j := testJob(uint64(i))
+		j.User = "u" // same app: dedup keeps one group, 12 runs
+		jobs = append(jobs, j)
+	}
+	res, err := engine.Run(context.Background(), engine.Jobs(jobs), engine.Options{Executor: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.Total != 12 || res.Funnel.UniqueApps != 1 || len(res.Apps) != 1 {
+		t.Fatalf("unexpected engine result: funnel %+v, %d apps", res.Funnel, len(res.Apps))
+	}
+	if res.Apps[0].Runs != 12 {
+		t.Fatalf("runs = %d, want 12", res.Apps[0].Runs)
+	}
+	if !res.Apps[0].Result.Categories.Has(category.Temporal(category.DirRead, category.OnStart)) {
+		t.Fatalf("remote categorization lost categories: %v", res.Apps[0].Result.Labels)
+	}
+}
+
+// TestMasterExecutorCancellation: an in-flight RPC abandoned by ctx
+// cancellation surfaces ctx.Err() without marking the worker dead.
+func TestMasterExecutorCancellation(t *testing.T) {
+	addr := startWorker(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	m := NewMaster([]*Client{c}, core.DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Categorize(ctx, testJob(1), core.DefaultConfig()); err == nil {
+		t.Fatal("cancelled executor call succeeded")
+	}
+	if m.LiveWorkers() != 1 {
+		t.Fatal("cancellation marked the worker dead")
 	}
 }

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+)
+
+// testJobs builds a deterministic mixed corpus: n valid traces across
+// several (user, app) groups plus a few corrupted ones.
+func testJobs(t *testing.T, n int) []*darshan.Job {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]*darshan.Job, 0, n)
+	for i := 0; i < n; i++ {
+		user := fmt.Sprintf("u%d", i%5)
+		app := fmt.Sprintf("/bin/app%d", i%7)
+		b := gen.NewBuilder(rng, user, app, uint64(i+1), 8, 3600)
+		b.Burst(gen.BurstSpec{At: 30, Duration: 60, Bytes: 1 << 30, Records: 4})
+		j := b.Job()
+		if i%9 == 8 {
+			j.Runtime = -1 // corrupted: evicted by the funnel
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func TestRunMatchesSequentialPipeline(t *testing.T) {
+	jobs := testJobs(t, 60)
+	res, err := Run(context.Background(), Jobs(jobs), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the pre-engine orchestration, run sequentially.
+	pre := core.NewPreprocessor()
+	for _, j := range jobs {
+		pre.Add(j, nil)
+	}
+	wantFunnel := pre.Stats()
+	groups := pre.Groups()
+
+	if res.Funnel.Total != wantFunnel.Total ||
+		res.Funnel.Corrupted != wantFunnel.Corrupted ||
+		res.Funnel.Valid != wantFunnel.Valid ||
+		res.Funnel.UniqueApps != wantFunnel.UniqueApps {
+		t.Fatalf("funnel mismatch: got %+v want %+v", res.Funnel, wantFunnel)
+	}
+	if len(res.Apps) != len(groups) {
+		t.Fatalf("apps = %d, want %d", len(res.Apps), len(groups))
+	}
+	cfg := core.DefaultConfig()
+	for i, g := range groups {
+		a := res.Apps[i]
+		if a.User != g.User || a.App != g.App || a.Runs != g.Runs {
+			t.Fatalf("app %d: got (%s,%s,%d) want (%s,%s,%d)",
+				i, a.User, a.App, a.Runs, g.User, g.App, g.Runs)
+		}
+		want, err := core.Categorize(g.Heaviest, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Result.Categories.Equal(want.Categories) {
+			t.Fatalf("app %s/%s categories %v, want %v", g.User, g.App, a.Result.Labels, want.Labels)
+		}
+	}
+}
+
+func TestRunDirSourceDecodesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(t, 20)
+	valid := make([]*darshan.Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Runtime > 0 {
+			valid = append(valid, j)
+		}
+	}
+	if err := darshan.WriteCorpus(dir, valid); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Dir(dir), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WriteCorpus overwrites same-named files (user_app_jobid), so count
+	// distinct paths rather than len(valid).
+	paths, err := darshan.ListCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.Total != len(paths) {
+		t.Fatalf("funnel total = %d, want %d files", res.Funnel.Total, len(paths))
+	}
+	if res.Funnel.Corrupted != 0 || len(res.Apps) == 0 {
+		t.Fatalf("unexpected funnel %+v", res.Funnel)
+	}
+}
+
+// slowExec delays each categorization so cancellation lands mid-stage.
+type slowExec struct {
+	delay time.Duration
+}
+
+func (s slowExec) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return core.Categorize(j, cfg)
+}
+
+func (s slowExec) Concurrency() int { return 2 }
+
+func TestRunCancellationPromptNoLeaks(t *testing.T) {
+	jobs := testJobs(t, 80)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Jobs(jobs), Options{
+			Workers:  4,
+			Executor: slowExec{delay: 50 * time.Millisecond},
+			Buffer:   2,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the pipeline spin up
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pipeline did not shut down after cancel")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("shutdown took %v, not prompt", waited)
+	}
+
+	// Every stage goroutine must have exited; poll because the final few
+	// unwind just after Run returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after cancel", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	jobs := testJobs(t, 40)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, Jobs(jobs), Options{Executor: slowExec{delay: 200 * time.Millisecond}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// failExec fails on selected users and records how many calls ran.
+type failExec struct {
+	failUser string
+	calls    chan string
+}
+
+func (f failExec) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error) {
+	if f.calls != nil {
+		select {
+		case f.calls <- j.User:
+		default:
+		}
+	}
+	if j.User == f.failUser {
+		return nil, fmt.Errorf("synthetic failure for %s", j.User)
+	}
+	return core.Categorize(j, cfg)
+}
+
+func (f failExec) Concurrency() int { return 1 }
+
+func TestRunFailFast(t *testing.T) {
+	jobs := testJobs(t, 60)
+	res, err := Run(context.Background(), Jobs(jobs), Options{
+		Executor: failExec{failUser: "u0"},
+	})
+	if err == nil || !containsStr(err.Error(), "synthetic failure") {
+		t.Fatalf("fail-fast error %v does not carry the cause", err)
+	}
+	if res != nil {
+		t.Fatal("fail-fast must not return a partial analysis")
+	}
+}
+
+func TestRunCollectAll(t *testing.T) {
+	jobs := testJobs(t, 60)
+	res, err := Run(context.Background(), Jobs(jobs), Options{
+		Policy:   CollectAll,
+		Executor: failExec{failUser: "u0"},
+	})
+	if err == nil {
+		t.Fatal("collect-all swallowed the errors")
+	}
+	if res == nil {
+		t.Fatal("collect-all must return the partial analysis")
+	}
+	// u0 owns several app groups; every one of them must be reported.
+	var wantFailures int
+	pre := core.NewPreprocessor()
+	for _, j := range jobs {
+		pre.Add(j, nil)
+	}
+	for _, g := range pre.Groups() {
+		if g.User == "u0" {
+			wantFailures++
+		}
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("collect-all error %T is not an errors.Join result", err)
+	}
+	if got := len(joined.Unwrap()); got != wantFailures {
+		t.Fatalf("collected %d errors, want %d", got, wantFailures)
+	}
+	if len(res.Apps)+wantFailures != pre.Stats().UniqueApps {
+		t.Fatalf("partial apps %d + failures %d != groups %d",
+			len(res.Apps), wantFailures, pre.Stats().UniqueApps)
+	}
+	for _, a := range res.Apps {
+		if a.User == "u0" {
+			t.Fatal("failed app leaked into results")
+		}
+	}
+}
+
+func TestObserverCountsAndTimings(t *testing.T) {
+	jobs := testJobs(t, 45)
+	st := NewStats()
+	res, err := Run(context.Background(), Jobs(jobs), Options{Workers: 3, Observer: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := st.Snapshot()
+	if len(snaps) != len(Stages()) {
+		t.Fatalf("got %d stage snapshots, want %d", len(snaps), len(Stages()))
+	}
+	for _, s := range snaps {
+		if !s.Started || !s.Finished {
+			t.Fatalf("stage %s not started/finished: %+v", s.Stage, s)
+		}
+		if s.InFlight != 0 {
+			t.Fatalf("stage %s still in flight after run: %+v", s.Stage, s)
+		}
+	}
+	if out := st.Stage(StageScan).Out; out != int64(len(jobs)) {
+		t.Fatalf("scan out = %d, want %d", out, len(jobs))
+	}
+	if in := st.Stage(StageDecode).In; in != int64(len(jobs)) {
+		t.Fatalf("decode in = %d, want %d", in, len(jobs))
+	}
+	if in := st.Stage(StageFunnel).In; in != int64(len(jobs)) {
+		t.Fatalf("funnel in = %d, want %d", in, len(jobs))
+	}
+	if out := st.Stage(StageFunnel).Out; out != int64(res.Funnel.UniqueApps) {
+		t.Fatalf("funnel out = %d, want %d groups", out, res.Funnel.UniqueApps)
+	}
+	if got := st.Stage(StageCategorize).Out; got != int64(len(res.Apps)) {
+		t.Fatalf("categorize out = %d, want %d", got, len(res.Apps))
+	}
+	if got := st.Stage(StageAggregate).In; got != int64(len(res.Apps)) {
+		t.Fatalf("aggregate in = %d, want %d", got, len(res.Apps))
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats summary")
+	}
+}
+
+func TestRunZeroConfigUsesDefaults(t *testing.T) {
+	jobs := testJobs(t, 10)
+	res, err := Run(context.Background(), Jobs(jobs), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) == 0 {
+		t.Fatal("zero-config run produced no apps")
+	}
+}
+
+func TestScanErrorSurfaces(t *testing.T) {
+	boom := errors.New("boom")
+	src := SourceFunc(func(ctx context.Context, emit func(Ref) bool) error {
+		emit(Ref{Job: testJobs(t, 1)[0]})
+		return boom
+	})
+	_, err := Run(context.Background(), src, Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("scan error lost: %v", err)
+	}
+}
+
+func TestEntriesSourceCountsReadErrors(t *testing.T) {
+	jobs := testJobs(t, 6)
+	entries := []darshan.CorpusEntry{
+		{Path: "a", Job: jobs[0]},
+		{Path: "b", Err: errors.New("unreadable gzip")},
+		{Path: "c", Job: jobs[2]},
+	}
+	res, err := Run(context.Background(), Entries(entries), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.Total != 3 || res.Funnel.Corrupted != 1 {
+		t.Fatalf("funnel %+v, want 3 total / 1 corrupted", res.Funnel)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

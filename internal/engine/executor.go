@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// Executor runs the Categorize stage for one validated trace. The
+// default Local executor calls the in-process detection chain; the
+// distributed Master (internal/dist) satisfies the same interface and
+// fans the stage out over RPC workers — the engine does not know the
+// difference, which is the seam future backends (sharded, cached,
+// accelerated) plug into.
+type Executor interface {
+	// Categorize analyzes one validated trace under ctx. Implementations
+	// must return promptly with ctx.Err() once ctx is cancelled.
+	Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error)
+	// Concurrency returns how many in-flight categorizations the engine
+	// should maintain (<= 0 selects the engine's worker default).
+	Concurrency() int
+}
+
+// Local is the in-process executor: one categorization per worker
+// goroutine, the Dispy-free fast path.
+type Local struct {
+	// Workers is the desired stage concurrency (<= 0: engine default).
+	Workers int
+}
+
+// Categorize implements Executor.
+func (l Local) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.Categorize(j, cfg)
+}
+
+// Concurrency implements Executor.
+func (l Local) Concurrency() int { return l.Workers }

@@ -7,23 +7,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/gen"
-	"github.com/mosaic-hpc/mosaic/internal/parallel"
 	"github.com/mosaic-hpc/mosaic/internal/report"
 	"github.com/mosaic-hpc/mosaic/internal/stats"
 )
 
-// CorpusRun is the shared machinery: generate the corpus, run the funnel,
-// categorize every deduplicated application in parallel, aggregate.
+// CorpusRun is the shared machinery: generate the corpus and push it
+// through the staged engine (funnel, parallel categorization,
+// aggregation), keeping the per-stage breakdown for perf attribution.
 type CorpusRun struct {
 	Profile gen.Profile
 	Config  core.Config
@@ -32,9 +32,10 @@ type CorpusRun struct {
 	Results []AppOutcome
 	Agg     *report.Aggregator
 
-	GenerateTime    time.Duration // wall time spent generating + funneling
-	CategorizeTime  time.Duration // wall time spent categorizing
-	TracesPerSecond float64       // corpus traces funneled per second overall
+	Stages          []engine.StageSnapshot // per-stage counts and wall times
+	GenerateTime    time.Duration          // wall time of generate+funnel (funnel stage)
+	CategorizeTime  time.Duration          // wall time of the categorize stage
+	TracesPerSecond float64                // corpus traces funneled per second overall
 }
 
 // AppOutcome pairs one application's result with its run count and ground
@@ -45,49 +46,47 @@ type AppOutcome struct {
 	Truth  category.Set
 }
 
+// corpusSource streams a generated corpus into the engine's Scan stage:
+// traces are materialized lazily in plan order, so memory stays flat
+// even for whole-year-shaped corpora.
+type corpusSource struct{ c *gen.Corpus }
+
+func (s corpusSource) Scan(ctx context.Context, emit func(engine.Ref) bool) error {
+	s.c.Each(func(r gen.Run) bool {
+		return emit(engine.Ref{Job: r.Job})
+	})
+	return ctx.Err()
+}
+
 // Run executes the pipeline with the given worker count (<= 0: NumCPU).
 func Run(p gen.Profile, cfg core.Config, workers int) (*CorpusRun, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return RunContext(context.Background(), p, cfg, workers)
+}
+
+// RunContext is Run with cancellation: the corpus streams through the
+// staged engine, and cancelling ctx stops generation, funnel and
+// categorization promptly.
+func RunContext(ctx context.Context, p gen.Profile, cfg core.Config, workers int) (*CorpusRun, error) {
 	cr := &CorpusRun{Profile: p, Config: cfg}
-	corpus := gen.Plan(p)
-
+	st := engine.NewStats()
 	start := time.Now()
-	pre := core.NewPreprocessor()
-	corpus.Each(func(r gen.Run) bool {
-		pre.Add(r.Job, nil)
-		return true
+	res, err := engine.Run(ctx, corpusSource{gen.Plan(p)}, engine.Options{
+		Config:   cfg,
+		Workers:  workers,
+		Observer: st,
 	})
-	cr.GenerateTime = time.Since(start)
-	cr.Funnel = pre.Stats()
-
-	groups := pre.Groups()
-	cr.Results = make([]AppOutcome, len(groups))
-	var firstErr error
-	var mu sync.Mutex
-	catStart := time.Now()
-	parallel.ForEach(workers, len(groups), func(i int) {
-		res, err := core.Categorize(groups[i].Heaviest, cfg)
-		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s/%s: %w", groups[i].User, groups[i].App, err)
-			}
-			mu.Unlock()
-			return
-		}
-		cr.Results[i] = AppOutcome{Result: res, Runs: groups[i].Runs, Truth: gen.Truth(groups[i].Heaviest)}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	cr.CategorizeTime = time.Since(catStart)
-
-	cr.Agg = report.NewAggregator()
-	for _, r := range cr.Results {
-		cr.Agg.Add(r.Result, r.Runs)
+	cr.Funnel = res.Funnel
+	cr.Agg = res.Agg
+	cr.Results = make([]AppOutcome, len(res.Apps))
+	for i, a := range res.Apps {
+		cr.Results[i] = AppOutcome{Result: a.Result, Runs: a.Runs, Truth: gen.Truth(a.Job)}
 	}
+	cr.Stages = st.Snapshot()
+	cr.GenerateTime = st.Stage(engine.StageFunnel).Wall
+	cr.CategorizeTime = st.Stage(engine.StageCategorize).Wall
 	total := time.Since(start)
 	if total > 0 {
 		cr.TracesPerSecond = float64(cr.Funnel.Total) / total.Seconds()

@@ -51,6 +51,40 @@ func ForEach(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachCtx is ForEach with prompt cancellation: once ctx is done, no
+// new indices are dispatched (in-flight invocations finish) and the
+// context's error is returned. This is the fail-fast primitive: cancel
+// the context on the first error and remaining work stops promptly
+// instead of running the corpus to completion.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 // Map applies fn to every item arriving on in, using the given number of
 // workers, and sends results on the returned channel (closed when the
 // input is exhausted or the context is cancelled). Result order is not

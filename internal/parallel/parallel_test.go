@@ -160,3 +160,44 @@ func TestDefaultWorkersPositive(t *testing.T) {
 		t.Fatal("DefaultWorkers < 1")
 	}
 }
+
+func TestForEachCtxCoversAllIndices(t *testing.T) {
+	const n = 500
+	var hits [n]atomic.Int32
+	if err := ForEachCtx(context.Background(), 8, n, func(i int) {
+		hits[i].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForEachCtxStopsPromptlyOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 2, 1_000_000, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers stop dispatching after cancel: far fewer than n ran.
+	if got := ran.Load(); got > 1000 {
+		t.Fatalf("%d indices ran after cancellation", got)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if err := ForEachCtx(ctx, 4, 100, func(i int) { ran.Add(1) }); err == nil {
+		t.Fatal("pre-cancelled context not surfaced")
+	}
+}

@@ -4,31 +4,82 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
-	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/parallel"
 	"github.com/mosaic-hpc/mosaic/internal/report"
 )
 
+// Engine types, re-exported. The corpus pipeline exists exactly once, as
+// the staged stream Scan → Decode → Funnel → Categorize → Aggregate in
+// internal/engine; every entry point below is a thin wrapper over it.
+type (
+	// ErrorPolicy selects fail-fast vs collect-all error handling.
+	ErrorPolicy = engine.ErrorPolicy
+	// Observer receives per-stage pipeline events.
+	Observer = engine.Observer
+	// StageStats is the built-in Observer collecting per-stage counters
+	// and timings; safe to snapshot while the pipeline runs.
+	StageStats = engine.Stats
+	// StageSnapshot is the point-in-time view of one stage's counters.
+	StageSnapshot = engine.StageSnapshot
+	// StageID names one pipeline stage.
+	StageID = engine.StageID
+	// Executor runs the Categorize stage; the distributed Master is an
+	// alternate implementation.
+	Executor = engine.Executor
+)
+
+// Error policies.
+const (
+	// FailFast cancels in-flight work on the first error (default).
+	FailFast = engine.FailFast
+	// CollectAll skips failed apps and returns every error via errors.Join.
+	CollectAll = engine.CollectAll
+)
+
+// Pipeline stage identifiers.
+const (
+	StageScan       = engine.StageScan
+	StageDecode     = engine.StageDecode
+	StageFunnel     = engine.StageFunnel
+	StageCategorize = engine.StageCategorize
+	StageAggregate  = engine.StageAggregate
+)
+
+// NewStageStats returns an empty per-stage counter collector to pass as
+// Options.Observer.
+func NewStageStats() *StageStats { return engine.NewStats() }
+
 // Options configures the corpus pipeline.
 type Options struct {
-	// Config holds the detection thresholds; zero value means
-	// DefaultConfig.
+	// Config holds the detection thresholds; a zero value (Config.IsZero)
+	// selects DefaultConfig. Normalization happens once, at the engine
+	// boundary.
 	Config Config
-	// Workers is the categorization parallelism (<= 0: one per CPU).
+	// Workers is the decode/categorization parallelism (<= 0: one per CPU).
 	Workers int
+	// Policy selects the error policy (default FailFast).
+	Policy ErrorPolicy
+	// Observer, when non-nil, receives per-stage events (see NewStageStats).
+	Observer Observer
+	// Executor, when non-nil, replaces the in-process Categorize stage —
+	// pass a *Master to categorize on remote workers.
+	Executor Executor
 }
 
-func (o Options) config() Config {
-	if o.Config == (Config{}) {
-		return DefaultConfig()
+func (o Options) engine() engine.Options {
+	return engine.Options{
+		Config:   o.Config,
+		Workers:  o.Workers,
+		Policy:   o.Policy,
+		Observer: o.Observer,
+		Executor: o.Executor,
 	}
-	return o.Config
 }
 
 // AppResult pairs an application's categorization with its execution
@@ -46,95 +97,84 @@ type Analysis struct {
 	Aggregate *Aggregator
 }
 
-// AnalyzeJobs runs the full pipeline over in-memory traces: funnel
-// (validation + deduplication), parallel categorization of each
-// application's heaviest run, and aggregation.
+func fromEngine(r *engine.Result) *Analysis {
+	if r == nil {
+		return nil
+	}
+	apps := make([]AppResult, len(r.Apps))
+	for i, a := range r.Apps {
+		apps[i] = AppResult{Result: a.Result, Runs: a.Runs}
+	}
+	return &Analysis{Funnel: r.Funnel, Apps: apps, Aggregate: r.Agg}
+}
+
+// AnalyzeJobsContext runs the full pipeline over in-memory traces:
+// funnel (validation + deduplication), parallel categorization of each
+// application's heaviest run, and aggregation. Cancelling ctx stops
+// in-flight work promptly and returns the context's error.
+func AnalyzeJobsContext(ctx context.Context, jobs []*Job, opt Options) (*Analysis, error) {
+	res, err := engine.Run(ctx, engine.Jobs(jobs), opt.engine())
+	return fromEngine(res), err
+}
+
+// AnalyzeJobs is AnalyzeJobsContext with context.Background, preserved
+// for callers predating the context-first API.
 func AnalyzeJobs(jobs []*Job, opt Options) (*Analysis, error) {
-	pre := core.NewPreprocessor()
-	for _, j := range jobs {
-		pre.Add(j, nil)
-	}
-	return analyzeGroups(pre, opt)
+	return AnalyzeJobsContext(context.Background(), jobs, opt)
 }
 
-// AnalyzeCorpus streams every trace under dir through the pipeline.
-// Decode failures count as corrupted traces, like damaged logs in the
-// Blue Waters dataset.
+// AnalyzeCorpusContext streams every trace under dir through the
+// pipeline: paths are scanned and decoded concurrently with
+// categorization, bounded channels keep memory flat, and cancelling ctx
+// drains every stage without goroutine leaks. Decode failures count as
+// corrupted traces, like damaged logs in the Blue Waters dataset.
+func AnalyzeCorpusContext(ctx context.Context, dir string, opt Options) (*Analysis, error) {
+	res, err := engine.Run(ctx, engine.Dir(dir), opt.engine())
+	return fromEngine(res), err
+}
+
+// AnalyzeCorpus is AnalyzeCorpusContext with context.Background,
+// preserved for callers predating the context-first API.
 func AnalyzeCorpus(dir string, opt Options) (*Analysis, error) {
-	entries, err := darshan.StreamCorpusParallel(dir, opt.Workers)
-	if err != nil {
-		return nil, err
-	}
-	pre := core.NewPreprocessor()
-	for e := range entries {
-		pre.Add(e.Job, e.Err)
-	}
-	return analyzeGroups(pre, opt)
-}
-
-func analyzeGroups(pre *core.Preprocessor, opt Options) (*Analysis, error) {
-	cfg := opt.config()
-	groups := pre.Groups()
-	results := make([]AppResult, len(groups))
-	var firstErr error
-	var mu sync.Mutex
-	parallel.ForEach(opt.Workers, len(groups), func(i int) {
-		res, err := core.Categorize(groups[i].Heaviest, cfg)
-		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("mosaic: app %s/%s: %w", groups[i].User, groups[i].App, err)
-			}
-			mu.Unlock()
-			return
-		}
-		results[i] = AppResult{Result: res, Runs: groups[i].Runs}
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	agg := report.NewAggregator()
-	for _, r := range results {
-		agg.Add(r.Result, r.Runs)
-	}
-	return &Analysis{Funnel: pre.Stats(), Apps: results, Aggregate: agg}, nil
+	return AnalyzeCorpusContext(context.Background(), dir, opt)
 }
 
 // CategorizeAll runs Categorize over many traces in parallel, preserving
 // input order. Invalid traces yield a nil Result (with validation applied
-// first); pipeline errors abort.
+// first); pipeline errors abort, and cancellation stops remaining work
+// promptly.
 func CategorizeAll(ctx context.Context, jobs []*Job, opt Options) ([]*Result, error) {
-	cfg := opt.config()
+	cfg := opt.Config.Normalized()
 	out := make([]*Result, len(jobs))
-	var firstErr error
 	var mu sync.Mutex
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	parallel.ForEach(workers, len(jobs), func(i int) {
-		if ctx.Err() != nil {
-			return
-		}
+	var firstErr error
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Worker defaulting lives in parallel.DefaultWorkers (via ForEachCtx);
+	// cancellation — external or fail-fast — stops dispatch promptly.
+	perr := parallel.ForEachCtx(ctx, opt.Workers, len(jobs), func(i int) {
 		if err := darshan.Validate(jobs[i]); err != nil {
 			return // corrupted: nil result
 		}
-		res, err := core.Categorize(jobs[i], cfg)
+		res, err := Categorize(jobs[i], cfg)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
 				firstErr = err
+				cancel() // fail fast: stop remaining categorizations
 			}
 			mu.Unlock()
 			return
 		}
 		out[i] = res
 	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	mu.Lock()
+	defer mu.Unlock()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if perr != nil {
+		return nil, perr
 	}
 	return out, nil
 }
