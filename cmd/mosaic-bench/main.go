@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,25 +25,27 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/experiments"
 	"github.com/mosaic-hpc/mosaic/internal/report"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig3, table2, table3, fig4, fig5, accuracy, stability, perf, ablation, dxt, sched")
-		apps    = flag.Int("apps", 1500, "number of unique applications in the synthetic corpus")
-		seed    = flag.Int64("seed", 1, "corpus seed")
-		workers = flag.Int("workers", 0, "categorization workers (0 = NumCPU)")
-		sample  = flag.Int("sample", 512, "sample size for the accuracy experiment")
-		outDir  = flag.String("out", "", "also write machine-readable artifacts (JSON, CSV, PNG figures) to this directory")
+		exp      = flag.String("exp", "all", "experiment: all, fig3, table2, table3, fig4, fig5, accuracy, stability, perf, ablation, dxt, sched")
+		apps     = flag.Int("apps", 1500, "number of unique applications in the synthetic corpus")
+		seed     = flag.Int64("seed", 1, "corpus seed")
+		workers  = flag.Int("workers", 0, "categorization workers (0 = NumCPU)")
+		sample   = flag.Int("sample", 512, "sample size for the accuracy experiment")
+		outDir   = flag.String("out", "", "also write machine-readable artifacts (JSON, CSV, PNG figures) to this directory")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON of the shared corpus run to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *apps, *seed, *workers, *sample, *outDir); err != nil {
+	if err := run(*exp, *apps, *seed, *workers, *sample, *outDir, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mosaic-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, apps int, seed int64, workers, sample int, outDir string) error {
+func run(exp string, apps int, seed int64, workers, sample int, outDir, traceOut string) error {
 	out := os.Stdout
 	cfg := core.DefaultConfig()
 	profile := experiments.ScaledProfile(seed, apps)
@@ -51,14 +54,28 @@ func run(exp string, apps int, seed int64, workers, sample int, outDir string) e
 		fmt.Fprintf(out, "\n%s\n%s\n", name, strings.Repeat("=", len(name)))
 	}
 
-	// Experiments that need the full corpus run share one.
+	// Experiments that need the full corpus run share one; -trace-out
+	// forces the run so the span recorder has something to export.
 	var cr *experiments.CorpusRun
-	needCorpus := want("table2") || want("table3") || want("fig4") || want("fig5")
+	needCorpus := want("table2") || want("table3") || want("fig4") || want("fig5") || traceOut != ""
 	if needCorpus {
+		var tel *telemetry.Telemetry
+		var obs engine.Observer
+		if traceOut != "" {
+			tel = telemetry.New(telemetry.Config{Spans: true})
+			obs = tel
+		}
 		var err error
-		cr, err = experiments.Run(profile, cfg, workers)
+		cr, err = experiments.RunObserved(context.Background(), profile, cfg, workers, obs)
 		if err != nil {
 			return err
+		}
+		if tel != nil {
+			tel.FinishRun()
+			if err := writeChromeTrace(traceOut, tel); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace written to %s (%d spans)\n", traceOut, tel.Spans().Len())
 		}
 		fmt.Fprintf(out, "corpus: %d traces / %d valid / %d unique apps — generated+funneled in %v, categorized in %v\n",
 			cr.Funnel.Total, cr.Funnel.Valid, cr.Funnel.UniqueApps,
@@ -149,22 +166,32 @@ func run(exp string, apps int, seed int64, workers, sample int, outDir string) e
 }
 
 // writeStageBreakdown prints the engine's per-stage counters and wall
-// times, so a perf regression in BENCH_*.json runs can be attributed to
-// one stage (decode vs categorize throughput, funnel stall, ...).
+// times via the renderer shared with `mosaic -progress`, so a perf
+// regression in BENCH_*.json runs can be attributed to one stage
+// (decode vs categorize throughput, funnel stall, ...).
 func writeStageBreakdown(out io.Writer, stages []engine.StageSnapshot) {
 	if len(stages) == 0 {
 		return
 	}
 	fmt.Fprintf(out, "pipeline stage breakdown:\n")
-	fmt.Fprintf(out, "  %-12s %10s %10s %8s %12s %14s\n", "stage", "in", "out", "errors", "wall", "items/s")
-	for _, s := range stages {
-		tp := "-"
-		if t := s.Throughput(); t > 0 {
-			tp = fmt.Sprintf("%.0f", t)
-		}
-		fmt.Fprintf(out, "  %-12s %10d %10d %8d %12v %14s\n",
-			s.Stage, s.In, s.Out, s.Errors, s.Wall.Round(time.Millisecond), tp)
+	engine.WriteStageTable(out, stages)
+}
+
+// writeChromeTrace stores the recorded spans as a Chrome trace-event
+// JSON document.
+func writeChromeTrace(path string, tel *telemetry.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	werr := tel.Spans().WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	return nil
 }
 
 // writeArtifacts stores the machine-readable outputs of a corpus run:

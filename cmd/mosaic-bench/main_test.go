@@ -12,7 +12,7 @@ func TestRunEachExperimentSmall(t *testing.T) {
 	for _, exp := range []string{"fig3", "table2", "table3", "fig4", "fig5", "accuracy", "stability", "perf", "dxt", "sched", "ablation"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 80, 1, 2, 32, ""); err != nil {
+			if err := run(exp, 80, 1, 2, 32, "", ""); err != nil {
 				t.Fatalf("experiment %s: %v", exp, err)
 			}
 		})
@@ -21,7 +21,7 @@ func TestRunEachExperimentSmall(t *testing.T) {
 
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("table3", 80, 1, 2, 16, dir); err != nil {
+	if err := run("table3", 80, 1, 2, 16, dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"export.json", "categories.csv", "jaccard.csv", "apps.csv", "heatmap.png", "metadata.png"} {

@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/gen"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 func main() {
@@ -26,20 +28,27 @@ func main() {
 		corruption = flag.Float64("corruption", 0.32, "fraction of traces to corrupt")
 		maxTraces  = flag.Int("max-traces", 2000, "stop after writing this many traces")
 		jsonFmt    = flag.Bool("json", false, "write JSON traces instead of binary")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mosaic-gen:", err)
+		os.Exit(2)
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "mosaic-gen: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *apps, *seed, *corruption, *maxTraces, *jsonFmt); err != nil {
-		fmt.Fprintln(os.Stderr, "mosaic-gen:", err)
+	if err := run(*out, *apps, *seed, *corruption, *maxTraces, *jsonFmt, log); err != nil {
+		log.Error("generation failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, apps int, seed int64, corruption float64, maxTraces int, jsonFmt bool) error {
+func run(out string, apps int, seed int64, corruption float64, maxTraces int, jsonFmt bool, log *slog.Logger) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -70,8 +79,12 @@ func run(out string, apps int, seed int64, corruption float64, maxTraces int, js
 	if werr != nil {
 		return werr
 	}
-	fmt.Printf("wrote %d traces (%d corrupted, %.0f%%) from %d planned apps to %s\n",
-		written, corrupted, 100*float64(corrupted)/float64(max(1, written)), len(corpus.Apps), out)
+	log.Info("corpus written",
+		"traces", written,
+		"corrupted", corrupted,
+		"corrupted_pct", fmt.Sprintf("%.0f", 100*float64(corrupted)/float64(max(1, written))),
+		"apps", len(corpus.Apps),
+		"dir", out)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +13,7 @@ import (
 
 func TestGenWritesBinaryCorpus(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 5, 1, 0.32, 40, false); err != nil {
+	if err := run(dir, 5, 1, 0.32, 40, false, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 	paths, err := mosaic.ListCorpus(dir)
@@ -31,7 +33,7 @@ func TestGenWritesBinaryCorpus(t *testing.T) {
 
 func TestGenWritesJSONCorpus(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 3, 2, 0, 10, true); err != nil {
+	if err := run(dir, 3, 2, 0, 10, true, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -61,10 +63,10 @@ func TestGenWritesJSONCorpus(t *testing.T) {
 
 func TestGenDeterministicBySeed(t *testing.T) {
 	d1, d2 := t.TempDir(), t.TempDir()
-	if err := run(d1, 3, 7, 0.3, 25, false); err != nil {
+	if err := run(d1, 3, 7, 0.3, 25, false, testLogger()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(d2, 3, 7, 0.3, 25, false); err != nil {
+	if err := run(d2, 3, 7, 0.3, 25, false, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 	p1, _ := mosaic.ListCorpus(d1)
@@ -83,4 +85,9 @@ func TestGenDeterministicBySeed(t *testing.T) {
 	if string(b1) != string(b2) {
 		t.Fatal("same seed produced different corpora")
 	}
+}
+
+// testLogger returns a discard-backed slog logger for run() calls.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 
 	"github.com/mosaic-hpc/mosaic"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 func main() {
@@ -28,15 +30,22 @@ func main() {
 		jobGBs    = flag.Float64("job-gbs", 10, "per-job bandwidth cap, GB/s")
 		seed      = flag.Int64("seed", 1, "workload seed (synthetic mode)")
 		maxJobs   = flag.Int("max-jobs", 64, "cap on scheduled jobs (corpus mode)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
-	if err := run(*corpusDir, *synthetic, *slots, *pfsGBs, *jobGBs, *seed, *maxJobs); err != nil {
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mosaic-sim:", err)
+		os.Exit(2)
+	}
+	if err := run(*corpusDir, *synthetic, *slots, *pfsGBs, *jobGBs, *seed, *maxJobs, log); err != nil {
+		log.Error("simulation failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(corpusDir string, synthetic bool, slots int, pfsGBs, jobGBs float64, seed int64, maxJobs int) error {
+func run(corpusDir string, synthetic bool, slots int, pfsGBs, jobGBs float64, seed int64, maxJobs int, log *slog.Logger) error {
 	cfg := mosaic.SchedConfig{
 		Slots:        slots,
 		PFSBandwidth: pfsGBs * 1e9,
@@ -57,8 +66,8 @@ func run(corpusDir string, synthetic bool, slots int, pfsGBs, jobGBs float64, se
 			}
 			jobs = append(jobs, mosaic.SchedJobFromResult(app.Result, len(jobs)))
 		}
-		fmt.Printf("scheduling %d applications from %s (%d traces analyzed)\n",
-			len(jobs), corpusDir, analysis.Funnel.Total)
+		log.Info("scheduling corpus applications",
+			"jobs", len(jobs), "corpus", corpusDir, "traces", analysis.Funnel.Total)
 		// Stagger by the heaviest observed start-read at job bandwidth.
 		var maxRead float64
 		for _, j := range jobs {
@@ -71,7 +80,7 @@ func run(corpusDir string, synthetic bool, slots int, pfsGBs, jobGBs float64, se
 		spec := mosaic.DefaultSchedWorkloadSpec()
 		jobs = mosaic.BuildSchedWorkload(spec, rand.New(rand.NewSource(seed)))
 		stagger = spec.ReadBytes / cfg.JobBandwidth
-		fmt.Printf("scheduling the synthetic contended workload (%d jobs)\n", len(jobs))
+		log.Info("scheduling synthetic contended workload", "jobs", len(jobs))
 	default:
 		return fmt.Errorf("pass -corpus <dir> or -synthetic")
 	}

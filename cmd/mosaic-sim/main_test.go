@@ -1,13 +1,16 @@
 package main
 
 import (
+	"io"
+	"log/slog"
+
 	"testing"
 
 	"github.com/mosaic-hpc/mosaic"
 )
 
 func TestSimSyntheticMode(t *testing.T) {
-	if err := run("", true, 32, 20, 10, 1, 64); err != nil {
+	if err := run("", true, 32, 20, 10, 1, 64, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,13 +33,18 @@ func TestSimCorpusMode(t *testing.T) {
 		n++
 		return true
 	})
-	if err := run(dir, false, 16, 20, 10, 1, 16); err != nil {
+	if err := run(dir, false, 16, 20, 10, 1, 16, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSimRequiresInput(t *testing.T) {
-	if err := run("", false, 16, 20, 10, 1, 16); err == nil {
+	if err := run("", false, 16, 20, 10, 1, 16, testLogger()); err == nil {
 		t.Fatal("no input mode accepted")
 	}
+}
+
+// testLogger returns a discard-backed slog logger for run() calls.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

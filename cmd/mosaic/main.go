@@ -15,6 +15,13 @@
 // Corpus runs are cancellable: Ctrl-C (SIGINT) or -timeout drains every
 // pipeline stage cleanly, and -progress shows live per-stage counters
 // fed by the engine's observer.
+//
+// Corpus runs are also observable: -trace-out writes a Chrome
+// trace-event JSON of every trace's journey through the pipeline
+// (openable in Perfetto / chrome://tracing), -slow K reports the K
+// slowest traces per stage, -debug-addr serves live /metrics,
+// /debug/engine and pprof while the run is in flight, and
+// -log-level/-log-format control structured diagnostics.
 package main
 
 import (
@@ -23,12 +30,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/mosaic-hpc/mosaic"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +56,12 @@ func main() {
 		anonSalt = flag.String("anonymize", "", "when converting, anonymize identities with this salt")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		progress = flag.Bool("progress", false, "print live per-stage pipeline progress to stderr (corpus mode)")
+
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the corpus run to this file (open in Perfetto / chrome://tracing)")
+		slowK     = flag.Int("slow", 0, "print the K slowest traces per stage after a corpus run (0 = off)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/engine and pprof during the run (empty: disabled)")
+		logLevel  = flag.String("log-level", "warn", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mosaic [flags] <trace-file | corpus-dir>\n")
@@ -64,6 +79,12 @@ func main() {
 	cfg.SpikeHighRate = *spikeHi
 	cfg.SpikeRate = *spike
 
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mosaic:", err)
+		os.Exit(2)
+	}
+
 	// SIGINT/SIGTERM cancel the pipeline context: the engine drains its
 	// stages and the process exits cleanly instead of mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,7 +95,13 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, flag.Arg(0), cfg, *workers, *explain, *jsonOut, *heatmap, *timeline, *convert, *anonSalt, *progress)
+	err = run(ctx, flag.Arg(0), cfg, *workers, *explain, *jsonOut, *heatmap, *timeline, *convert, *anonSalt, corpusOpts{
+		progress:  *progress,
+		traceOut:  *traceOut,
+		slowK:     *slowK,
+		debugAddr: *debugAddr,
+		log:       log,
+	})
 	switch {
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "mosaic: interrupted")
@@ -88,13 +115,27 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, target string, cfg mosaic.Config, workers int, explain bool, jsonOut string, heatmap, timeline bool, convert, anonSalt string, progress bool) error {
+// corpusOpts bundles the observability knobs of a corpus run.
+type corpusOpts struct {
+	progress  bool
+	traceOut  string // Chrome trace-event JSON output path
+	slowK     int    // slowest-traces-per-stage report size
+	debugAddr string // live introspection server address
+	log       *slog.Logger
+}
+
+// telemetryEnabled reports whether any knob needs a telemetry bundle.
+func (o corpusOpts) telemetryEnabled() bool {
+	return o.traceOut != "" || o.slowK > 0 || o.debugAddr != ""
+}
+
+func run(ctx context.Context, target string, cfg mosaic.Config, workers int, explain bool, jsonOut string, heatmap, timeline bool, convert, anonSalt string, co corpusOpts) error {
 	info, err := os.Stat(target)
 	if err != nil {
 		return err
 	}
 	if info.IsDir() {
-		return runCorpus(ctx, target, cfg, workers, jsonOut, heatmap, progress)
+		return runCorpus(ctx, target, cfg, workers, jsonOut, heatmap, co)
 	}
 	if convert != "" {
 		return runConvert(target, convert, anonSalt)
@@ -152,17 +193,47 @@ func runSingle(path string, cfg mosaic.Config, explain bool, jsonOut string, tim
 	return nil
 }
 
-func runCorpus(ctx context.Context, dir string, cfg mosaic.Config, workers int, jsonOut string, heatmap, progress bool) error {
+func runCorpus(ctx context.Context, dir string, cfg mosaic.Config, workers int, jsonOut string, heatmap bool, co corpusOpts) error {
 	opt := mosaic.Options{Config: cfg, Workers: workers}
+
+	var tel *mosaic.Telemetry
+	if co.telemetryEnabled() {
+		tel = mosaic.NewTelemetry(mosaic.TelemetryConfig{
+			Spans:  co.traceOut != "",
+			SlowK:  co.slowK,
+			Logger: co.log,
+		})
+		opt.Telemetry = tel
+		if co.debugAddr != "" {
+			dbg, err := mosaic.StartDebugServer(co.debugAddr, tel)
+			if err != nil {
+				return fmt.Errorf("debug server: %w", err)
+			}
+			defer dbg.Close()
+		}
+	}
+
+	var stats *mosaic.StageStats
 	var stopProgress func()
-	if progress {
-		stats := mosaic.NewStageStats()
-		opt.Observer = stats
+	if co.progress {
+		if tel != nil {
+			stats = tel.Stats() // one collector feeds progress and /debug/engine
+		} else {
+			stats = mosaic.NewStageStats()
+			opt.Observer = stats
+		}
 		stopProgress = startProgress(stats)
 	}
 	analysis, err := mosaic.AnalyzeCorpusContext(ctx, dir, opt)
 	if stopProgress != nil {
 		stopProgress()
+		fmt.Fprintln(os.Stderr, "pipeline stage breakdown:")
+		stats.WriteTable(os.Stderr)
+	}
+	if tel != nil {
+		if werr := writeCorpusTelemetry(tel, co); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		return err
@@ -178,6 +249,39 @@ func runCorpus(ctx context.Context, dir string, cfg mosaic.Config, workers int, 
 			results = append(results, a.Result)
 		}
 		return writeJSON(jsonOut, results)
+	}
+	return nil
+}
+
+// writeCorpusTelemetry flushes post-run telemetry artifacts: the Chrome
+// trace-event JSON (-trace-out) and the slowest-traces report (-slow).
+func writeCorpusTelemetry(tel *mosaic.Telemetry, co corpusOpts) error {
+	if co.traceOut != "" {
+		f, err := os.Create(co.traceOut)
+		if err != nil {
+			return err
+		}
+		werr := tel.Spans().WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", co.traceOut, werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans; open in Perfetto or chrome://tracing)\n",
+			co.traceOut, tel.Spans().Len())
+	}
+	if co.slowK > 0 {
+		for _, stage := range []string{"decode", "funnel", "categorize"} {
+			entries := tel.Slow().Slowest(stage)
+			if len(entries) == 0 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "slowest in %s:\n", stage)
+			for _, e := range entries {
+				fmt.Fprintf(os.Stderr, "  %12v  %s\n", e.Dur.Round(time.Microsecond), e.Name)
+			}
+		}
 	}
 	return nil
 }

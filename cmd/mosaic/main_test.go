@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -28,16 +29,16 @@ func TestRunSingleTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := writeTestTrace(t, dir, "a.mosd")
 	cfg := mosaic.DefaultConfig()
-	if err := run(context.Background(), path, cfg, 1, false, "", false, false, "", "", false); err != nil {
+	if err := run(context.Background(), path, cfg, 1, false, "", false, false, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// Explain + timeline paths.
-	if err := run(context.Background(), path, cfg, 1, true, "", false, true, "", "", false); err != nil {
+	if err := run(context.Background(), path, cfg, 1, true, "", false, true, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// JSON output.
 	jsonPath := filepath.Join(dir, "out.json")
-	if err := run(context.Background(), path, cfg, 1, false, jsonPath, false, false, "", "", false); err != nil {
+	if err := run(context.Background(), path, cfg, 1, false, jsonPath, false, false, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
@@ -50,7 +51,7 @@ func TestRunCorpusDir(t *testing.T) {
 	writeTestTrace(t, dir, "a.mosd")
 	writeTestTrace(t, dir, "b.mosd")
 	jsonPath := filepath.Join(dir, "corpus.json")
-	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, jsonPath, true, false, "", "", false); err != nil {
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, jsonPath, true, false, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
@@ -63,7 +64,7 @@ func TestRunConvertAndAnonymize(t *testing.T) {
 	path := writeTestTrace(t, dir, "a.mosd")
 	for _, out := range []string{"b.json", "c.txt", "d.mosd"} {
 		target := filepath.Join(dir, out)
-		if err := run(context.Background(), path, mosaic.DefaultConfig(), 1, false, "", false, false, target, "pepper", false); err != nil {
+		if err := run(context.Background(), path, mosaic.DefaultConfig(), 1, false, "", false, false, target, "pepper", corpusOpts{}); err != nil {
 			t.Fatalf("convert to %s: %v", out, err)
 		}
 		back, err := mosaic.ReadTrace(target)
@@ -88,13 +89,13 @@ func TestRunRejectsCorruptedSingle(t *testing.T) {
 	if err := mosaic.WriteTrace(bad, j); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), bad, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", false); err == nil {
+	if err := run(context.Background(), bad, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", corpusOpts{}); err == nil {
 		t.Fatal("corrupted single trace accepted")
 	}
 }
 
 func TestRunMissingTarget(t *testing.T) {
-	if err := run(context.Background(), "/nonexistent/path", mosaic.DefaultConfig(), 1, false, "", false, false, "", "", false); err == nil {
+	if err := run(context.Background(), "/nonexistent/path", mosaic.DefaultConfig(), 1, false, "", false, false, "", "", corpusOpts{}); err == nil {
 		t.Fatal("missing target accepted")
 	}
 }
@@ -104,7 +105,7 @@ func TestRunCorpusCancelled(t *testing.T) {
 	writeTestTrace(t, dir, "a.mosd")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, dir, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", false)
+	err := run(ctx, dir, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", corpusOpts{})
 	if err == nil {
 		t.Fatal("cancelled corpus run succeeded")
 	}
@@ -114,7 +115,41 @@ func TestRunCorpusProgress(t *testing.T) {
 	dir := t.TempDir()
 	writeTestTrace(t, dir, "a.mosd")
 	writeTestTrace(t, dir, "b.mosd")
-	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, "", false, false, "", "", true); err != nil {
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, "", false, false, "", "", corpusOpts{progress: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCorpusTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	writeTestTrace(t, dir, "a.mosd")
+	writeTestTrace(t, dir, "b.mosd")
+	tracePath := filepath.Join(t.TempDir(), "run.trace.json")
+	co := corpusOpts{traceOut: tracePath, slowK: 3}
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, "", false, false, "", "", co); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace-out artifact is not valid trace-event JSON: %v", err)
+	}
+	var decodes int
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "decode" && e.Ph == "X" {
+			decodes++
+		}
+	}
+	if decodes != 2 {
+		t.Fatalf("want 2 decode spans (one per trace), got %d", decodes)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // Binary codec for Darshan-like logs. Real Darshan logs are a compressed
@@ -171,11 +172,16 @@ func (e *encoder) encodeBody(j *Job) {
 	e.f64(j.Runtime)
 
 	e.u32(uint32(len(j.Metadata)))
-	// Deterministic output is not required for the metadata map (it is
-	// free-form annotation), but tests compare round-trips structurally.
-	for k, v := range j.Metadata {
+	// Metadata keys are emitted sorted so that encoding is a pure function
+	// of the Job value: same corpus seed ⇒ byte-identical .mosd files.
+	keys := make([]string, 0, len(j.Metadata))
+	for k := range j.Metadata {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		e.str(k)
-		e.str(v)
+		e.str(j.Metadata[k])
 	}
 
 	e.u32(uint32(len(j.Records)))

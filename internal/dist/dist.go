@@ -14,14 +14,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/rpc"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/parallel"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 // ServiceName is the RPC service name workers register.
@@ -42,20 +46,36 @@ type CategorizeReply struct {
 	Result []byte // JSON-encoded core.Result when Valid
 }
 
-// Service is the worker-side RPC receiver.
-type Service struct{}
+// Service is the worker-side RPC receiver. The metric fields are nil
+// on uninstrumented servers.
+type Service struct {
+	rpcSeconds *telemetry.Histogram
+	rpcTotal   *telemetry.Counter
+	rpcInvalid *telemetry.Counter
+}
 
 // Categorize decodes, validates and categorizes one trace.
 func (s *Service) Categorize(args *CategorizeArgs, reply *CategorizeReply) error {
+	if s.rpcTotal != nil {
+		s.rpcTotal.Inc()
+		start := time.Now()
+		defer func() { s.rpcSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	j, err := darshan.UnmarshalBinary(args.Trace)
 	if err != nil {
 		reply.Valid = false
 		reply.Reason = "unreadable: " + err.Error()
+		if s.rpcInvalid != nil {
+			s.rpcInvalid.Inc()
+		}
 		return nil
 	}
 	if err := darshan.Validate(j); err != nil {
 		reply.Valid = false
 		reply.Reason = err.Error()
+		if s.rpcInvalid != nil {
+			s.rpcInvalid.Inc()
+		}
 		return nil
 	}
 	res, err := core.Categorize(j, args.Config)
@@ -71,12 +91,76 @@ func (s *Service) Categorize(args *CategorizeArgs, reply *CategorizeReply) error
 	return nil
 }
 
-// Serve registers the service on a fresh RPC server and accepts
-// connections on l until it is closed. It blocks.
-func Serve(l net.Listener) error {
+// Server is the worker-side RPC endpoint with observability and
+// graceful shutdown: it tracks every open master connection, logs
+// connect/disconnect events, counts served RPCs, and on Shutdown stops
+// accepting, then drains in-flight connections instead of dying
+// mid-RPC.
+type Server struct {
+	// Log receives connection lifecycle events (nil: silent).
+	Log *slog.Logger
+	// Metrics, when non-nil, receives worker metrics
+	// (mosaic_dist_worker_*): open connections, totals, RPC latency.
+	Metrics *telemetry.Registry
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closing  bool
+	drained  sync.WaitGroup
+}
+
+// NewServer returns a worker server. Both fields may be set before
+// Serve.
+func NewServer(log *slog.Logger, reg *telemetry.Registry) *Server {
+	return &Server{Log: log, Metrics: reg, conns: make(map[net.Conn]struct{})}
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.drained.Add(1)
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.drained.Done()
+	}
+	s.mu.Unlock()
+}
+
+// Serve accepts master connections on l until the listener closes (or
+// Shutdown is called). It blocks; a clean shutdown returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(ServiceName, &Service{}); err != nil {
+	svc := &Service{}
+	if s.Metrics != nil {
+		svc.rpcSeconds = s.Metrics.Histogram("mosaic_dist_worker_rpc_seconds", "Latency of one worker-side Categorize RPC.", nil, nil)
+		svc.rpcTotal = s.Metrics.Counter("mosaic_dist_worker_rpc_total", "Categorize RPCs served by this worker.", nil)
+		svc.rpcInvalid = s.Metrics.Counter("mosaic_dist_worker_rpc_invalid_total", "Categorize RPCs that carried an invalid trace.", nil)
+	}
+	if err := srv.RegisterName(ServiceName, svc); err != nil {
 		return err
+	}
+	var openConns *telemetry.Gauge
+	var connsTotal *telemetry.Counter
+	if s.Metrics != nil {
+		openConns = s.Metrics.Gauge("mosaic_dist_worker_connections", "Currently open master connections.", nil)
+		connsTotal = s.Metrics.Counter("mosaic_dist_worker_connections_total", "Master connections accepted since start.", nil)
 	}
 	for {
 		conn, err := l.Accept()
@@ -86,8 +170,70 @@ func Serve(l net.Listener) error {
 			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		if !s.track(conn) { // shutting down: refuse late arrivals
+			conn.Close()
+			continue
+		}
+		if s.Log != nil {
+			s.Log.Info("master connected", "remote", conn.RemoteAddr().String())
+		}
+		if openConns != nil {
+			openConns.Inc()
+			connsTotal.Inc()
+		}
+		go func(c net.Conn) {
+			srv.ServeConn(c)
+			s.untrack(c)
+			if openConns != nil {
+				openConns.Dec()
+			}
+			if s.Log != nil {
+				s.Log.Info("master disconnected", "remote", c.RemoteAddr().String())
+			}
+		}(conn)
 	}
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// connections to drain, or for ctx to end — at which point remaining
+// connections are closed forcibly. It is safe to call concurrently
+// with Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	l := s.listener
+	open := len(s.conns)
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	if s.Log != nil {
+		s.Log.Info("draining", "open_connections", open)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.drained.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Serve registers the service on a fresh RPC server and accepts
+// connections on l until it is closed. It blocks. Kept as the plain
+// uninstrumented path; new callers wanting logs, metrics or graceful
+// drain should use Server.
+func Serve(l net.Listener) error {
+	return (&Server{}).Serve(l)
 }
 
 // ListenAndServe serves workers on the given TCP address. It blocks.
@@ -101,7 +247,8 @@ func ListenAndServe(addr string) error {
 
 // Client is a connection to one worker.
 type Client struct {
-	c *rpc.Client
+	c    *rpc.Client
+	addr string
 }
 
 // Dial connects to a worker at addr.
@@ -110,8 +257,12 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing worker %s: %w", addr, err)
 	}
-	return &Client{c: c}, nil
+	return &Client{c: c, addr: addr}, nil
 }
+
+// Addr returns the worker address the client dialed ("" for clients
+// constructed around an existing rpc.Client in tests).
+func (c *Client) Addr() string { return c.addr }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.c.Close() }
@@ -177,11 +328,38 @@ type Master struct {
 	// size the stage concurrency (Concurrency); <= 0 means 2, enough to
 	// overlap RPC round trips with remote compute.
 	PerWorker int
+	// Log, when non-nil, receives dispatch lifecycle events: retries
+	// after a transport error, workers marked dead, dispatch exhaustion.
+	Log *slog.Logger
+
+	// Master-side metrics; nil unless Instrument was called.
+	rpcSeconds *telemetry.Histogram
+	retries    *telemetry.Counter
+	rpcErrors  *telemetry.Counter
+	deadTotal  *telemetry.Counter
+	liveGauge  *telemetry.Gauge
 }
 
 // NewMaster wraps the given worker connections.
 func NewMaster(clients []*Client, cfg core.Config) *Master {
 	return &Master{clients: clients, cfg: cfg, dead: make([]atomic.Bool, len(clients))}
+}
+
+// Instrument registers master-side RPC metrics (mosaic_dist_rpc_*,
+// mosaic_dist_workers_live) in reg and routes dispatch lifecycle
+// events to log. Either argument may be nil. Call before the first
+// dispatch.
+func (m *Master) Instrument(reg *telemetry.Registry, log *slog.Logger) *Master {
+	m.Log = log
+	if reg != nil {
+		m.rpcSeconds = reg.Histogram("mosaic_dist_rpc_seconds", "Latency of one master-side Categorize RPC attempt.", nil, nil)
+		m.retries = reg.Counter("mosaic_dist_rpc_retries_total", "Dispatch attempts re-routed to another worker after a transport error.", nil)
+		m.rpcErrors = reg.Counter("mosaic_dist_rpc_errors_total", "Categorize RPC attempts that failed with a transport error.", nil)
+		m.deadTotal = reg.Counter("mosaic_dist_workers_dead_total", "Workers marked dead after a transport error.", nil)
+		m.liveGauge = reg.Gauge("mosaic_dist_workers_live", "Workers not yet marked dead.", nil)
+		m.liveGauge.Set(float64(len(m.clients)))
+	}
+	return m
 }
 
 // Concurrency implements the engine executor contract: how many
@@ -239,12 +417,35 @@ func (m *Master) dispatch(ctx context.Context, j *darshan.Job, cfg core.Config, 
 		if m.dead[ci].Load() {
 			continue
 		}
+		if k > 0 && m.retries != nil {
+			m.retries.Inc()
+		}
+		start := time.Now()
 		res, reason, err := m.clients[ci].CategorizeContext(ctx, j, cfg)
+		if m.rpcSeconds != nil {
+			m.rpcSeconds.Observe(time.Since(start).Seconds())
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return Outcome{Err: ctx.Err()}
 			}
-			m.dead[ci].Store(true)
+			if m.rpcErrors != nil {
+				m.rpcErrors.Inc()
+			}
+			if !m.dead[ci].Swap(true) {
+				if m.deadTotal != nil {
+					m.deadTotal.Inc()
+				}
+				if m.liveGauge != nil {
+					m.liveGauge.Set(float64(m.LiveWorkers()))
+				}
+				if m.Log != nil {
+					m.Log.Error("worker marked dead", "worker", m.clients[ci].Addr(), "err", err)
+				}
+			}
+			if m.Log != nil {
+				m.Log.Warn("dispatch retrying on next worker", "job", j.JobID, "failed_worker", m.clients[ci].Addr(), "err", err)
+			}
 			lastErr = err
 			continue
 		}
@@ -252,6 +453,9 @@ func (m *Master) dispatch(ctx context.Context, j *darshan.Job, cfg core.Config, 
 	}
 	if lastErr == nil {
 		lastErr = errors.New("dist: no live workers")
+	}
+	if m.Log != nil {
+		m.Log.Error("dispatch exhausted all workers", "job", j.JobID, "err", lastErr)
 	}
 	return Outcome{Err: lastErr}
 }

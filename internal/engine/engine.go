@@ -23,12 +23,27 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/parallel"
 	"github.com/mosaic-hpc/mosaic/internal/report"
 )
+
+// entryName identifies one corpus entry for spans and slow logs: the
+// on-disk path when the trace came from a file, the (user, app)
+// identity for in-memory jobs, a placeholder for unreadable entries.
+func entryName(e darshan.CorpusEntry) string {
+	switch {
+	case e.Path != "":
+		return e.Path
+	case e.Job != nil:
+		return e.Job.User + "/" + e.Job.AppName()
+	default:
+		return "<unreadable>"
+	}
+}
 
 // ErrorPolicy selects how the pipeline reacts to per-item errors
 // (categorization failures; decode failures are funnel data, not
@@ -135,6 +150,10 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 	if buf <= 0 {
 		buf = 64
 	}
+	// Per-item spans are an opt-in extension: when the observer does not
+	// implement SpanObserver, span == nil and no per-item clock reads
+	// happen on the hot path.
+	span, _ := obs.(SpanObserver)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -173,9 +192,16 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 	obs.StageStarted(StageDecode)
 	traces := parallel.MapOrdered(ctx, workers, refs, func(r Ref) darshan.CorpusEntry {
 		obs.ItemIn(StageDecode)
+		var start time.Time
+		if span != nil {
+			start = time.Now()
+		}
 		e := darshan.CorpusEntry{Path: r.Path, Job: r.Job, Err: r.Err}
 		if e.Job == nil && e.Err == nil && r.Path != "" {
 			e.Job, e.Err = darshan.ReadFile(r.Path)
+		}
+		if span != nil {
+			span.ItemSpan(StageDecode, entryName(e), start, time.Since(start))
 		}
 		obs.ItemOut(StageDecode)
 		return e
@@ -208,7 +234,13 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 					break consume
 				}
 				obs.ItemIn(StageFunnel)
-				pre.Add(e.Job, e.Err)
+				if span != nil {
+					start := time.Now()
+					pre.Add(e.Job, e.Err)
+					span.ItemSpan(StageFunnel, entryName(e), start, time.Since(start))
+				} else {
+					pre.Add(e.Job, e.Err)
+				}
 			case <-ctx.Done():
 				close(funnelDone)
 				return
@@ -253,7 +285,14 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 						return
 					}
 					obs.ItemIn(StageCategorize)
+					var start time.Time
+					if span != nil {
+						start = time.Now()
+					}
 					res, err := exec.Categorize(ctx, ig.g.Heaviest, cfg)
+					if span != nil {
+						span.ItemSpan(StageCategorize, ig.g.User+"/"+ig.g.App, start, time.Since(start))
+					}
 					if err != nil {
 						if ctx.Err() != nil {
 							return

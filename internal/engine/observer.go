@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +42,18 @@ type Observer interface {
 	ItemError(s StageID, err error)
 }
 
+// SpanObserver is an optional Observer extension: implementations
+// additionally receive one completed span per item per stage (the
+// trace's decode time, its funnel ingest time, the app's categorize
+// time), identified by the trace path or the app's user/name. The
+// engine type-asserts once per run; when the observer does not
+// implement SpanObserver no per-item clock reads happen at all.
+type SpanObserver interface {
+	// ItemSpan fires after a stage finishes one item. name identifies
+	// the item (trace path, app identity); start and d bound the work.
+	ItemSpan(s StageID, name string, start time.Time, d time.Duration)
+}
+
 // NopObserver ignores every event.
 type NopObserver struct{}
 
@@ -59,8 +72,20 @@ func (NopObserver) ItemOut(StageID) {}
 // ItemError implements Observer.
 func (NopObserver) ItemError(StageID, error) {}
 
-// MultiObserver fans events out to several observers.
-func MultiObserver(obs ...Observer) Observer { return multiObserver(obs) }
+// MultiObserver fans events out to several observers, in argument
+// order. When at least one observer implements SpanObserver the
+// returned composite does too (forwarding spans only to those that
+// do); otherwise it deliberately does not, so the engine skips span
+// clock reads entirely.
+func MultiObserver(obs ...Observer) Observer {
+	m := multiObserver(obs)
+	for _, o := range obs {
+		if _, ok := o.(SpanObserver); ok {
+			return &multiSpanObserver{multiObserver: m}
+		}
+	}
+	return m
+}
 
 type multiObserver []Observer
 
@@ -90,6 +115,20 @@ func (m multiObserver) ItemError(s StageID, e error) {
 	}
 }
 
+// multiSpanObserver is the MultiObserver variant returned when at least
+// one member implements SpanObserver.
+type multiSpanObserver struct {
+	multiObserver
+}
+
+func (m *multiSpanObserver) ItemSpan(s StageID, name string, start time.Time, d time.Duration) {
+	for _, o := range m.multiObserver {
+		if so, ok := o.(SpanObserver); ok {
+			so.ItemSpan(s, name, start, d)
+		}
+	}
+}
+
 // StageSnapshot is the point-in-time view of one stage's counters.
 type StageSnapshot struct {
 	Stage    StageID       `json:"stage"`
@@ -100,6 +139,9 @@ type StageSnapshot struct {
 	Started  bool          `json:"started"`
 	Finished bool          `json:"finished"`
 	Wall     time.Duration `json:"wall_ns"` // stage start to finish (or to now)
+	// ItemsPerSec mirrors Throughput() so JSON snapshots (stages.json,
+	// /debug/engine) carry the rate without the reader re-deriving it.
+	ItemsPerSec float64 `json:"items_per_sec"`
 }
 
 // Throughput returns Out/Wall in items per second (0 when unknown).
@@ -215,6 +257,7 @@ func (t *Stats) Snapshot() []StageSnapshot {
 		case st.started:
 			snap.Wall = t.now().Sub(st.startT)
 		}
+		snap.ItemsPerSec = snap.Throughput()
 		out = append(out, snap)
 	}
 	return out
@@ -230,6 +273,29 @@ func (t *Stats) Stage(id StageID) StageSnapshot {
 	}
 	return StageSnapshot{Stage: id}
 }
+
+// WriteStageTable renders per-stage counters, wall times and rates as
+// an aligned table — the one renderer shared by `mosaic -progress`
+// (final view) and the mosaic-bench stage breakdown, so a perf
+// regression can be attributed to one stage in either frontend.
+func WriteStageTable(w io.Writer, stages []StageSnapshot) {
+	if len(stages) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-12s %10s %10s %8s %12s %14s\n", "stage", "in", "out", "errors", "wall", "items/s")
+	for _, s := range stages {
+		tp := "-"
+		if t := s.Throughput(); t > 0 {
+			tp = fmt.Sprintf("%.0f", t)
+		}
+		fmt.Fprintf(w, "  %-12s %10d %10d %8d %12v %14s\n",
+			s.Stage, s.In, s.Out, s.Errors, s.Wall.Round(time.Millisecond), tp)
+	}
+}
+
+// WriteTable renders the collector's current snapshot via
+// WriteStageTable.
+func (t *Stats) WriteTable(w io.Writer) { WriteStageTable(w, t.Snapshot()) }
 
 // String renders a one-line per-stage summary, the shape used by the
 // mosaic --progress view and the bench breakdown.

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recObserver appends a tagged line per event to a shared log, so fan-out
+// order across observers is checkable.
+type recObserver struct {
+	tag string
+	log *[]string
+}
+
+func (r recObserver) StageStarted(s StageID)  { *r.log = append(*r.log, r.tag+":started:"+string(s)) }
+func (r recObserver) StageFinished(s StageID) { *r.log = append(*r.log, r.tag+":finished:"+string(s)) }
+func (r recObserver) ItemIn(s StageID)        { *r.log = append(*r.log, r.tag+":in:"+string(s)) }
+func (r recObserver) ItemOut(s StageID)       { *r.log = append(*r.log, r.tag+":out:"+string(s)) }
+func (r recObserver) ItemError(s StageID, _ error) {
+	*r.log = append(*r.log, r.tag+":err:"+string(s))
+}
+
+// recSpanObserver additionally records spans.
+type recSpanObserver struct{ recObserver }
+
+func (r recSpanObserver) ItemSpan(s StageID, name string, _ time.Time, _ time.Duration) {
+	*r.log = append(*r.log, r.tag+":span:"+string(s)+":"+name)
+}
+
+func TestMultiObserverFanOutOrdering(t *testing.T) {
+	var log []string
+	a := recObserver{tag: "a", log: &log}
+	b := recObserver{tag: "b", log: &log}
+	m := MultiObserver(a, b)
+
+	m.StageStarted(StageDecode)
+	m.ItemIn(StageDecode)
+	m.ItemOut(StageDecode)
+	m.ItemError(StageDecode, nil)
+	m.StageFinished(StageDecode)
+
+	want := []string{
+		"a:started:decode", "b:started:decode",
+		"a:in:decode", "b:in:decode",
+		"a:out:decode", "b:out:decode",
+		"a:err:decode", "b:err:decode",
+		"a:finished:decode", "b:finished:decode",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("events = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (argument-order fan-out broken)", i, log[i], want[i])
+		}
+	}
+}
+
+func TestMultiObserverSpanPromotion(t *testing.T) {
+	var log []string
+	plain := recObserver{tag: "plain", log: &log}
+	spanful := recSpanObserver{recObserver{tag: "spanful", log: &log}}
+
+	// No member implements SpanObserver → the composite must not either,
+	// so the engine skips per-item clock reads entirely.
+	if _, ok := MultiObserver(plain, plain).(SpanObserver); ok {
+		t.Fatal("composite of plain observers advertises SpanObserver")
+	}
+
+	// One member implements it → composite forwards spans to it only.
+	m := MultiObserver(plain, spanful)
+	so, ok := m.(SpanObserver)
+	if !ok {
+		t.Fatal("composite with a span-capable member lacks SpanObserver")
+	}
+	so.ItemSpan(StageCategorize, "u/app", time.Now(), time.Millisecond)
+	if len(log) != 1 || !strings.HasPrefix(log[0], "spanful:span:categorize") {
+		t.Fatalf("span fan-out = %v, want exactly one spanful event", log)
+	}
+}
+
+func TestStatsWriteTable(t *testing.T) {
+	st := NewStats()
+	st.StageStarted(StageDecode)
+	st.ItemIn(StageDecode)
+	st.ItemOut(StageDecode)
+	st.StageFinished(StageDecode)
+
+	var b strings.Builder
+	st.WriteTable(&b)
+	out := b.String()
+	for _, want := range []string{"stage", "items/s", "decode"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Snapshot carries the JSON rate field.
+	snap := st.Stage(StageDecode)
+	if snap.ItemsPerSec != snap.Throughput() {
+		t.Fatalf("ItemsPerSec = %v, Throughput = %v; want equal", snap.ItemsPerSec, snap.Throughput())
+	}
+}

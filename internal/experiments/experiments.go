@@ -67,13 +67,24 @@ func Run(p gen.Profile, cfg core.Config, workers int) (*CorpusRun, error) {
 // staged engine, and cancelling ctx stops generation, funnel and
 // categorization promptly.
 func RunContext(ctx context.Context, p gen.Profile, cfg core.Config, workers int) (*CorpusRun, error) {
+	return RunObserved(ctx, p, cfg, workers, nil)
+}
+
+// RunObserved is RunContext with an extra pipeline observer (e.g. a
+// telemetry bundle recording per-trace spans) composed alongside the
+// built-in stage-stats collector. obs may be nil.
+func RunObserved(ctx context.Context, p gen.Profile, cfg core.Config, workers int, obs engine.Observer) (*CorpusRun, error) {
 	cr := &CorpusRun{Profile: p, Config: cfg}
 	st := engine.NewStats()
+	var observer engine.Observer = st
+	if obs != nil {
+		observer = engine.MultiObserver(st, obs)
+	}
 	start := time.Now()
 	res, err := engine.Run(ctx, corpusSource{gen.Plan(p)}, engine.Options{
 		Config:   cfg,
 		Workers:  workers,
-		Observer: st,
+		Observer: observer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)

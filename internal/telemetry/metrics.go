@@ -1,0 +1,377 @@
+// Package telemetry is MOSAIC's zero-dependency observability layer:
+// a concurrent-safe metrics registry with Prometheus text exposition,
+// a per-trace span recorder exporting Chrome trace-event JSON, a
+// slow-trace log, structured logging built on log/slog, and a live
+// introspection HTTP server (/metrics, /healthz, /debug/engine, pprof).
+//
+// Everything is opt-in and composes with the engine through its
+// Observer seam: the Telemetry bundle implements engine.Observer (and
+// the per-item engine.SpanObserver extension), so a frontend enables
+// full telemetry by passing one knob and pays near-zero cost when it
+// does not.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is an immutable metric label set. Identity of an instrument in
+// the registry is (name, sorted label pairs).
+type Labels map[string]string
+
+// key renders the canonical identity suffix of a label set.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(l[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	// Prometheus label values escape backslash, double-quote and newline.
+	// %q handles backslash and quote; translate newlines explicitly.
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters are monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the current value.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram observes a distribution of values over configurable
+// cumulative buckets, Prometheus-style: bucket i counts observations
+// <= UpperBounds[i], with an implicit +Inf bucket holding everything.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds, +Inf implicit
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+// DefBuckets are the default histogram buckets, in seconds, spanning
+// microsecond decode latencies to multi-second corpus stages.
+func DefBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue // +Inf is implicit; NaN is meaningless as a bound
+		}
+		bs = append(bs, b)
+	}
+	sort.Float64s(bs)
+	// Deduplicate equal bounds so exposition stays well-formed.
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	bs = dedup
+	return &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Find the first bucket whose bound is >= v.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	UpperBounds []float64 // per-bucket upper bounds (exclusive of +Inf)
+	Counts      []int64   // per-bucket (non-cumulative) counts; last is +Inf
+	Sum         float64
+	Count       int64
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		UpperBounds: append([]float64(nil), h.bounds...),
+		Counts:      append([]int64(nil), h.counts...),
+		Sum:         h.sum,
+		Count:       h.count,
+	}
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the owning bucket; it returns 0 with no observations. The last
+// bucket is approximated by its lower bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.UpperBounds[i-1]
+		}
+		if i >= len(s.UpperBounds) { // +Inf bucket
+			return lo
+		}
+		hi := s.UpperBounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	if n := len(s.UpperBounds); n > 0 {
+		return s.UpperBounds[n-1]
+	}
+	return 0
+}
+
+// metricKind tags an instrument for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels Labels
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry is a concurrent-safe set of named instruments. Registering
+// the same (name, labels) twice returns the existing instrument, so
+// call sites may re-register idempotently.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by name + label key
+	order   []string           // registration order of keys
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels Labels) *metric {
+	key := name + labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: labels}
+	switch kind {
+	case kindCounter:
+		m.ctr = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	}
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.register(name, help, kindCounter, labels).ctr
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.register(name, help, kindGauge, labels).gauge
+}
+
+// Histogram returns the histogram registered under (name, labels) with
+// the given bucket upper bounds (nil: DefBuckets), creating it on first
+// use. Buckets are fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	key := name + labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		return m.hist
+	}
+	if buckets == nil {
+		buckets = DefBuckets()
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, labels: labels, hist: newHistogram(buckets)}
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m.hist
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), grouped by metric name with
+// one # HELP/# TYPE header per family, families in first-registration
+// order and series within a family in label order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type family struct {
+		name, help string
+		kind       metricKind
+		series     []*metric
+	}
+	var fams []*family
+	byName := make(map[string]*family)
+	for _, key := range r.order {
+		m := r.metrics[key]
+		f, ok := byName[m.name]
+		if !ok {
+			f = &family{name: m.name, help: m.help, kind: m.kind}
+			byName[m.name] = f
+			fams = append(fams, f)
+		}
+		f.series = append(f.series, m)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool {
+			return f.series[i].labels.key() < f.series[j].labels.key()
+		})
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, [...]string{"counter", "gauge", "histogram"}[f.kind])
+		for _, m := range f.series {
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels.key(), m.ctr.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels.key(), formatFloat(m.gauge.Value()))
+			case kindHistogram:
+				s := m.hist.Snapshot()
+				var cum int64
+				for i, bound := range s.UpperBounds {
+					cum += s.Counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, withLabel(m.labels, "le", formatFloat(bound)), cum)
+				}
+				cum += s.Counts[len(s.Counts)-1]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, withLabel(m.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels.key(), formatFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels.key(), s.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLabel renders a label key including one extra pair (used for the
+// histogram "le" bound).
+func withLabel(l Labels, k, v string) string {
+	merged := make(Labels, len(l)+1)
+	for key, val := range l {
+		merged[key] = val
+	}
+	merged[k] = v
+	return merged.key()
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation, integers without exponent where possible.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

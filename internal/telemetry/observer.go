@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"log/slog"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/engine"
+)
+
+// Config selects which telemetry components a bundle enables. The zero
+// value enables metrics only.
+type Config struct {
+	// Metrics, when non-nil, is the registry engine metrics land in; nil
+	// creates a fresh registry.
+	Metrics *Registry
+	// Spans enables per-trace span recording (Chrome trace export).
+	Spans bool
+	// SpanLimit caps retained spans (<= 0: unlimited). Long daemon runs
+	// should cap; one-shot corpus runs can keep everything.
+	SpanLimit int
+	// SlowK retains the K slowest traces per stage (<= 0: 10).
+	SlowK int
+	// Logger, when non-nil, receives stage lifecycle log lines at debug
+	// level and per-stage summaries at info level.
+	Logger *slog.Logger
+}
+
+// Telemetry bundles the metrics registry, span recorder, slow log,
+// stage stats and logger behind one engine.Observer. It implements
+// both engine.Observer and engine.SpanObserver, so passing it as (or
+// composing it into) Options.Observer instruments the whole pipeline.
+type Telemetry struct {
+	reg     *Registry
+	spans   *SpanRecorder
+	slow    *SlowLog
+	stats   *engine.Stats
+	log     *slog.Logger
+	started time.Time
+
+	itemsIn   map[engine.StageID]*Counter
+	itemsOut  map[engine.StageID]*Counter
+	itemErrs  map[engine.StageID]*Counter
+	inFlight  map[engine.StageID]*Gauge
+	stageSecs map[engine.StageID]*Gauge
+	itemSecs  map[engine.StageID]*Histogram
+}
+
+// New builds a telemetry bundle. Engine metrics are registered eagerly
+// under the mosaic_engine_* namespace so /metrics is complete before
+// the first run.
+func New(cfg Config) *Telemetry {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	t := &Telemetry{
+		reg:       reg,
+		slow:      NewSlowLog(cfg.SlowK),
+		stats:     engine.NewStats(),
+		log:       cfg.Logger,
+		itemsIn:   make(map[engine.StageID]*Counter),
+		itemsOut:  make(map[engine.StageID]*Counter),
+		itemErrs:  make(map[engine.StageID]*Counter),
+		inFlight:  make(map[engine.StageID]*Gauge),
+		stageSecs: make(map[engine.StageID]*Gauge),
+		itemSecs:  make(map[engine.StageID]*Histogram),
+	}
+	t.started = time.Now() // anchors whole-stage envelope spans (FinishRun)
+	if cfg.Spans {
+		t.spans = NewSpanRecorder(cfg.SpanLimit)
+	}
+	for _, s := range engine.Stages() {
+		l := Labels{"stage": string(s)}
+		t.itemsIn[s] = reg.Counter("mosaic_engine_items_in_total", "Items accepted by a pipeline stage.", l)
+		t.itemsOut[s] = reg.Counter("mosaic_engine_items_out_total", "Items emitted by a pipeline stage.", l)
+		t.itemErrs[s] = reg.Counter("mosaic_engine_item_errors_total", "Items that errored in a pipeline stage.", l)
+		t.inFlight[s] = reg.Gauge("mosaic_engine_in_flight", "Items currently inside a pipeline stage.", l)
+		t.stageSecs[s] = reg.Gauge("mosaic_engine_stage_seconds", "Wall seconds a pipeline stage has been running (final value once finished).", l)
+		t.itemSecs[s] = reg.Histogram("mosaic_engine_item_seconds", "Per-item latency of a pipeline stage.", nil, l)
+	}
+	return t
+}
+
+// Registry returns the bundle's metrics registry (for /metrics and for
+// registering further subsystem metrics, e.g. dist RPC).
+func (t *Telemetry) Registry() *Registry { return t.reg }
+
+// Spans returns the span recorder (nil unless Config.Spans).
+func (t *Telemetry) Spans() *SpanRecorder { return t.spans }
+
+// Slow returns the slow-trace log.
+func (t *Telemetry) Slow() *SlowLog { return t.slow }
+
+// Stats returns the embedded per-stage counter collector, snapshotable
+// while the pipeline runs (it backs /debug/engine).
+func (t *Telemetry) Stats() *engine.Stats { return t.stats }
+
+// Logger returns the bundle's logger (nil when logging is off).
+func (t *Telemetry) Logger() *slog.Logger { return t.log }
+
+// StageStarted implements engine.Observer.
+func (t *Telemetry) StageStarted(s engine.StageID) {
+	t.stats.StageStarted(s)
+	if t.log != nil {
+		t.log.Debug("stage started", "stage", string(s))
+	}
+}
+
+// StageFinished implements engine.Observer.
+func (t *Telemetry) StageFinished(s engine.StageID) {
+	t.stats.StageFinished(s)
+	snap := t.stats.Stage(s)
+	t.stageSecs[s].Set(snap.Wall.Seconds())
+	if t.log != nil {
+		t.log.Debug("stage finished", "stage", string(s),
+			"in", snap.In, "out", snap.Out, "errors", snap.Errors,
+			"wall", snap.Wall, "items_per_sec", snap.Throughput())
+	}
+}
+
+// trackInFlight reports whether in/out counts pair up one-to-one for
+// the stage. Scan only emits and the funnel is a reducing barrier
+// (many traces in, few groups out), so an in-flight gauge is
+// meaningless there.
+func trackInFlight(s engine.StageID) bool {
+	return s != engine.StageScan && s != engine.StageFunnel
+}
+
+// ItemIn implements engine.Observer.
+func (t *Telemetry) ItemIn(s engine.StageID) {
+	t.stats.ItemIn(s)
+	t.itemsIn[s].Inc()
+	if trackInFlight(s) {
+		t.inFlight[s].Inc()
+	}
+}
+
+// ItemOut implements engine.Observer.
+func (t *Telemetry) ItemOut(s engine.StageID) {
+	t.stats.ItemOut(s)
+	t.itemsOut[s].Inc()
+	if trackInFlight(s) {
+		t.inFlight[s].Dec()
+	}
+}
+
+// ItemError implements engine.Observer.
+func (t *Telemetry) ItemError(s engine.StageID, err error) {
+	t.stats.ItemError(s, err)
+	t.itemErrs[s].Inc()
+	if trackInFlight(s) {
+		t.inFlight[s].Dec()
+	}
+	if t.log != nil {
+		t.log.Warn("item error", "stage", string(s), "err", err)
+	}
+}
+
+// ItemSpan implements engine.SpanObserver: it feeds the latency
+// histogram, the slow log, and (when enabled) the span recorder.
+func (t *Telemetry) ItemSpan(s engine.StageID, name string, start time.Time, d time.Duration) {
+	t.itemSecs[s].Observe(d.Seconds())
+	t.slow.Observe(string(s), name, d)
+	if t.spans != nil {
+		t.spans.Record(Span{Name: name, Cat: string(s), Start: start, Dur: d})
+	}
+}
+
+// FinishRun records whole-stage spans (one "X" lane event per stage
+// under the "run" category) after a pipeline run completes, so the
+// Chrome trace shows the stage envelope above the per-trace spans.
+// Safe to call when spans are disabled.
+func (t *Telemetry) FinishRun() {
+	if t.spans == nil {
+		return
+	}
+	base := t.started
+	if base.IsZero() {
+		base = time.Now()
+	}
+	elapsed := time.Duration(0)
+	for _, snap := range t.stats.Snapshot() {
+		if !snap.Started {
+			continue
+		}
+		// Stage start offsets are not individually recorded; anchor every
+		// stage span at the run start. Stages overlap in a streaming
+		// pipeline anyway, so the envelope view stays honest.
+		t.spans.Record(Span{Name: "stage:" + string(snap.Stage), Cat: "run", Start: base, Dur: snap.Wall})
+		if snap.Wall > elapsed {
+			elapsed = snap.Wall
+		}
+	}
+	if t.log != nil {
+		t.log.Info("pipeline run finished", "wall", elapsed, "spans", t.spans.Len(), "dropped_spans", t.spans.Dropped())
+	}
+}
+
+var (
+	_ engine.Observer     = (*Telemetry)(nil)
+	_ engine.SpanObserver = (*Telemetry)(nil)
+)

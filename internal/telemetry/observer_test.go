@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+)
+
+// corpusJobs builds a deterministic valid corpus of n traces across a
+// few (user, app) groups.
+func corpusJobs(n int) []*darshan.Job {
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]*darshan.Job, 0, n)
+	for i := 0; i < n; i++ {
+		b := gen.NewBuilder(rng, fmt.Sprintf("u%d", i%3), fmt.Sprintf("/bin/app%d", i%4), uint64(i+1), 8, 3600)
+		b.Burst(gen.BurstSpec{At: 30, Duration: 60, Bytes: 1 << 30, Records: 4})
+		jobs = append(jobs, b.Job())
+	}
+	return jobs
+}
+
+func TestTelemetryInstrumentsEngineRun(t *testing.T) {
+	tel := New(Config{Spans: true, SlowK: 5})
+	jobs := corpusJobs(24)
+	res, err := engine.Run(context.Background(), engine.Jobs(jobs), engine.Options{
+		Workers:  4,
+		Observer: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.FinishRun()
+
+	// Metrics: decode saw every trace, categorize every unique app.
+	var b strings.Builder
+	if err := tel.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	prom := b.String()
+	if want := fmt.Sprintf(`mosaic_engine_items_out_total{stage="decode"} %d`, len(jobs)); !strings.Contains(prom, want) {
+		t.Fatalf("missing %q in exposition:\n%s", want, prom)
+	}
+	if want := fmt.Sprintf(`mosaic_engine_items_out_total{stage="categorize"} %d`, len(res.Apps)); !strings.Contains(prom, want) {
+		t.Fatalf("missing %q in exposition:\n%s", want, prom)
+	}
+	if !strings.Contains(prom, `mosaic_engine_item_seconds_count{stage="decode"}`) {
+		t.Fatalf("missing decode latency histogram:\n%s", prom)
+	}
+	// In-flight gauges settle to zero after a drained run.
+	for _, stage := range []string{"decode", "categorize", "aggregate"} {
+		if want := fmt.Sprintf(`mosaic_engine_in_flight{stage=%q} 0`, stage); !strings.Contains(prom, want) {
+			t.Fatalf("missing %q (gauge did not settle):\n%s", want, prom)
+		}
+	}
+
+	// Spans: one decode span per trace, one categorize span per app,
+	// plus whole-stage envelope spans from FinishRun.
+	spans := tel.Spans().Export()
+	var decode, categorize, envelope int
+	for _, e := range spans.TraceEvents {
+		switch {
+		case e.Ph != "X":
+		case e.Cat == "decode":
+			decode++
+		case e.Cat == "categorize":
+			categorize++
+		case e.Cat == "run":
+			envelope++
+		}
+	}
+	if decode != len(jobs) {
+		t.Fatalf("decode spans = %d, want %d", decode, len(jobs))
+	}
+	if categorize != len(res.Apps) {
+		t.Fatalf("categorize spans = %d, want %d", categorize, len(res.Apps))
+	}
+	if envelope == 0 {
+		t.Fatal("no whole-stage envelope spans after FinishRun")
+	}
+
+	// Slow log retained categorize entries named user/app.
+	slow := tel.Slow().Slowest("categorize")
+	if len(slow) == 0 {
+		t.Fatal("slow log is empty for categorize")
+	}
+	if !strings.Contains(slow[0].Name, "/") {
+		t.Fatalf("slow entry name %q does not look like user/app", slow[0].Name)
+	}
+
+	// Stats: the same run is visible through the embedded collector.
+	if got := tel.Stats().Stage(engine.StageFunnel).In; got != int64(len(jobs)) {
+		t.Fatalf("funnel in = %d, want %d", got, len(jobs))
+	}
+}
+
+func TestTelemetryWithoutSpansRecordsNoSpans(t *testing.T) {
+	tel := New(Config{})
+	if tel.Spans() != nil {
+		t.Fatal("span recorder allocated without Config.Spans")
+	}
+	// ItemSpan with spans disabled must still feed histogram + slow log.
+	tel.ItemSpan(engine.StageDecode, "x.mosd", time.Now(), time.Millisecond)
+	if len(tel.Slow().Slowest("decode")) != 1 {
+		t.Fatal("slow log missed a span with recording disabled")
+	}
+	tel.FinishRun() // must not panic with spans disabled
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// EngineState is the /debug/engine JSON document: the live per-stage
+// snapshot plus the slowest traces per stage.
+type EngineState struct {
+	Stages []any                  `json:"stages"` // []engine.StageSnapshot (kept as any to avoid a JSON-only import)
+	Slow   map[string][]SlowEntry `json:"slow,omitempty"`
+}
+
+// NewMux builds the introspection handler set:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 "ok" liveness probe
+//	/debug/engine  live engine stage snapshot + slow-trace log (JSON)
+//	/debug/pprof/  net/http/pprof profiles
+//
+// t may be nil, in which case /debug/engine reports an empty state.
+func NewMux(reg *Registry, t *Telemetry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/engine", func(w http.ResponseWriter, r *http.Request) {
+		state := EngineState{Stages: []any{}}
+		if t != nil {
+			for _, s := range t.Stats().Snapshot() {
+				state.Stages = append(state.Stages, s)
+			}
+			state.Slow = t.Slow().Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(state)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection HTTP server.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr.String() }
+
+// Close shuts the server down, draining in-flight requests briefly.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// StartServer binds addr and serves the introspection mux in a
+// background goroutine. A nil log discards serve errors.
+func StartServer(addr string, reg *Registry, t *Telemetry, log *slog.Logger) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, t), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			if log != nil {
+				log.Error("debug server failed", "addr", addr, "err", err)
+			}
+		}
+	}()
+	if log != nil {
+		log.Info("debug server listening", "addr", l.Addr().String())
+	}
+	return &Server{srv: srv, addr: l.Addr()}, nil
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/engine"
+)
+
+func TestMuxMetricsAndEngineEndpoints(t *testing.T) {
+	tel := New(Config{SlowK: 3})
+	// Simulate a little pipeline traffic.
+	tel.StageStarted(engine.StageDecode)
+	for i := 0; i < 5; i++ {
+		tel.ItemIn(engine.StageDecode)
+		tel.ItemOut(engine.StageDecode)
+	}
+	tel.StageFinished(engine.StageDecode)
+
+	srv := httptest.NewServer(NewMux(tel.Registry(), tel))
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// /metrics: Prometheus exposition with engine families.
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE mosaic_engine_items_in_total counter",
+		`mosaic_engine_items_out_total{stage="decode"} 5`,
+		"# TYPE mosaic_engine_item_seconds histogram",
+		"# TYPE mosaic_engine_stage_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /healthz: liveness.
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// /debug/engine: live stage snapshot JSON.
+	code, body, hdr = get("/debug/engine")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/engine status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/debug/engine content-type = %q", ct)
+	}
+	var state struct {
+		Stages []engine.StageSnapshot `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(body), &state); err != nil {
+		t.Fatalf("/debug/engine is not valid JSON: %v\n%s", err, body)
+	}
+	if len(state.Stages) != 1 || state.Stages[0].Stage != engine.StageDecode {
+		t.Fatalf("/debug/engine stages = %+v, want one decode snapshot", state.Stages)
+	}
+	if state.Stages[0].Out != 5 {
+		t.Fatalf("/debug/engine decode out = %d, want 5", state.Stages[0].Out)
+	}
+	if !strings.Contains(body, "items_per_sec") {
+		t.Fatalf("/debug/engine snapshot lacks items_per_sec:\n%s", body)
+	}
+
+	// pprof index responds.
+	code, _, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}
+
+func TestStartServerServesAndCloses(t *testing.T) {
+	tel := New(Config{})
+	srv, err := StartServer("127.0.0.1:0", tel.Registry(), tel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

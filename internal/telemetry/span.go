@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"container/heap"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed timed unit of work: a whole pipeline stage or
+// one trace passing through one stage.
+type Span struct {
+	Name  string        // trace file name, app identity, or stage name
+	Cat   string        // category lane: the stage id
+	Start time.Time     // wall-clock start
+	Dur   time.Duration // elapsed
+}
+
+// SpanRecorder accumulates spans concurrently and exports them in the
+// Chrome trace-event JSON format, loadable in chrome://tracing and
+// Perfetto. The zero value is not usable; call NewSpanRecorder.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	spans []Span
+	epoch time.Time // ts origin for the export; first Record pins it
+	limit int       // max retained spans (0: unlimited)
+	drops int64     // spans dropped past the limit
+}
+
+// NewSpanRecorder returns a recorder retaining at most limit spans
+// (<= 0: unlimited). A corpus of a million traces at three spans each
+// is ~100 MB of span state, so long daemon runs should set a limit.
+func NewSpanRecorder(limit int) *SpanRecorder {
+	return &SpanRecorder{limit: limit}
+}
+
+// Record appends one completed span.
+func (r *SpanRecorder) Record(s Span) {
+	r.mu.Lock()
+	if r.epoch.IsZero() || s.Start.Before(r.epoch) {
+		r.epoch = s.Start
+	}
+	if r.limit > 0 && len(r.spans) >= r.limit {
+		r.drops++
+	} else {
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (r *SpanRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped returns how many spans were discarded past the retention
+// limit.
+func (r *SpanRecorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
+
+// TraceEvent is one Chrome trace-event object ("X" complete events and
+// "M" metadata events are the two phases this exporter emits).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds since export epoch
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON document.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// chromeLanes maps span categories to stable tid lanes so every stage
+// renders as its own named track in Perfetto; unknown categories get
+// lanes after the known ones in first-seen order.
+func chromeLanes(spans []Span) map[string]int {
+	known := []string{"run", "scan", "decode", "funnel", "categorize", "aggregate"}
+	lanes := make(map[string]int, len(known))
+	for i, k := range known {
+		lanes[k] = i
+	}
+	next := len(known)
+	for _, s := range spans {
+		if _, ok := lanes[s.Cat]; !ok {
+			lanes[s.Cat] = next
+			next++
+		}
+	}
+	return lanes
+}
+
+// Export builds the Chrome trace document from the retained spans.
+func (r *SpanRecorder) Export() ChromeTrace {
+	r.mu.Lock()
+	spans := append([]Span(nil), r.spans...)
+	epoch := r.epoch
+	r.mu.Unlock()
+
+	lanes := chromeLanes(spans)
+	events := make([]TraceEvent, 0, len(spans)+len(lanes))
+
+	// Thread-name metadata so Perfetto labels each lane with its stage.
+	names := make([]string, 0, len(lanes))
+	for cat := range lanes {
+		names = append(names, cat)
+	}
+	sort.Slice(names, func(i, j int) bool { return lanes[names[i]] < lanes[names[j]] })
+	for _, cat := range names {
+		events = append(events, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lanes[cat],
+			Args: map[string]any{"name": cat},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, TraceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  lanes[s.Cat],
+		})
+	}
+	return ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
+}
+
+// WriteChromeTrace writes the trace-event JSON document to w.
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Export())
+}
+
+// SlowEntry is one retained slow item: a trace (or app) and how long
+// one stage spent on it.
+type SlowEntry struct {
+	Stage string        `json:"stage"`
+	Name  string        `json:"name"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// slowHeap is a min-heap on duration, so the root is the fastest of the
+// retained K and eviction is O(log K).
+type slowHeap []SlowEntry
+
+func (h slowHeap) Len() int           { return len(h) }
+func (h slowHeap) Less(i, j int) bool { return h[i].Dur < h[j].Dur }
+func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x any)        { *h = append(*h, x.(SlowEntry)) }
+func (h *slowHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// SlowLog retains the K slowest items per stage, concurrent-safe.
+type SlowLog struct {
+	mu sync.Mutex
+	k  int
+	by map[string]*slowHeap
+}
+
+// NewSlowLog returns a log keeping the k slowest entries per stage
+// (<= 0: 10).
+func NewSlowLog(k int) *SlowLog {
+	if k <= 0 {
+		k = 10
+	}
+	return &SlowLog{k: k, by: make(map[string]*slowHeap)}
+}
+
+// Observe records one item's duration in a stage.
+func (l *SlowLog) Observe(stage, name string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.by[stage]
+	if !ok {
+		h = &slowHeap{}
+		l.by[stage] = h
+	}
+	if h.Len() < l.k {
+		heap.Push(h, SlowEntry{Stage: stage, Name: name, Dur: d})
+		return
+	}
+	if d > (*h)[0].Dur {
+		(*h)[0] = SlowEntry{Stage: stage, Name: name, Dur: d}
+		heap.Fix(h, 0)
+	}
+}
+
+// Slowest returns the retained entries for one stage, slowest first.
+func (l *SlowLog) Slowest(stage string) []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.by[stage]
+	if !ok {
+		return nil
+	}
+	out := append([]SlowEntry(nil), (*h)...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dur > out[j].Dur })
+	return out
+}
+
+// Snapshot returns every stage's slow entries, slowest first within a
+// stage, keyed by stage name.
+func (l *SlowLog) Snapshot() map[string][]SlowEntry {
+	l.mu.Lock()
+	stages := make([]string, 0, len(l.by))
+	for s := range l.by {
+		stages = append(stages, s)
+	}
+	l.mu.Unlock()
+	out := make(map[string][]SlowEntry, len(stages))
+	for _, s := range stages {
+		out[s] = l.Slowest(s)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	rec := NewSpanRecorder(0)
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	rec.Record(Span{Name: "a.mosd", Cat: "decode", Start: base, Dur: 2 * time.Millisecond})
+	rec.Record(Span{Name: "b.mosd", Cat: "decode", Start: base.Add(time.Millisecond), Dur: 3 * time.Millisecond})
+	rec.Record(Span{Name: "u/app", Cat: "categorize", Start: base.Add(5 * time.Millisecond), Dur: 10 * time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip: the emitted document must decode into the same model.
+	var doc ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	var complete, meta []TraceEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete = append(complete, e)
+		case "M":
+			meta = append(meta, e)
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if len(complete) != 3 {
+		t.Fatalf("complete events = %d, want 3", len(complete))
+	}
+	if len(meta) == 0 {
+		t.Fatal("no thread_name metadata events: Perfetto lanes would be unnamed")
+	}
+
+	// ts is microseconds relative to the earliest span.
+	if complete[0].Ts != 0 {
+		t.Fatalf("first span ts = %v, want 0 (epoch-relative)", complete[0].Ts)
+	}
+	if complete[1].Ts != 1000 {
+		t.Fatalf("second span ts = %v µs, want 1000", complete[1].Ts)
+	}
+	if complete[2].Dur != 10000 {
+		t.Fatalf("third span dur = %v µs, want 10000", complete[2].Dur)
+	}
+	// Spans of different stages land in different lanes.
+	if complete[0].Tid == complete[2].Tid {
+		t.Fatal("decode and categorize spans share a tid lane")
+	}
+	// Same-stage spans share a lane.
+	if complete[0].Tid != complete[1].Tid {
+		t.Fatal("two decode spans got different tid lanes")
+	}
+}
+
+func TestSpanRecorderLimit(t *testing.T) {
+	rec := NewSpanRecorder(2)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		rec.Record(Span{Name: "x", Cat: "decode", Start: now, Dur: time.Millisecond})
+	}
+	if got := rec.Len(); got != 2 {
+		t.Fatalf("retained spans = %d, want 2", got)
+	}
+	if got := rec.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}
+
+func TestSlowLogKeepsKSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	durs := []time.Duration{5, 1, 9, 3, 7, 2, 8}
+	for i, d := range durs {
+		l.Observe("decode", string(rune('a'+i)), d*time.Millisecond)
+	}
+	got := l.Slowest("decode")
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	want := []time.Duration{9, 8, 7}
+	for i, e := range got {
+		if e.Dur != want[i]*time.Millisecond {
+			t.Fatalf("slowest[%d] = %v, want %v", i, e.Dur, want[i]*time.Millisecond)
+		}
+	}
+	if l.Slowest("categorize") != nil {
+		t.Fatal("unknown stage should return nil")
+	}
+	snap := l.Snapshot()
+	if len(snap["decode"]) != 3 {
+		t.Fatalf("snapshot decode = %d entries, want 3", len(snap["decode"]))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/parallel"
 	"github.com/mosaic-hpc/mosaic/internal/report"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 // Engine types, re-exported. The corpus pipeline exists exactly once, as
@@ -32,7 +33,41 @@ type (
 	// Executor runs the Categorize stage; the distributed Master is an
 	// alternate implementation.
 	Executor = engine.Executor
+	// SpanObserver is the optional Observer extension receiving one
+	// completed span per item per stage.
+	SpanObserver = engine.SpanObserver
+	// Telemetry bundles the metrics registry, span recorder, slow-trace
+	// log and structured logger behind one pipeline observer; pass it as
+	// Options.Telemetry (see NewTelemetry).
+	Telemetry = telemetry.Telemetry
+	// TelemetryConfig selects which telemetry components to enable.
+	TelemetryConfig = telemetry.Config
+	// MetricsRegistry is the concurrent-safe metrics registry with
+	// Prometheus text exposition backing a Telemetry bundle.
+	MetricsRegistry = telemetry.Registry
 )
+
+// NewTelemetry builds a telemetry bundle: engine metrics registered
+// eagerly, optional span recording and slow-trace log, optional slog
+// output. Wire it via Options.Telemetry; serve its registry with
+// StartDebugServer (cmd/mosaic -debug-addr does both).
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
+
+// DebugServer is a running introspection HTTP server (see
+// StartDebugServer).
+type DebugServer = telemetry.Server
+
+// StartDebugServer serves the bundle's /metrics, /healthz,
+// /debug/engine and /debug/pprof endpoints on addr (":0" picks a free
+// port; Addr() reports it) in a background goroutine.
+func StartDebugServer(addr string, t *Telemetry) (*DebugServer, error) {
+	return telemetry.StartServer(addr, t.Registry(), t, t.Logger())
+}
+
+// MultiObserver fans pipeline events out to several observers in
+// argument order (per-item spans are forwarded to those implementing
+// SpanObserver).
+func MultiObserver(obs ...Observer) Observer { return engine.MultiObserver(obs...) }
 
 // Error policies.
 const (
@@ -70,14 +105,26 @@ type Options struct {
 	// Executor, when non-nil, replaces the in-process Categorize stage —
 	// pass a *Master to categorize on remote workers.
 	Executor Executor
+	// Telemetry, when non-nil, instruments the run with metrics,
+	// per-trace spans and the slow-trace log (see NewTelemetry). It
+	// composes with Observer via MultiObserver, so both receive events.
+	Telemetry *Telemetry
 }
 
 func (o Options) engine() engine.Options {
+	obs := o.Observer
+	if o.Telemetry != nil {
+		if obs != nil {
+			obs = engine.MultiObserver(obs, o.Telemetry)
+		} else {
+			obs = o.Telemetry
+		}
+	}
 	return engine.Options{
 		Config:   o.Config,
 		Workers:  o.Workers,
 		Policy:   o.Policy,
-		Observer: o.Observer,
+		Observer: obs,
 		Executor: o.Executor,
 	}
 }
@@ -114,6 +161,9 @@ func fromEngine(r *engine.Result) *Analysis {
 // in-flight work promptly and returns the context's error.
 func AnalyzeJobsContext(ctx context.Context, jobs []*Job, opt Options) (*Analysis, error) {
 	res, err := engine.Run(ctx, engine.Jobs(jobs), opt.engine())
+	if opt.Telemetry != nil {
+		opt.Telemetry.FinishRun()
+	}
 	return fromEngine(res), err
 }
 
@@ -130,6 +180,9 @@ func AnalyzeJobs(jobs []*Job, opt Options) (*Analysis, error) {
 // corrupted traces, like damaged logs in the Blue Waters dataset.
 func AnalyzeCorpusContext(ctx context.Context, dir string, opt Options) (*Analysis, error) {
 	res, err := engine.Run(ctx, engine.Dir(dir), opt.engine())
+	if opt.Telemetry != nil {
+		opt.Telemetry.FinishRun()
+	}
 	return fromEngine(res), err
 }
 

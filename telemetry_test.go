@@ -1,0 +1,94 @@
+package mosaic_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+// telemetryJobs builds a small deterministic corpus for facade-level
+// telemetry tests.
+func telemetryJobs(n int) []*mosaic.Job {
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]*mosaic.Job, 0, n)
+	for i := 0; i < n; i++ {
+		b := mosaic.NewTraceBuilder(rng, fmt.Sprintf("u%d", i%2), fmt.Sprintf("/bin/app%d", i%3), uint64(i+1), 8, 3600)
+		b.Burst(mosaic.BurstSpec{At: 30, Duration: 60, Bytes: 1 << 30, Records: 4})
+		jobs = append(jobs, b.Job())
+	}
+	return jobs
+}
+
+func TestOptionsTelemetryInstrumentsRun(t *testing.T) {
+	tel := mosaic.NewTelemetry(mosaic.TelemetryConfig{Spans: true, SlowK: 3})
+	stats := mosaic.NewStageStats() // a second observer, composed by the facade
+	jobs := telemetryJobs(12)
+	analysis, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{
+		Workers:   2,
+		Observer:  stats,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analysis.Apps) == 0 {
+		t.Fatal("no apps analyzed")
+	}
+
+	// Both observers saw the run.
+	if got := stats.Stage(mosaic.StageDecode).Out; got != int64(len(jobs)) {
+		t.Fatalf("user observer decode out = %d, want %d", got, len(jobs))
+	}
+	if got := tel.Stats().Stage(mosaic.StageDecode).Out; got != int64(len(jobs)) {
+		t.Fatalf("telemetry decode out = %d, want %d", got, len(jobs))
+	}
+	// Spans were recorded, including per-trace decode spans.
+	if tel.Spans().Len() == 0 {
+		t.Fatal("no spans recorded through the facade knob")
+	}
+
+	// The debug server serves the bundle's state over HTTP.
+	srv, err := mosaic.StartDebugServer("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state struct {
+		Stages []mosaic.StageSnapshot `json:"stages"`
+	}
+	if err := json.Unmarshal(body, &state); err != nil {
+		t.Fatalf("/debug/engine invalid JSON: %v", err)
+	}
+	if len(state.Stages) == 0 {
+		t.Fatal("/debug/engine reports no stages after a run")
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "mosaic_engine_items_out_total") {
+		t.Fatalf("/metrics lacks engine families:\n%s", metrics)
+	}
+}
