@@ -1,0 +1,182 @@
+// Command mosaic-serve runs the MOSAIC online analysis service: a
+// long-lived HTTP server that ingests Darshan-like traces, categorizes
+// them through the staged engine, and answers boolean category queries
+// over the accumulated corpus.
+//
+//	POST /v1/traces        ingest traces (multipart file parts or raw body)
+//	GET  /v1/results/{id}  categorization of one trace by content address
+//	GET  /v1/query?q=...   boolean query, e.g. 'periodic_minute AND write_on_end'
+//	GET  /v1/stats         store, index and queue statistics
+//	GET  /metrics          Prometheus exposition   GET /healthz  liveness
+//
+// Results are stored content-addressed under the configuration
+// fingerprint, so re-ingesting a trace (or restarting the server) never
+// re-categorizes it: the store is the cache. SIGINT/SIGTERM drain
+// gracefully — intake stops with 503, every accepted trace is finished
+// (bounded by -drain-timeout), the store is synced, and the process
+// exits 0. Accepted traces survive even a hard kill: blobs are durable
+// before the ingest is acknowledged, and the next startup backfills any
+// missing categorizations.
+//
+// Usage:
+//
+//	mosaic-serve -store ./data [-addr :8080] [-debug-addr :8081]
+//	             [-workers N] [-queue 256] [-drain-timeout 30s]
+//	mosaic-serve -v
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/serve"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
+)
+
+// version is the build version, overridable at link time via
+// -ldflags "-X main.version=...".
+var version = "1.2.0"
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP address to serve the analysis API on")
+		storeDir     = flag.String("store", "", "result store directory (required; created when missing)")
+		workers      = flag.Int("workers", 2, "ingest workers draining the categorization queue")
+		queueDepth   = flag.Int("queue", 256, "ingest queue depth; a full queue answers 429")
+		maxUploadMB  = flag.Int64("max-upload-mb", 256, "largest accepted trace upload in MiB")
+		cacheMB      = flag.Int64("cache-mb", 32, "store read-cache budget in MiB (0 disables)")
+		syncWrites   = flag.Bool("sync", false, "fsync the store after every append (durable but slow)")
+		debugAddr    = flag.String("debug-addr", "", "serve engine metrics, spans and pprof on this address (empty: disabled)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish queued traces on shutdown")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
+		showVersion  = flag.Bool("v", false, "print version and exit")
+
+		sigMB   = flag.Int64("significance-mb", 100, "significance threshold in MB for read/write volumes")
+		chunks  = flag.Int("chunks", 4, "number of temporal chunks")
+		bw      = flag.Float64("bandwidth", 0.05, "Mean Shift bandwidth for periodicity detection")
+		spikeHi = flag.Float64("spike-high", 250, "metadata high-spike threshold (req/s)")
+		spike   = flag.Float64("spike", 50, "metadata spike threshold (req/s)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mosaic-serve -store DIR [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *showVersion {
+		fmt.Printf("mosaic-serve %s\n", version)
+		return
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "mosaic-serve: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mosaic-serve:", err)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.SignificanceBytes = *sigMB << 20
+	cfg.ChunkCount = *chunks
+	cfg.MeanShiftBandwidth = *bw
+	cfg.SpikeHighRate = *spikeHi
+	cfg.SpikeRate = *spike
+
+	var cacheBytes int64 = -1
+	if *cacheMB > 0 {
+		cacheBytes = *cacheMB << 20
+	}
+	st, err := store.Open(*storeDir, store.Options{CacheBytes: cacheBytes, Sync: *syncWrites})
+	if err != nil {
+		log.Error("opening store failed", "dir", *storeDir, "err", err)
+		os.Exit(1)
+	}
+	sstats := st.Stats()
+	log.Info("store opened", "dir", *storeDir,
+		"traces", sstats.Traces, "results", sstats.Results,
+		"segments", sstats.Segments, "dropped_tail_bytes", sstats.DroppedTailBytes)
+
+	// One telemetry bundle hosts the serve metrics, the engine stage
+	// metrics and the per-ingest spans; -debug-addr exposes all of it.
+	tel := telemetry.New(telemetry.Config{Spans: true, SpanLimit: 4096, Logger: log})
+	srv, err := serve.New(serve.Config{
+		Store:          st,
+		Analysis:       cfg,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		MaxUploadBytes: *maxUploadMB << 20,
+		Telemetry:      tel,
+		Log:            log,
+	})
+	if err != nil {
+		log.Error("starting service failed", "err", err)
+		st.Close()
+		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartServer(*debugAddr, tel.Registry(), tel, log)
+		if err != nil {
+			log.Error("debug server failed to start", "addr", *debugAddr, "err", err)
+			st.Close()
+			os.Exit(1)
+		}
+		defer dbg.Close()
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		st.Close()
+		os.Exit(1)
+	}
+	// Log the *resolved* address: ":0" style flags resolve to a real port.
+	log.Info("serving", "addr", l.Addr().String(),
+		"fingerprint", srv.Fingerprint(), "workers", *workers,
+		"queue", *queueDepth, "version", version)
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	exit := 0
+	select {
+	case sig := <-sigc:
+		log.Info("signal received, draining", "signal", sig.String(), "timeout", drainTimeout.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		// Stop intake first, then finish every queued categorization.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Warn("closing HTTP listener", "err", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Warn("drain timed out; accepted traces will be backfilled on restart", "err", err)
+		} else {
+			log.Info("drained cleanly")
+		}
+		cancel()
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serve failed", "err", err)
+			exit = 1
+		}
+	}
+	if err := st.Close(); err != nil {
+		log.Error("closing store failed", "err", err)
+		exit = 1
+	}
+	os.Exit(exit)
+}

@@ -56,6 +56,7 @@ func main() {
 		anonSalt = flag.String("anonymize", "", "when converting, anonymize identities with this salt")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		progress = flag.Bool("progress", false, "print live per-stage pipeline progress to stderr (corpus mode)")
+		storeDir = flag.String("store", "", "warm-start categorization from this result store directory (corpus mode; created when missing)")
 
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the corpus run to this file (open in Perfetto / chrome://tracing)")
 		slowK     = flag.Int("slow", 0, "print the K slowest traces per stage after a corpus run (0 = off)")
@@ -100,6 +101,7 @@ func main() {
 		traceOut:  *traceOut,
 		slowK:     *slowK,
 		debugAddr: *debugAddr,
+		storeDir:  *storeDir,
 		log:       log,
 	})
 	switch {
@@ -121,6 +123,7 @@ type corpusOpts struct {
 	traceOut  string // Chrome trace-event JSON output path
 	slowK     int    // slowest-traces-per-stage report size
 	debugAddr string // live introspection server address
+	storeDir  string // warm-start result store directory
 	log       *slog.Logger
 }
 
@@ -195,6 +198,23 @@ func runSingle(path string, cfg mosaic.Config, explain bool, jsonOut string, tim
 
 func runCorpus(ctx context.Context, dir string, cfg mosaic.Config, workers int, jsonOut string, heatmap bool, co corpusOpts) error {
 	opt := mosaic.Options{Config: cfg, Workers: workers}
+
+	// -store warm-starts categorization: results cached under this
+	// config's fingerprint are read back instead of recomputed, and
+	// fresh ones are persisted for the next run.
+	if co.storeDir != "" {
+		st, err := mosaic.OpenStore(co.storeDir)
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		defer func() {
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "store %s: %d results served warm, %d categorized cold (fingerprint %s)\n",
+				co.storeDir, s.Hits, s.Misses, cfg.Fingerprint())
+			st.Close()
+		}()
+		opt.Store = st
+	}
 
 	var tel *mosaic.Telemetry
 	if co.telemetryEnabled() {

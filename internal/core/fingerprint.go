@@ -1,0 +1,65 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a short stable identifier of the *effective*
+// detection configuration: the SHA-256 of a canonical field-by-field
+// rendering of Config.Normalized(). Because normalization happens
+// first, a zero Config, DefaultConfig(), and any config that clamps to
+// the defaults all share one fingerprint — exactly the property the
+// result store needs so that "same trace, same effective thresholds"
+// is a cache hit regardless of how the caller spelled the config.
+//
+// The rendering is versioned (the "mosaic-config/v1|" prefix): if a
+// field is ever added to Config it MUST be appended here, which
+// changes every fingerprint and correctly invalidates stored results
+// computed under the old semantics.
+func (c Config) Fingerprint() string {
+	n := c.Normalized()
+	var b strings.Builder
+	b.WriteString("mosaic-config/v1|")
+	wi := func(name string, v int64) {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte(';')
+	}
+	wf := func(name string, v float64) {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte(';')
+	}
+	wi("significance_bytes", n.SignificanceBytes)
+	wf("merge_runtime_fraction", n.MergeRuntimeFraction)
+	wf("merge_neighbor_fraction", n.MergeNeighborFraction)
+	wi("chunk_count", int64(n.ChunkCount))
+	wf("dominance_factor", n.DominanceFactor)
+	wf("steady_cv", n.SteadyCV)
+	wi("periodicity_detector", int64(n.PeriodicityDetector))
+	wf("meanshift_bandwidth", n.MeanShiftBandwidth)
+	wi("meanshift_kernel", int64(n.MeanShiftKernel))
+	wi("min_group_size", int64(n.MinGroupSize))
+	wf("min_group_coverage", n.MinGroupCoverage)
+	wf("volume_log_scale", n.VolumeLogScale)
+	wi("disable_dxt", b2i(n.DisableDXT))
+	wf("spike_high_rate", n.SpikeHighRate)
+	wf("spike_rate", n.SpikeRate)
+	wi("multiple_spikes", int64(n.MultipleSpikes))
+	wf("density_rate", n.DensityRate)
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("cfg-%s", hex.EncodeToString(sum[:8]))
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// pinnedDefaultFingerprint is the regression pin for the effective
+// default configuration. If this test fails because Config grew a
+// field (and Fingerprint was correctly extended), update the pin — the
+// change intentionally invalidates stored results.
+const pinnedDefaultFingerprint = "cfg-440ce09f936a6682"
+
+func TestFingerprintNormalizesFirst(t *testing.T) {
+	zero := Config{}
+	def := DefaultConfig()
+	if got := zero.Fingerprint(); got != def.Fingerprint() {
+		t.Fatalf("zero config fingerprint %s != default %s; fingerprinting must go through Normalized()", got, def.Fingerprint())
+	}
+	// A config that clamps back to defaults must also hash identically:
+	// normalization, not raw field values, defines result identity.
+	clamped := DefaultConfig()
+	clamped.ChunkCount = 1       // sane() clamps to 4
+	clamped.DominanceFactor = -3 // sane() clamps to 2
+	if got := clamped.Fingerprint(); got != def.Fingerprint() {
+		t.Fatalf("clamped config fingerprint %s != default %s", got, def.Fingerprint())
+	}
+}
+
+func TestFingerprintPinned(t *testing.T) {
+	if got := DefaultConfig().Fingerprint(); got != pinnedDefaultFingerprint {
+		t.Fatalf("DefaultConfig().Fingerprint() = %s, want pinned %s (did Config grow a field? update the pin deliberately)", got, pinnedDefaultFingerprint)
+	}
+	if got := (Config{}).Fingerprint(); got != pinnedDefaultFingerprint {
+		t.Fatalf("zero Config fingerprint = %s, want pinned %s", got, pinnedDefaultFingerprint)
+	}
+}
+
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.SignificanceBytes = 1 << 20
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different significance thresholds must fingerprint differently")
+	}
+	c := DefaultConfig()
+	c.DisableDXT = true
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("DisableDXT must participate in the fingerprint")
+	}
+}

@@ -2,6 +2,7 @@ package darshan
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"os"
@@ -243,6 +244,48 @@ func TestListCorpusIgnoresForeignFiles(t *testing.T) {
 	}
 	if len(paths) != 1 {
 		t.Fatalf("ListCorpus = %v", paths)
+	}
+}
+
+func TestListCorpusSkipsTempAndPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "good.mosd"), sampleJob()); err != nil {
+		t.Fatal(err)
+	}
+	// Half-written artifacts a concurrent writer may leave behind: an
+	// atomic-rename spool, an explicit partial marker, a dotfile, an
+	// editor backup, and a hidden directory full of junk.
+	for _, name := range []string{
+		"half.mosd.tmp", "half.mosd.partial", ".hidden.mosd", "backup.mosd~", ".spool.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hidden := filepath.Join(dir, ".staging")
+	if err := os.MkdirAll(hidden, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(hidden, "x.mosd"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ListCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "good.mosd" {
+		t.Fatalf("ListCorpus = %v, want only good.mosd", paths)
+	}
+	// ScanCorpus must agree with ListCorpus on what a trace file is.
+	var scanned []string
+	if err := ScanCorpus(context.Background(), dir, func(p string) bool {
+		scanned = append(scanned, p)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != 1 || filepath.Base(scanned[0]) != "good.mosd" {
+		t.Fatalf("ScanCorpus = %v, want only good.mosd", scanned)
 	}
 }
 

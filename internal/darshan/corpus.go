@@ -61,8 +61,38 @@ func WriteFile(path string, j *Job) error {
 	return werr
 }
 
+// isTempName reports whether a file name looks like a temporary or
+// partial artifact that should never be read as a trace: dotfiles
+// (including editor state like .#foo and rsync/atomic-rename spools
+// like ..mosd.tmp123), explicit *.tmp / *.partial markers, and
+// editor backups ending in '~'. Skipping them lets a store or
+// generator writer share a directory with a live corpus scanner
+// without the scanner racing on half-written files.
+func isTempName(name string) bool {
+	return strings.HasPrefix(name, ".") ||
+		strings.HasSuffix(name, "~") ||
+		strings.HasSuffix(strings.ToLower(name), ".tmp") ||
+		strings.HasSuffix(strings.ToLower(name), ".partial")
+}
+
+// isTraceName reports whether a file name should be picked up by the
+// corpus scanner: a recognized trace extension and not a temp/partial
+// artifact.
+func isTraceName(name string) bool {
+	if isTempName(name) {
+		return false
+	}
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ExtBinary, ExtJSON, ExtText:
+		return true
+	}
+	return false
+}
+
 // ListCorpus returns the sorted paths of all trace files under dir
-// (recursively). Files with unknown extensions are ignored.
+// (recursively). Files with unknown extensions and temp/partial
+// artifacts (dotfiles, *.tmp, *.partial, backups ending in '~') are
+// ignored; hidden directories are skipped entirely.
 func ListCorpus(dir string) ([]string, error) {
 	var paths []string
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
@@ -70,10 +100,12 @@ func ListCorpus(dir string) ([]string, error) {
 			return err
 		}
 		if d.IsDir() {
+			if path != dir && strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
 			return nil
 		}
-		switch strings.ToLower(filepath.Ext(path)) {
-		case ExtBinary, ExtJSON, ExtText:
+		if isTraceName(d.Name()) {
 			paths = append(paths, path)
 		}
 		return nil
@@ -101,10 +133,12 @@ func ScanCorpus(ctx context.Context, dir string, fn func(path string) bool) erro
 			return cerr
 		}
 		if d.IsDir() {
+			if path != dir && strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
 			return nil
 		}
-		switch strings.ToLower(filepath.Ext(path)) {
-		case ExtBinary, ExtJSON, ExtText:
+		if isTraceName(d.Name()) {
 			if !fn(path) {
 				return errStop
 			}

@@ -1,0 +1,163 @@
+// Package index maintains an inverted category index over stored
+// categorization results: category → set of trace IDs, plus per-axis
+// label counts. It answers boolean queries such as
+//
+//	periodic_minute AND write_on_end NOT insignificant_load
+//
+// where each bare term expands to the union of all canonical
+// categories containing it (so "periodic_minute" matches both
+// read_periodic_minute and write_periodic_minute). The index is
+// rebuilt from the result store on startup and updated incrementally
+// on ingest; all operations are safe for concurrent use.
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// Index is a concurrent inverted index from category to trace IDs.
+type Index struct {
+	mu      sync.RWMutex
+	byCat   map[category.Category]map[store.TraceID]struct{}
+	byTrace map[store.TraceID][]category.Category
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		byCat:   make(map[category.Category]map[store.TraceID]struct{}),
+		byTrace: make(map[store.TraceID][]category.Category),
+	}
+}
+
+// Add (re-)indexes one trace under its category set. Re-adding a
+// trace replaces its previous postings, so re-categorization under a
+// new configuration keeps the index consistent.
+func (ix *Index) Add(id store.TraceID, cats category.Set) {
+	sorted := cats.Sorted()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.byTrace[id]; ok {
+		ix.removeLocked(id, old)
+	}
+	ix.byTrace[id] = sorted
+	for _, c := range sorted {
+		posting, ok := ix.byCat[c]
+		if !ok {
+			posting = make(map[store.TraceID]struct{})
+			ix.byCat[c] = posting
+		}
+		posting[id] = struct{}{}
+	}
+}
+
+// Remove drops a trace from every posting list.
+func (ix *Index) Remove(id store.TraceID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.byTrace[id]; ok {
+		ix.removeLocked(id, old)
+		delete(ix.byTrace, id)
+	}
+}
+
+func (ix *Index) removeLocked(id store.TraceID, cats []category.Category) {
+	for _, c := range cats {
+		if posting, ok := ix.byCat[c]; ok {
+			delete(posting, id)
+			if len(posting) == 0 {
+				delete(ix.byCat, c)
+			}
+		}
+	}
+}
+
+// Categories returns the indexed category set of one trace (nil when
+// unknown).
+func (ix *Index) Categories(id store.TraceID) []category.Category {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]category.Category(nil), ix.byTrace[id]...)
+}
+
+// Len returns the number of indexed traces.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byTrace)
+}
+
+// Count returns how many traces carry the exact category.
+func (ix *Index) Count(c category.Category) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byCat[c])
+}
+
+// CategoryCount pairs a category with its posting size.
+type CategoryCount struct {
+	Category category.Category `json:"category"`
+	Count    int               `json:"count"`
+}
+
+// AxisCounts returns the per-axis distribution of indexed categories,
+// each axis sorted by decreasing count then name. This is the /v1/stats
+// view of the corpus: Table I aggregated live.
+func (ix *Index) AxisCounts() map[string][]CategoryCount {
+	ix.mu.RLock()
+	out := map[string][]CategoryCount{
+		category.AxisTemporality.String(): {},
+		category.AxisPeriodicity.String(): {},
+		category.AxisMetadata.String():    {},
+	}
+	for c, posting := range ix.byCat {
+		axis := c.Axis().String()
+		out[axis] = append(out[axis], CategoryCount{Category: c, Count: len(posting)})
+	}
+	ix.mu.RUnlock()
+	for _, counts := range out {
+		sort.Slice(counts, func(i, j int) bool {
+			if counts[i].Count != counts[j].Count {
+				return counts[i].Count > counts[j].Count
+			}
+			return counts[i].Category < counts[j].Category
+		})
+	}
+	return out
+}
+
+// Rebuild repopulates the index from every stored result under the
+// given config fingerprint, replacing current contents atomically
+// (queries running during a rebuild see the old state until the swap).
+// It returns the number of traces indexed.
+func (ix *Index) Rebuild(s *store.Store, fingerprint string) (int, error) {
+	byCat := make(map[category.Category]map[store.TraceID]struct{})
+	byTrace := make(map[store.TraceID][]category.Category)
+	err := s.EachResult(fingerprint, func(id store.TraceID, res *core.Result) bool {
+		sorted := res.Categories.Sorted()
+		byTrace[id] = sorted
+		for _, c := range sorted {
+			posting, ok := byCat[c]
+			if !ok {
+				posting = make(map[store.TraceID]struct{})
+				byCat[c] = posting
+			}
+			posting[id] = struct{}{}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	ix.mu.Lock()
+	ix.byCat = byCat
+	ix.byTrace = byTrace
+	n := len(byTrace)
+	ix.mu.Unlock()
+	return n, nil
+}

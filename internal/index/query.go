@@ -1,0 +1,286 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// Query grammar (case-insensitive keywords, left-associative):
+//
+//	expr   := orExpr
+//	orExpr := andExpr ( "OR" andExpr )*
+//	andExpr:= unary ( ("AND" | "NOT")? unary )*      // juxtaposition = AND;
+//	                                                 // "a NOT b" = a AND (NOT b)
+//	unary  := "NOT" unary | "(" expr ")" | term
+//	term   := category name or substring of one
+//
+// A term expands to the union of all canonical categories whose name
+// contains it: "periodic_minute" matches read_periodic_minute and
+// write_periodic_minute; "insignificant_load" matches
+// metadata_insignificant_load. NOT is evaluated against the universe
+// of indexed traces.
+
+// node is one parsed query expression.
+type node interface {
+	eval(ix *Index, universe map[store.TraceID]struct{}) map[store.TraceID]struct{}
+}
+
+type termNode struct{ cats []category.Category }
+
+type andNode struct{ l, r node }
+
+type orNode struct{ l, r node }
+
+type notNode struct{ n node }
+
+func (t termNode) eval(ix *Index, _ map[store.TraceID]struct{}) map[store.TraceID]struct{} {
+	out := make(map[store.TraceID]struct{})
+	ix.mu.RLock()
+	for _, c := range t.cats {
+		for id := range ix.byCat[c] {
+			out[id] = struct{}{}
+		}
+	}
+	ix.mu.RUnlock()
+	return out
+}
+
+func (a andNode) eval(ix *Index, u map[store.TraceID]struct{}) map[store.TraceID]struct{} {
+	l, r := a.l.eval(ix, u), a.r.eval(ix, u)
+	if len(r) < len(l) {
+		l, r = r, l
+	}
+	out := make(map[store.TraceID]struct{}, len(l))
+	for id := range l {
+		if _, ok := r[id]; ok {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+func (o orNode) eval(ix *Index, u map[store.TraceID]struct{}) map[store.TraceID]struct{} {
+	out := o.l.eval(ix, u)
+	for id := range o.r.eval(ix, u) {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+func (n notNode) eval(ix *Index, u map[store.TraceID]struct{}) map[store.TraceID]struct{} {
+	inner := n.n.eval(ix, u)
+	out := make(map[store.TraceID]struct{})
+	for id := range u {
+		if _, ok := inner[id]; !ok {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// ParseError describes a malformed query.
+type ParseError struct {
+	Query string
+	Pos   int // token index
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("index: parsing %q: %s (near token %d)", e.Query, e.Msg, e.Pos)
+}
+
+type parser struct {
+	query  string
+	tokens []string
+	pos    int
+}
+
+func tokenize(q string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range q {
+		switch r {
+		case '(', ')':
+			flush()
+			out = append(out, string(r))
+		case ' ', '\t', '\n', '\r', ',':
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func (p *parser) peek() (string, bool) {
+	if p.pos >= len(p.tokens) {
+		return "", false
+	}
+	return p.tokens[p.pos], true
+}
+
+func (p *parser) fail(msg string) error {
+	return &ParseError{Query: p.query, Pos: p.pos, Msg: msg}
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok, ok := p.peek()
+		if !ok || !strings.EqualFold(tok, "OR") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orNode{l: left, r: right}
+	}
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok, ok := p.peek()
+		if !ok || tok == ")" || strings.EqualFold(tok, "OR") {
+			return left, nil
+		}
+		negate := false
+		switch {
+		case strings.EqualFold(tok, "AND"):
+			p.pos++
+		case strings.EqualFold(tok, "NOT"):
+			// "a NOT b" is shorthand for "a AND NOT b".
+			p.pos++
+			negate = true
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if negate {
+			right = notNode{n: right}
+		}
+		left = andNode{l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	tok, ok := p.peek()
+	if !ok {
+		return nil, p.fail("unexpected end of query")
+	}
+	switch {
+	case strings.EqualFold(tok, "NOT"):
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{n: inner}, nil
+	case tok == "(":
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		closing, ok := p.peek()
+		if !ok || closing != ")" {
+			return nil, p.fail("missing closing parenthesis")
+		}
+		p.pos++
+		return inner, nil
+	case tok == ")":
+		return nil, p.fail("unexpected closing parenthesis")
+	case strings.EqualFold(tok, "AND") || strings.EqualFold(tok, "OR"):
+		return nil, p.fail("operator needs a left operand")
+	default:
+		p.pos++
+		cats := expandTerm(tok)
+		if len(cats) == 0 {
+			return nil, p.fail(fmt.Sprintf("term %q matches no category", tok))
+		}
+		return termNode{cats: cats}, nil
+	}
+}
+
+// expandTerm resolves a query term against the closed category set:
+// an exact name wins; otherwise every category containing the term as
+// a substring matches.
+func expandTerm(term string) []category.Category {
+	t := strings.ToLower(term)
+	all := category.All()
+	for _, c := range all {
+		if string(c) == t {
+			return []category.Category{c}
+		}
+	}
+	var out []category.Category
+	for _, c := range all {
+		if strings.Contains(string(c), t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Parse validates a query, returning its parse error if malformed.
+func Parse(q string) error {
+	_, err := parseQuery(q)
+	return err
+}
+
+func parseQuery(q string) (node, error) {
+	p := &parser{query: q, tokens: tokenize(q)}
+	if len(p.tokens) == 0 {
+		return nil, &ParseError{Query: q, Msg: "empty query"}
+	}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.tokens) {
+		return nil, p.fail("trailing tokens")
+	}
+	return root, nil
+}
+
+// Query evaluates a boolean category expression, returning matching
+// trace IDs in lexicographic order.
+func (ix *Index) Query(q string) ([]store.TraceID, error) {
+	root, err := parseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	universe := make(map[store.TraceID]struct{}, len(ix.byTrace))
+	for id := range ix.byTrace {
+		universe[id] = struct{}{}
+	}
+	ix.mu.RUnlock()
+	matches := root.eval(ix, universe)
+	out := make([]store.TraceID, 0, len(matches))
+	for id := range matches {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

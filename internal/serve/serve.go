@@ -1,0 +1,685 @@
+// Package serve turns the batch MOSAIC pipeline into a long-running,
+// incrementally updated analysis service. It exposes an HTTP API —
+//
+//	POST /v1/traces        multipart (or raw-body) trace ingest
+//	GET  /v1/results/{id}  categorization of one trace by content address
+//	GET  /v1/query?q=...   boolean category query over the live index
+//	GET  /v1/stats         store, index, queue and ingest statistics
+//	GET  /metrics          Prometheus exposition   GET /healthz  liveness
+//
+// — backed by the content-addressed result store (internal/store) and
+// the inverted category index (internal/index). Ingested traces are
+// persisted synchronously (content addressing makes re-ingest
+// idempotent), then categorized asynchronously by a bounded worker
+// queue feeding the existing engine pipeline; a full queue answers
+// 429 with Retry-After, which is the service's backpressure, exactly
+// like a full inter-stage channel throttles the batch engine.
+//
+// A trace already analyzed under the server's effective configuration
+// (store key: trace hash × Config fingerprint) is served from the
+// store without re-categorization — the cache-hit fast path. On
+// startup the index is rebuilt from the store, and any stored trace
+// missing its result under the current fingerprint is backfilled
+// through the same queue, so a config change or a crash mid-ingest
+// heals automatically.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
+	"github.com/mosaic-hpc/mosaic/internal/index"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
+)
+
+// Config configures an analysis server.
+type Config struct {
+	// Store is the backing result store (required).
+	Store *store.Store
+	// Analysis holds the detection thresholds; a zero value selects the
+	// defaults. Its fingerprint defines result identity.
+	Analysis core.Config
+	// Workers is the number of ingest workers draining the queue
+	// (<= 0: 2).
+	Workers int
+	// QueueDepth bounds the ingest queue; a full queue answers 429
+	// (<= 0: 256).
+	QueueDepth int
+	// MaxUploadBytes caps one uploaded trace (<= 0: 256 MiB).
+	MaxUploadBytes int64
+	// Executor, when non-nil, replaces the in-process Categorize
+	// backend — pass a dist Master to categorize on remote workers.
+	Executor engine.Executor
+	// Telemetry, when non-nil, observes every per-ingest engine run
+	// (per-trace spans, engine stage metrics) and hosts the serve
+	// metrics in its registry.
+	Telemetry *telemetry.Telemetry
+	// Metrics, when non-nil (and Telemetry is nil), hosts the serve
+	// metrics. With both nil a private registry is created.
+	Metrics *telemetry.Registry
+	// Log receives structured request/worker logs (nil: silent).
+	Log *slog.Logger
+	// NoBackfill disables the startup pass that re-enqueues stored
+	// traces lacking a result under the current fingerprint.
+	NoBackfill bool
+}
+
+// Ingest item statuses reported per uploaded trace.
+const (
+	StatusAccepted   = "accepted"   // queued for categorization
+	StatusCached     = "cached"     // result already stored: cache hit
+	StatusPending    = "pending"    // same trace already queued or in flight
+	StatusRejected   = "rejected"   // queue full: retry later
+	StatusUnreadable = "unreadable" // blob did not decode as a trace
+)
+
+// IngestItem is the per-trace outcome of one ingest request.
+type IngestItem struct {
+	Name   string        `json:"name,omitempty"`
+	ID     store.TraceID `json:"id,omitempty"`
+	Status string        `json:"status"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// ingestJob is one queued categorization.
+type ingestJob struct {
+	id  store.TraceID
+	job *darshan.Job
+}
+
+// Server is a running analysis service (HTTP handler + worker pool).
+type Server struct {
+	st  *store.Store
+	ix  *index.Index
+	cfg core.Config
+	fp  string
+	log *slog.Logger
+	tel *telemetry.Telemetry
+
+	exec       engine.Executor
+	maxUpload  int64
+	queueCap   int
+	queue      chan ingestJob
+	quit       chan struct{} // closed on Shutdown: aborts backfill sends
+	draining   atomic.Bool
+	workerWG   sync.WaitGroup
+	backfillWG sync.WaitGroup
+	runCtx     context.Context
+	runCancel  context.CancelFunc
+
+	mu      sync.Mutex
+	pending map[store.TraceID]struct{} // queued or in-flight
+	failed  map[store.TraceID]string   // categorization/funnel failures
+
+	// Metrics.
+	reg            *telemetry.Registry
+	ingestRequests *telemetry.Counter
+	ingestStatus   map[string]*telemetry.Counter
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	queueDepth     *telemetry.Gauge
+	ingestSecs     *telemetry.Histogram
+	categorizeSecs *telemetry.Histogram
+	querySecs      *telemetry.Histogram
+	queries        *telemetry.Counter
+	resultsServed  *telemetry.Counter
+}
+
+// New builds a server over an open store: it rebuilds the category
+// index from the store, starts the worker pool, and (unless disabled)
+// backfills categorizations missing under the current fingerprint.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("serve: Config.Store is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	maxUpload := cfg.MaxUploadBytes
+	if maxUpload <= 0 {
+		maxUpload = 256 << 20
+	}
+	exec := cfg.Executor
+	if exec == nil {
+		exec = engine.Local{Workers: 1}
+	}
+	reg := cfg.Metrics
+	if cfg.Telemetry != nil {
+		reg = cfg.Telemetry.Registry()
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	analysis := cfg.Analysis.Normalized()
+	s := &Server{
+		st:        cfg.Store,
+		ix:        index.New(),
+		cfg:       analysis,
+		fp:        analysis.Fingerprint(),
+		log:       cfg.Log,
+		tel:       cfg.Telemetry,
+		exec:      exec,
+		maxUpload: maxUpload,
+		queueCap:  depth,
+		queue:     make(chan ingestJob, depth),
+		quit:      make(chan struct{}),
+		pending:   make(map[store.TraceID]struct{}),
+		failed:    make(map[store.TraceID]string),
+		reg:       reg,
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.registerMetrics()
+
+	n, err := s.ix.Rebuild(s.st, s.fp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding index: %w", err)
+	}
+	if s.log != nil {
+		s.log.Info("index rebuilt", "traces", n, "fingerprint", s.fp)
+	}
+	for w := 0; w < workers; w++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	if !cfg.NoBackfill {
+		s.backfillWG.Add(1)
+		go s.backfill()
+	}
+	return s, nil
+}
+
+func (s *Server) registerMetrics() {
+	s.ingestRequests = s.reg.Counter("mosaic_serve_ingest_requests_total", "Ingest HTTP requests received.", nil)
+	s.ingestStatus = make(map[string]*telemetry.Counter)
+	for _, st := range []string{StatusAccepted, StatusCached, StatusPending, StatusRejected, StatusUnreadable} {
+		s.ingestStatus[st] = s.reg.Counter("mosaic_serve_ingested_traces_total",
+			"Uploaded traces by ingest outcome.", telemetry.Labels{"status": st})
+	}
+	s.cacheHits = s.reg.Counter("mosaic_serve_cache_hits_total",
+		"Categorizations served from the result store without recomputation.", nil)
+	s.cacheMisses = s.reg.Counter("mosaic_serve_cache_misses_total",
+		"Categorizations that had to run the detection chain.", nil)
+	s.queueDepth = s.reg.Gauge("mosaic_serve_queue_depth", "Traces waiting in the ingest queue.", nil)
+	s.ingestSecs = s.reg.Histogram("mosaic_serve_ingest_seconds", "Ingest request latency.", nil, nil)
+	s.categorizeSecs = s.reg.Histogram("mosaic_serve_categorize_seconds", "Per-trace categorization latency in the worker pool.", nil, nil)
+	s.querySecs = s.reg.Histogram("mosaic_serve_query_seconds", "Query request latency.", nil, nil)
+	s.queries = s.reg.Counter("mosaic_serve_queries_total", "Category queries served.", nil)
+	s.resultsServed = s.reg.Counter("mosaic_serve_results_total", "Result lookups served.", nil)
+}
+
+// Fingerprint returns the server's effective config fingerprint.
+func (s *Server) Fingerprint() string { return s.fp }
+
+// Index returns the live category index (for tests and embedding).
+func (s *Server) Index() *index.Index { return s.ix }
+
+// Registry returns the registry hosting the serve metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// backfill enqueues every stored trace lacking a result under the
+// current fingerprint — crash healing and config-change re-analysis
+// ride the same path as fresh ingests.
+func (s *Server) backfill() {
+	defer s.backfillWG.Done()
+	queued := 0
+	s.st.EachTraceID(func(id store.TraceID) bool {
+		if s.st.HasResult(id, s.fp) || !s.markPending(id) {
+			return true
+		}
+		j, ok, err := s.st.GetTrace(id)
+		if err != nil || !ok {
+			s.unmarkPending(id)
+			if err != nil && s.log != nil {
+				s.log.Warn("backfill: unreadable stored trace", "id", string(id), "err", err)
+			}
+			return true
+		}
+		select {
+		case s.queue <- ingestJob{id: id, job: j}:
+			s.queueDepth.Inc()
+			queued++
+			return true
+		case <-s.quit:
+			s.unmarkPending(id)
+			return false
+		}
+	})
+	if queued > 0 && s.log != nil {
+		s.log.Info("backfill queued", "traces", queued, "fingerprint", s.fp)
+	}
+}
+
+// markPending registers a trace as queued/in-flight; false when it
+// already is (the -dedup that makes double ingest categorize once).
+func (s *Server) markPending(id store.TraceID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pending[id]; ok {
+		return false
+	}
+	s.pending[id] = struct{}{}
+	return true
+}
+
+func (s *Server) unmarkPending(id store.TraceID) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+func (s *Server) isPending(id store.TraceID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pending[id]
+	return ok
+}
+
+// recordFailure remembers why a trace produced no result (bounded:
+// oldest entries are dropped arbitrarily past 4096 — failure detail
+// is diagnostic, the authoritative state is the store).
+func (s *Server) recordFailure(id store.TraceID, reason string) {
+	s.mu.Lock()
+	if len(s.failed) >= 4096 {
+		for k := range s.failed {
+			delete(s.failed, k)
+			break
+		}
+	}
+	s.failed[id] = reason
+	s.mu.Unlock()
+}
+
+func (s *Server) failureOf(id store.TraceID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.failed[id]
+	return r, ok
+}
+
+// worker drains the ingest queue: each trace runs through the engine
+// pipeline (funnel validation + categorization, observed by the
+// telemetry bundle when configured), and the result is persisted and
+// indexed. Workers exit when the queue is closed and drained, or when
+// the run context is cancelled (forced shutdown).
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case item, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.queueDepth.Dec()
+			s.process(item)
+		case <-s.runCtx.Done():
+			return
+		}
+	}
+}
+
+// process categorizes one queued trace through the engine pipeline.
+func (s *Server) process(item ingestJob) {
+	defer s.unmarkPending(item.id)
+	start := time.Now()
+	opts := engine.Options{Config: s.cfg, Workers: 1, Executor: s.exec}
+	if s.tel != nil {
+		opts.Observer = s.tel
+	}
+	res, err := engine.Run(s.runCtx, engine.Jobs([]*darshan.Job{item.job}), opts)
+	s.categorizeSecs.Observe(time.Since(start).Seconds())
+	switch {
+	case s.runCtx.Err() != nil:
+		return // forced shutdown: trace blob is durable, next startup backfills
+	case err != nil:
+		s.recordFailure(item.id, err.Error())
+		if s.log != nil {
+			s.log.Warn("categorization failed", "id", string(item.id), "err", err)
+		}
+		return
+	case len(res.Apps) == 0:
+		s.recordFailure(item.id, "evicted by the funnel (corrupted or invalid trace)")
+		if s.log != nil {
+			s.log.Warn("trace evicted by funnel", "id", string(item.id))
+		}
+		return
+	}
+	result := res.Apps[0].Result
+	if err := s.st.PutResult(item.id, s.fp, result); err != nil {
+		s.recordFailure(item.id, err.Error())
+		if s.log != nil {
+			s.log.Error("persisting result failed", "id", string(item.id), "err", err)
+		}
+		return
+	}
+	s.cacheMisses.Inc()
+	s.ix.Add(item.id, result.Categories)
+	if s.log != nil {
+		s.log.Debug("trace categorized", "id", string(item.id),
+			"categories", len(result.Categories), "dur", time.Since(start))
+	}
+}
+
+// Shutdown drains the service gracefully, mirroring dist.Server: stop
+// accepting ingests, finish the backfill pass, process every queued
+// trace, then stop the workers. When ctx expires first, in-flight
+// work is cancelled and ctx's error returned — but accepted traces
+// are never lost: their blobs are durable and the next startup's
+// backfill completes them.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // already shut down
+	}
+	close(s.quit)
+	s.backfillWG.Wait()
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.runCancel()
+		<-done
+		err = ctx.Err()
+	}
+	s.runCancel()
+	if s.log != nil {
+		s.log.Info("serve drained", "err", err)
+	}
+	return err
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/traces", s.handleIngest)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeBlob parses one uploaded trace, sniffing the format: MOSD
+// magic → binary codec, leading '{' → JSON, otherwise darshan-parser
+// text. A decode that yields no file records is rejected — the text
+// parser is deliberately lenient about unknown lines, so this is what
+// distinguishes a trace from arbitrary text.
+func decodeBlob(data []byte) (*darshan.Job, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var (
+		j   *darshan.Job
+		err error
+	)
+	switch {
+	case len(data) >= 4 && bytes.Equal(data[:4], darshan.Magic[:]):
+		j, err = darshan.UnmarshalBinary(data)
+	case len(trimmed) > 0 && trimmed[0] == '{':
+		j, err = darshan.ReadJSON(bytes.NewReader(data))
+	default:
+		j, err = darshan.ReadParserText(bytes.NewReader(data))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(j.Records) == 0 {
+		return nil, errors.New("trace holds no file records")
+	}
+	return j, nil
+}
+
+// ingestOne persists and enqueues a single decoded upload.
+func (s *Server) ingestOne(name string, data []byte) IngestItem {
+	job, err := decodeBlob(data)
+	if err != nil {
+		return IngestItem{Name: name, Status: StatusUnreadable, Error: err.Error()}
+	}
+	id, canonical, err := store.TraceKey(job)
+	if err != nil {
+		return IngestItem{Name: name, Status: StatusUnreadable, Error: err.Error()}
+	}
+	// Durability before acknowledgment: once the blob is stored, the
+	// trace survives any crash (backfill completes it).
+	if _, _, err := s.st.PutTraceBytes(canonical); err != nil {
+		return IngestItem{Name: name, ID: id, Status: StatusRejected, Error: err.Error()}
+	}
+	if s.st.HasResult(id, s.fp) {
+		s.cacheHits.Inc()
+		return IngestItem{Name: name, ID: id, Status: StatusCached}
+	}
+	if !s.markPending(id) {
+		return IngestItem{Name: name, ID: id, Status: StatusPending}
+	}
+	select {
+	case s.queue <- ingestJob{id: id, job: job}:
+		s.queueDepth.Inc()
+		return IngestItem{Name: name, ID: id, Status: StatusAccepted}
+	default:
+		s.unmarkPending(id)
+		return IngestItem{Name: name, ID: id, Status: StatusRejected, Error: "ingest queue full"}
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.ingestSecs.Observe(time.Since(start).Seconds()) }()
+	s.ingestRequests.Inc()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	var items []IngestItem
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "multipart/") {
+		mr, err := r.MultipartReader()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			name := part.FileName()
+			if name == "" {
+				name = part.FormName()
+			}
+			data, err := io.ReadAll(io.LimitReader(part, s.maxUpload+1))
+			part.Close()
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			if int64(len(data)) > s.maxUpload {
+				items = append(items, IngestItem{Name: name, Status: StatusUnreadable,
+					Error: fmt.Sprintf("trace exceeds %d byte upload limit", s.maxUpload)})
+				continue
+			}
+			items = append(items, s.ingestOne(name, data))
+		}
+	} else {
+		data, err := io.ReadAll(io.LimitReader(r.Body, s.maxUpload+1))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if int64(len(data)) > s.maxUpload {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("trace exceeds %d byte upload limit", s.maxUpload)})
+			return
+		}
+		if len(data) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request body"})
+			return
+		}
+		items = append(items, s.ingestOne("", data))
+	}
+	if len(items) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no traces in request"})
+		return
+	}
+
+	code := http.StatusOK
+	rejected := false
+	for _, it := range items {
+		s.ingestStatus[it.Status].Inc()
+		switch it.Status {
+		case StatusRejected:
+			rejected = true
+		case StatusAccepted, StatusPending:
+			if code == http.StatusOK {
+				code = http.StatusAccepted
+			}
+		}
+	}
+	if rejected {
+		// Backpressure: the bounded queue is full. Clients retry later;
+		// items already accepted in this request stay accepted.
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, struct {
+		Results []IngestItem `json:"results"`
+	}{Results: items})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.resultsServed.Inc()
+	id := store.TraceID(strings.ToLower(r.PathValue("id")))
+	if !id.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "id must be a 64-char SHA-256 hex digest"})
+		return
+	}
+	res, ok, err := s.st.GetResult(id, s.fp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if ok {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if s.isPending(id) {
+		writeJSON(w, http.StatusAccepted, struct {
+			Status string `json:"status"`
+		}{Status: "pending"})
+		return
+	}
+	if reason, failed := s.failureOf(id); failed {
+		writeJSON(w, http.StatusUnprocessableEntity, struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}{Status: "failed", Error: reason})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown trace"})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.querySecs.Observe(time.Since(start).Seconds()) }()
+	s.queries.Inc()
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+	ids, err := s.ix.Query(q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	limit := len(ids)
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "limit must be a non-negative integer"})
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Query string          `json:"query"`
+		Count int             `json:"count"`
+		IDs   []store.TraceID `json:"ids"`
+	}{Query: q, Count: len(ids), IDs: ids[:limit]})
+}
+
+// StatsResponse is the /v1/stats document.
+type StatsResponse struct {
+	Fingerprint string                           `json:"fingerprint"`
+	Store       store.Stats                      `json:"store"`
+	Indexed     int                              `json:"indexed_traces"`
+	Axes        map[string][]index.CategoryCount `json:"axes"`
+	QueueDepth  int                              `json:"queue_depth"`
+	QueueCap    int                              `json:"queue_capacity"`
+	Pending     int                              `json:"pending"`
+	Failed      int                              `json:"failed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	pending, failed := len(s.pending), len(s.failed)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Fingerprint: s.fp,
+		Store:       s.st.Stats(),
+		Indexed:     s.ix.Len(),
+		Axes:        s.ix.AxisCounts(),
+		QueueDepth:  len(s.queue),
+		QueueCap:    s.queueCap,
+		Pending:     pending,
+		Failed:      failed,
+	})
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a byte-bounded, concurrency-safe LRU cache of stored values.
+// It keeps the store's memory footprint flat: the key → location
+// index is always resident (small), while value bytes are cached only
+// up to maxBytes and re-read from the segment log on miss.
+type lru struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRU builds a cache bounded to maxBytes (< 0: disabled).
+func newLRU(maxBytes int64) *lru {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &lru{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value and promotes it to most-recent.
+func (c *lru) get(key string) ([]byte, bool) {
+	if c.maxBytes == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes a value, evicting least-recently-used
+// entries until the byte bound holds. Values larger than the whole
+// cache are not cached at all.
+func (c *lru) put(key string, val []byte) {
+	if c.maxBytes == 0 || int64(len(val)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.size += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.size > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.val))
+	}
+}
+
+// stats returns the current item count and byte size.
+func (c *lru) stats() (items int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.size
+}

@@ -1,0 +1,635 @@
+// Package store is MOSAIC's durable, content-addressed result store:
+// the persistence layer that turns one-shot corpus runs into an
+// incrementally updated service.
+//
+// Traces are keyed by the SHA-256 of their canonical binary encoding
+// (darshan.WriteBinary is a pure function of the Job value, so the
+// same trace always hashes the same). Categorization results are
+// keyed by (trace hash, Config fingerprint): re-analyzing an
+// unchanged trace under an unchanged effective configuration is a
+// cache hit, and changing any threshold naturally invalidates every
+// stored result without touching the trace blobs.
+//
+// On disk the store is an append-only segment log (numbered *.seg
+// files, CRC-framed records) plus an in-memory key → location index
+// rebuilt by scanning the segments on Open. Appends are crash-safe:
+// a torn tail (kill mid-append) fails its CRC or length check on
+// recovery and only the torn frame is dropped — every fully written
+// record survives. Hot values are served from a byte-bounded LRU
+// cache so memory stays flat regardless of store size.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+// TraceID is the content address of one trace: the lowercase hex
+// SHA-256 of its canonical binary encoding.
+type TraceID string
+
+// Valid reports whether the ID is a well-formed SHA-256 hex digest.
+func (id TraceID) Valid() bool {
+	if len(id) != sha256.Size*2 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// HashBytes returns the content address of an encoded trace blob.
+func HashBytes(data []byte) TraceID {
+	sum := sha256.Sum256(data)
+	return TraceID(hex.EncodeToString(sum[:]))
+}
+
+// TraceKey canonically encodes a job and returns its content address
+// alongside the encoding, so callers that go on to persist the blob
+// do not encode twice.
+func TraceKey(j *darshan.Job) (TraceID, []byte, error) {
+	data, err := darshan.MarshalBinary(j)
+	if err != nil {
+		return "", nil, fmt.Errorf("store: encoding trace: %w", err)
+	}
+	return HashBytes(data), data, nil
+}
+
+// Record kinds in the segment log.
+const (
+	kindTrace  byte = 1
+	kindResult byte = 2
+)
+
+// Frame layout: [u32 payloadLen][payload][u32 crc32(payload)] with
+// payload = [u8 kind][u16 keyLen][key][value], all little-endian.
+const (
+	frameHeaderLen  = 4
+	framePayloadMin = 1 + 2
+	frameCRCLen     = 4
+	maxFrameLen     = 1 << 30 // 1 GiB per record, matching darshan's decoder limits
+	maxKeyLen       = 1 << 10
+)
+
+// Options tunes a store. The zero value selects sane defaults.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment once it exceeds this
+	// size (<= 0: 64 MiB).
+	MaxSegmentBytes int64
+	// CacheBytes bounds the in-memory value cache (0: 32 MiB; < 0:
+	// cache disabled). The key → location index is always resident.
+	CacheBytes int64
+	// Sync fsyncs after every append. Durability against power loss at
+	// the cost of write latency; without it the log is still
+	// crash-consistent (torn tails are dropped on recovery).
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
+	}
+	return o
+}
+
+// loc addresses one stored value inside a segment.
+type loc struct {
+	seg    int
+	valOff int64
+	valLen int
+}
+
+// Stats is a point-in-time view of a store.
+type Stats struct {
+	Traces           int   `json:"traces"`
+	Results          int   `json:"results"`
+	Segments         int   `json:"segments"`
+	DiskBytes        int64 `json:"disk_bytes"`
+	CacheItems       int   `json:"cache_items"`
+	CacheBytes       int64 `json:"cache_bytes"`
+	Hits             int64 `json:"hits"`   // GetResult found a stored result
+	Misses           int64 `json:"misses"` // GetResult found nothing
+	RecoveredFrames  int   `json:"recovered_frames"`
+	DroppedTailBytes int64 `json:"dropped_tail_bytes"`
+}
+
+// Store is a content-addressed trace/result store backed by an
+// append-only segment log. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.RWMutex // guards index, segment bookkeeping, appends
+	index   map[string]loc
+	readers []*os.File // one read handle per segment, index = segment number - 1
+	active  *os.File   // append handle of the last segment
+	size    int64      // bytes in the active segment
+	closed  bool
+
+	traces  int
+	results int
+
+	cache *lru
+
+	hits, misses     atomic.Int64
+	recoveredFrames  int
+	droppedTailBytes int64
+}
+
+// Open opens (creating if necessary) the store rooted at dir and
+// rebuilds the in-memory index from the segment log. Torn tails from
+// a crashed writer are detected by CRC/length validation and dropped;
+// everything before them is recovered.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[string]loc),
+		cache: newLRU(opts.CacheBytes),
+	}
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segPath names segment n (1-based).
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%06d.seg", n))
+}
+
+// recover scans every segment in order, rebuilding the index. The
+// last segment becomes the active one; if its tail is torn it is
+// truncated to the last valid frame so appends resume cleanly.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", s.dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return s.openSegment(1)
+	}
+	for i, name := range names {
+		f, err := os.Open(filepath.Join(s.dir, name))
+		if err != nil {
+			return fmt.Errorf("store: opening segment %s: %w", name, err)
+		}
+		s.readers = append(s.readers, f)
+		good, dropped, err := s.scanSegment(i+1, f)
+		if err != nil {
+			return err
+		}
+		s.droppedTailBytes += dropped
+		last := i == len(names)-1
+		if dropped > 0 && last {
+			if err := os.Truncate(filepath.Join(s.dir, name), good); err != nil {
+				return fmt.Errorf("store: truncating torn tail of %s: %w", name, err)
+			}
+		}
+		if last {
+			w, err := os.OpenFile(filepath.Join(s.dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("store: reopening %s for append: %w", name, err)
+			}
+			s.active = w
+			s.size = good
+		}
+	}
+	return nil
+}
+
+// scanSegment walks one segment's frames, indexing each valid record.
+// It returns the offset of the last valid frame end and how many
+// trailing bytes were dropped as torn.
+func (s *Store) scanSegment(seg int, f *os.File) (good int64, dropped int64, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: stat segment %d: %w", seg, err)
+	}
+	fileSize := info.Size()
+	var off int64
+	var hdr [frameHeaderLen]byte
+	for {
+		if off+frameHeaderLen > fileSize {
+			break // clean end (off == fileSize) or torn length prefix
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, 0, fmt.Errorf("store: reading segment %d at %d: %w", seg, off, err)
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[:]))
+		if n < framePayloadMin || n > maxFrameLen || off+frameHeaderLen+n+frameCRCLen > fileSize {
+			break // torn or garbage tail
+		}
+		buf := make([]byte, n+frameCRCLen)
+		if _, err := f.ReadAt(buf, off+frameHeaderLen); err != nil {
+			return 0, 0, fmt.Errorf("store: reading segment %d frame at %d: %w", seg, off, err)
+		}
+		payload := buf[:n]
+		want := binary.LittleEndian.Uint32(buf[n:])
+		if crc32.ChecksumIEEE(payload) != want {
+			break // torn frame: checksum of a partial write never matches
+		}
+		kind := payload[0]
+		keyLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+		if keyLen > maxKeyLen || framePayloadMin+int64(keyLen) > n || (kind != kindTrace && kind != kindResult) {
+			break // structurally invalid: treat like a torn tail
+		}
+		key := string(payload[3 : 3+keyLen])
+		s.indexPut(key, loc{
+			seg:    seg,
+			valOff: off + frameHeaderLen + framePayloadMin + int64(keyLen),
+			valLen: int(n) - framePayloadMin - keyLen,
+		})
+		s.recoveredFrames++
+		off += frameHeaderLen + n + frameCRCLen
+	}
+	return off, fileSize - off, nil
+}
+
+// indexPut records a key's location, maintaining the trace/result
+// counters (last write wins, matching log replay order).
+func (s *Store) indexPut(key string, l loc) {
+	if _, exists := s.index[key]; !exists {
+		if strings.HasPrefix(key, "t/") {
+			s.traces++
+		} else {
+			s.results++
+		}
+	}
+	s.index[key] = l
+}
+
+// openSegment creates segment n and makes it active.
+func (s *Store) openSegment(n int) error {
+	path := s.segPath(n)
+	w, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment %s: %w", path, err)
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("store: opening segment %s: %w", path, err)
+	}
+	if s.active != nil {
+		s.active.Close() // seal previous segment; its reader stays open
+	}
+	s.active = w
+	s.readers = append(s.readers, r)
+	s.size = 0
+	return nil
+}
+
+// append writes one framed record and indexes it. Callers hold s.mu.
+func (s *Store) append(kind byte, key string, value []byte) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("store: key too long (%d bytes)", len(key))
+	}
+	payloadLen := framePayloadMin + len(key) + len(value)
+	if payloadLen > maxFrameLen {
+		return fmt.Errorf("store: record too large (%d bytes)", payloadLen)
+	}
+	frame := make([]byte, frameHeaderLen+payloadLen+frameCRCLen)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payloadLen))
+	frame[4] = kind
+	binary.LittleEndian.PutUint16(frame[5:7], uint16(len(key)))
+	copy(frame[7:], key)
+	copy(frame[7+len(key):], value)
+	payload := frame[frameHeaderLen : frameHeaderLen+payloadLen]
+	binary.LittleEndian.PutUint32(frame[frameHeaderLen+payloadLen:], crc32.ChecksumIEEE(payload))
+
+	if _, err := s.active.Write(frame); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	s.indexPut(key, loc{
+		seg:    len(s.readers),
+		valOff: s.size + frameHeaderLen + framePayloadMin + int64(len(key)),
+		valLen: len(value),
+	})
+	s.size += int64(len(frame))
+	if s.size >= s.opts.MaxSegmentBytes {
+		if err := s.openSegment(len(s.readers) + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readValue fetches a value by location, via the LRU cache.
+func (s *Store) readValue(key string, l loc) ([]byte, error) {
+	if v, ok := s.cache.get(key); ok {
+		return v, nil
+	}
+	s.mu.RLock()
+	if l.seg < 1 || l.seg > len(s.readers) {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("store: invalid segment %d for key %q", l.seg, key)
+	}
+	r := s.readers[l.seg-1]
+	s.mu.RUnlock()
+	buf := make([]byte, l.valLen)
+	if _, err := r.ReadAt(buf, l.valOff); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("store: reading %q: %w", key, err)
+	}
+	s.cache.put(key, buf)
+	return buf, nil
+}
+
+func traceKeyOf(id TraceID) string             { return "t/" + string(id) }
+func resultKeyOf(id TraceID, fp string) string { return "r/" + string(id) + "/" + fp }
+
+// PutTraceBytes stores an encoded trace blob under its content
+// address. It returns the address and whether the blob was already
+// present (content addressing makes re-ingest idempotent).
+func (s *Store) PutTraceBytes(data []byte) (TraceID, bool, error) {
+	id := HashBytes(data)
+	key := traceKeyOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		return id, true, nil
+	}
+	if err := s.append(kindTrace, key, data); err != nil {
+		return id, false, err
+	}
+	return id, false, nil
+}
+
+// PutTrace canonically encodes and stores a job.
+func (s *Store) PutTrace(j *darshan.Job) (TraceID, bool, error) {
+	_, data, err := TraceKey(j)
+	if err != nil {
+		return "", false, err
+	}
+	return s.PutTraceBytes(data)
+}
+
+// HasTrace reports whether a trace blob is stored.
+func (s *Store) HasTrace(id TraceID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[traceKeyOf(id)]
+	return ok
+}
+
+// GetTraceBytes returns the stored encoding of a trace, or (nil,
+// false) when absent.
+func (s *Store) GetTraceBytes(id TraceID) ([]byte, bool, error) {
+	key := traceKeyOf(id)
+	s.mu.RLock()
+	l, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := s.readValue(key, l)
+	return v, err == nil, err
+}
+
+// GetTrace decodes a stored trace.
+func (s *Store) GetTrace(id TraceID) (*darshan.Job, bool, error) {
+	data, ok, err := s.GetTraceBytes(id)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	j, err := darshan.UnmarshalBinary(data)
+	if err != nil {
+		return nil, true, fmt.Errorf("store: decoding trace %s: %w", id, err)
+	}
+	return j, true, nil
+}
+
+// PutResult stores one categorization result under (trace, config
+// fingerprint). Re-putting the same key appends a new frame and the
+// index moves to it (last write wins, also on recovery replay).
+func (s *Store) PutResult(id TraceID, fp string, res *core.Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("store: encoding result %s: %w", id, err)
+	}
+	key := resultKeyOf(id, fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(kindResult, key, data); err != nil {
+		return err
+	}
+	s.cache.put(key, data)
+	return nil
+}
+
+// decodeResult parses a stored result and rehydrates the fields that
+// do not survive JSON (the category set and the temporal kind are
+// serialized as strings).
+func decodeResult(data []byte) (*core.Result, error) {
+	var res core.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("store: decoding result: %w", err)
+	}
+	res.Categories = category.NewSet()
+	for _, l := range res.Labels {
+		res.Categories.Add(category.Category(l))
+	}
+	res.Read.Temporal = temporalKindOf(res.Read.TemporalS)
+	res.Write.Temporal = temporalKindOf(res.Write.TemporalS)
+	return &res, nil
+}
+
+// temporalKindOf is the inverse of category.TemporalKind.String.
+func temporalKindOf(s string) category.TemporalKind {
+	for _, k := range category.TemporalKinds() {
+		if k.String() == s {
+			return k
+		}
+	}
+	return category.Insignificant
+}
+
+// GetResult returns the stored categorization of (trace, fingerprint),
+// reporting found-ness. Hits and misses feed Stats, the basis of the
+// serving layer's cache hit-rate metrics.
+func (s *Store) GetResult(id TraceID, fp string) (*core.Result, bool, error) {
+	key := resultKeyOf(id, fp)
+	s.mu.RLock()
+	l, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	data, err := s.readValue(key, l)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		return nil, false, err
+	}
+	s.hits.Add(1)
+	return res, true, nil
+}
+
+// HasResult reports whether a result is stored without reading it (no
+// hit/miss accounting).
+func (s *Store) HasResult(id TraceID, fp string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[resultKeyOf(id, fp)]
+	return ok
+}
+
+// EachResult calls fn for every stored result under the given config
+// fingerprint, in lexicographic trace-ID order (deterministic, so
+// index rebuilds are reproducible). fn returning false stops early.
+func (s *Store) EachResult(fp string, fn func(TraceID, *core.Result) bool) error {
+	suffix := "/" + fp
+	s.mu.RLock()
+	keys := make([]string, 0, s.results)
+	for k := range s.index {
+		if strings.HasPrefix(k, "r/") && strings.HasSuffix(k, suffix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		s.mu.RLock()
+		l, ok := s.index[key]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		data, err := s.readValue(key, l)
+		if err != nil {
+			return err
+		}
+		res, err := decodeResult(data)
+		if err != nil {
+			return err
+		}
+		id := TraceID(strings.TrimSuffix(strings.TrimPrefix(key, "r/"), suffix))
+		if !fn(id, res) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// EachTraceID calls fn for every stored trace blob's content address,
+// in lexicographic order. fn returning false stops early.
+func (s *Store) EachTraceID(fn func(TraceID) bool) {
+	s.mu.RLock()
+	ids := make([]string, 0, s.traces)
+	for k := range s.index {
+		if strings.HasPrefix(k, "t/") {
+			ids = append(ids, strings.TrimPrefix(k, "t/"))
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !fn(TraceID(id)) {
+			return
+		}
+	}
+}
+
+// Stats returns a point-in-time view of the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	st := Stats{
+		Traces:           s.traces,
+		Results:          s.results,
+		Segments:         len(s.readers),
+		RecoveredFrames:  s.recoveredFrames,
+		DroppedTailBytes: s.droppedTailBytes,
+	}
+	for i, r := range s.readers {
+		if i == len(s.readers)-1 {
+			st.DiskBytes += s.size
+		} else if info, err := r.Stat(); err == nil {
+			st.DiskBytes += info.Size()
+		}
+	}
+	s.mu.RUnlock()
+	st.CacheItems, st.CacheBytes = s.cache.stats()
+	st.Hits = s.hits.Load()
+	st.Misses = s.misses.Load()
+	return st
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil || s.closed {
+		return nil
+	}
+	return s.active.Sync()
+}
+
+// Close flushes and closes every file handle. The store must not be
+// used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.active.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, r := range s.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

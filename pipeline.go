@@ -105,6 +105,11 @@ type Options struct {
 	// Executor, when non-nil, replaces the in-process Categorize stage —
 	// pass a *Master to categorize on remote workers.
 	Executor Executor
+	// Store, when non-nil, warm-starts the Categorize stage from the
+	// result store: traces already analyzed under this Config's
+	// fingerprint are served from disk, fresh results are written back
+	// (see OpenStore). Composes with Executor — the store wraps it.
+	Store *Store
 	// Telemetry, when non-nil, instruments the run with metrics,
 	// per-trace spans and the slow-trace log (see NewTelemetry). It
 	// composes with Observer via MultiObserver, so both receive events.
@@ -120,12 +125,16 @@ func (o Options) engine() engine.Options {
 			obs = o.Telemetry
 		}
 	}
+	exec := o.Executor
+	if o.Store != nil {
+		exec = cachingExecutor(o.Store, exec, o.Workers)
+	}
 	return engine.Options{
 		Config:   o.Config,
 		Workers:  o.Workers,
 		Policy:   o.Policy,
 		Observer: obs,
-		Executor: o.Executor,
+		Executor: exec,
 	}
 }
 

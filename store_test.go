@@ -1,0 +1,114 @@
+package mosaic_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func storeTestJobs(n int) []*mosaic.Job {
+	jobs := make([]*mosaic.Job, n)
+	for i := range jobs {
+		jobs[i] = &mosaic.Job{
+			JobID: uint64(100 + i), User: "u", Exe: fmt.Sprintf("/bin/app%d", i),
+			NProcs: 4, Runtime: 100, End: 100,
+			Records: []mosaic.FileRecord{{
+				Module: mosaic.ModPOSIX, Path: "/out", Rank: -1,
+				C: mosaic.Counters{
+					Opens: 1, Closes: 1, Writes: 10, BytesWritten: 200 << 20,
+					OpenStart: 1, OpenEnd: 2, WriteStart: 90, WriteEnd: 99,
+					CloseStart: 99, CloseEnd: 100,
+				},
+			}},
+		}
+	}
+	return jobs
+}
+
+// TestOptionsStoreWarmStart exercises the facade warm-start path: the
+// first run fills the store, the second is served from it entirely.
+func TestOptionsStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := mosaic.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := storeTestJobs(4)
+
+	cold, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Apps) != 4 {
+		t.Fatalf("cold run categorized %d apps, want 4", len(cold.Apps))
+	}
+	s := st.Stats()
+	if s.Hits != 0 || s.Misses != 4 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/4", s.Hits, s.Misses)
+	}
+
+	warm, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Apps) != 4 {
+		t.Fatalf("warm run categorized %d apps, want 4", len(warm.Apps))
+	}
+	s = st.Stats()
+	if s.Hits != 4 || s.Misses != 4 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 4/4", s.Hits, s.Misses)
+	}
+	// Warm results carry the same labels as cold ones.
+	for i := range warm.Apps {
+		if fmt.Sprint(warm.Apps[i].Result.Labels) != fmt.Sprint(cold.Apps[i].Result.Labels) {
+			t.Fatalf("warm labels diverge for app %d: %v != %v",
+				i, warm.Apps[i].Result.Labels, cold.Apps[i].Result.Labels)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: persistence survives the process boundary.
+	st2, err := mosaic.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	reopened, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reopened.Apps) != 4 {
+		t.Fatalf("reopened run categorized %d apps, want 4", len(reopened.Apps))
+	}
+	s = st2.Stats()
+	if s.Hits != 4 || s.Misses != 0 {
+		t.Fatalf("reopened run: hits=%d misses=%d, want 4/0", s.Hits, s.Misses)
+	}
+}
+
+// TestOptionsStoreFingerprintIsolation: results cached under one
+// threshold set must not leak into a run with different thresholds.
+func TestOptionsStoreFingerprintIsolation(t *testing.T) {
+	st, err := mosaic.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	jobs := storeTestJobs(2)
+	if _, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mosaic.DefaultConfig()
+	cfg.SignificanceBytes = 1 << 20 // different fingerprint
+	if _, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Store: st, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Hits != 0 || s.Misses != 4 {
+		t.Fatalf("changed config must re-categorize: hits=%d misses=%d, want 0/4", s.Hits, s.Misses)
+	}
+}
