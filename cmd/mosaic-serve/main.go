@@ -5,9 +5,15 @@
 //
 //	POST /v1/traces        ingest traces (multipart file parts or raw body)
 //	GET  /v1/results/{id}  categorization of one trace by content address
+//	GET  /v1/explain/{id}  decision provenance: why each category was (or
+//	                       wasn't) assigned (?category= filters rules)
 //	GET  /v1/query?q=...   boolean query, e.g. 'periodic_minute AND write_on_end'
 //	GET  /v1/stats         store, index and queue statistics
 //	GET  /metrics          Prometheus exposition   GET /healthz  liveness
+//
+// Every request carries a correlation ID: a client-supplied
+// X-Request-Id is kept, otherwise one is generated; the ID is echoed in
+// the response and attached to all ingest/query/explain log lines.
 //
 // Results are stored content-addressed under the configuration
 // fingerprint, so re-ingesting a trace (or restarting the server) never
@@ -58,6 +64,8 @@ func main() {
 		syncWrites   = flag.Bool("sync", false, "fsync the store after every append (durable but slow)")
 		debugAddr    = flag.String("debug-addr", "", "serve engine metrics, spans and pprof on this address (empty: disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish queued traces on shutdown")
+		explainOn    = flag.Bool("explain", true, "collect and store a decision-provenance record per trace, served on GET /v1/explain/{id}")
+		explainM     = flag.Float64("explain-margin", 0.05, "near-miss margin for explanation evidence, as a fraction of each threshold")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
 		showVersion  = flag.Bool("v", false, "print version and exit")
@@ -120,6 +128,8 @@ func main() {
 		MaxUploadBytes: *maxUploadMB << 20,
 		Telemetry:      tel,
 		Log:            log,
+		Explain:        *explainOn,
+		ExplainMargin:  *explainM,
 	})
 	if err != nil {
 		log.Error("starting service failed", "err", err)

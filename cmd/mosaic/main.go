@@ -5,8 +5,11 @@
 //	mosaic [flags] <trace-file-or-corpus-dir>
 //
 // Given a single trace file, it prints the trace's categories (and, with
-// -explain, the full detection walkthrough mirroring Figure 2 of the
-// paper). Given a directory, it streams the corpus through the staged
+// -explain, the decision-provenance rule trace: every threshold
+// comparison the detectors evaluated, with pass/fail outcomes and
+// near-misses; -explain-json writes the same record as JSON and
+// -explain-margin tunes the near-miss margin). Given a directory, it
+// streams the corpus through the staged
 // engine — scan, decode, validation, deduplication, categorization — and
 // prints the aggregate report (funnel, Tables II/III, Figures 4/5). With
 // -json, per-trace results are written as a JSON array to the given
@@ -30,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -42,8 +46,10 @@ import (
 
 func main() {
 	var (
-		explain  = flag.Bool("explain", false, "print the detection walkthrough for a single trace")
-		jsonOut  = flag.String("json", "", "write per-trace results as JSON to this file")
+		explain   = flag.Bool("explain", false, "print the decision-provenance rule trace for a single trace (why every category was or wasn't assigned)")
+		explainJS = flag.String("explain-json", "", "write the decision-provenance record as JSON to this file ('-' = stdout; single trace)")
+		explainM  = flag.Float64("explain-margin", mosaic.DefaultExplainMargin, "near-miss margin for explanation evidence, as a fraction of each threshold")
+		jsonOut   = flag.String("json", "", "write per-trace results as JSON to this file")
 		workers  = flag.Int("workers", 0, "parallel categorization workers (0 = NumCPU)")
 		sigMB    = flag.Int64("significance-mb", 100, "significance threshold in MB for read/write volumes")
 		chunks   = flag.Int("chunks", 4, "number of temporal chunks")
@@ -96,7 +102,14 @@ func main() {
 		defer cancel()
 	}
 
-	err = run(ctx, flag.Arg(0), cfg, *workers, *explain, *jsonOut, *heatmap, *timeline, *convert, *anonSalt, corpusOpts{
+	so := singleOpts{
+		explain:       *explain,
+		explainJSON:   *explainJS,
+		explainMargin: *explainM,
+		jsonOut:       *jsonOut,
+		timeline:      *timeline,
+	}
+	err = run(ctx, flag.Arg(0), cfg, *workers, so, *jsonOut, *heatmap, *convert, *anonSalt, corpusOpts{
 		progress:  *progress,
 		traceOut:  *traceOut,
 		slowK:     *slowK,
@@ -117,6 +130,15 @@ func main() {
 	}
 }
 
+// singleOpts bundles the single-trace rendering knobs.
+type singleOpts struct {
+	explain       bool    // print the decision-provenance rule trace
+	explainJSON   string  // write the Explanation JSON here ("-" = stdout)
+	explainMargin float64 // near-miss margin for evidence collection
+	jsonOut       string  // write the Result JSON array here
+	timeline      bool    // print the ASCII timeline
+}
+
 // corpusOpts bundles the observability knobs of a corpus run.
 type corpusOpts struct {
 	progress  bool
@@ -132,7 +154,7 @@ func (o corpusOpts) telemetryEnabled() bool {
 	return o.traceOut != "" || o.slowK > 0 || o.debugAddr != ""
 }
 
-func run(ctx context.Context, target string, cfg mosaic.Config, workers int, explain bool, jsonOut string, heatmap, timeline bool, convert, anonSalt string, co corpusOpts) error {
+func run(ctx context.Context, target string, cfg mosaic.Config, workers int, so singleOpts, jsonOut string, heatmap bool, convert, anonSalt string, co corpusOpts) error {
 	info, err := os.Stat(target)
 	if err != nil {
 		return err
@@ -143,7 +165,7 @@ func run(ctx context.Context, target string, cfg mosaic.Config, workers int, exp
 	if convert != "" {
 		return runConvert(target, convert, anonSalt)
 	}
-	return runSingle(target, cfg, explain, jsonOut, timeline)
+	return runSingle(target, cfg, so)
 }
 
 // runConvert re-encodes a trace into the format selected by the output
@@ -163,7 +185,7 @@ func runConvert(in, out, anonSalt string) error {
 	return nil
 }
 
-func runSingle(path string, cfg mosaic.Config, explain bool, jsonOut string, timeline bool) error {
+func runSingle(path string, cfg mosaic.Config, so singleOpts) error {
 	job, err := mosaic.ReadTrace(path)
 	if err != nil {
 		return err
@@ -171,16 +193,28 @@ func runSingle(path string, cfg mosaic.Config, explain bool, jsonOut string, tim
 	if err := mosaic.Validate(job); err != nil {
 		return fmt.Errorf("trace is corrupted and would be evicted: %w", err)
 	}
-	res, err := mosaic.Categorize(job, cfg)
+	var res *mosaic.Result
+	var expl *mosaic.Explanation
+	if so.explain || so.explainJSON != "" {
+		// Provenance requested: collect evidence alongside the labels.
+		// Labels are guaranteed identical to the plain Categorize path.
+		res, expl, err = mosaic.CategorizeExplained(job, cfg,
+			mosaic.ExplainOptions{Margin: so.explainMargin})
+	} else {
+		res, err = mosaic.Categorize(job, cfg)
+	}
 	if err != nil {
 		return err
 	}
-	if timeline {
+	if so.timeline {
 		mosaic.WriteTimeline(os.Stdout, job, res, cfg)
 	}
-	if explain {
-		mosaic.Explain(os.Stdout, res)
-	} else if !timeline {
+	switch {
+	case so.explain:
+		mosaic.RenderExplanation(os.Stdout, expl)
+	case so.explainJSON == "-" || so.timeline:
+		// stdout is reserved for the requested artifact.
+	default:
 		fmt.Printf("%s: ", path)
 		for i, l := range res.Labels {
 			if i > 0 {
@@ -190,10 +224,38 @@ func runSingle(path string, cfg mosaic.Config, explain bool, jsonOut string, tim
 		}
 		fmt.Println()
 	}
-	if jsonOut != "" {
-		return writeJSON(jsonOut, []*mosaic.Result{res})
+	if so.explainJSON != "" {
+		if err := writeExplanationJSON(so.explainJSON, expl); err != nil {
+			return err
+		}
+	}
+	if so.jsonOut != "" {
+		return writeJSON(so.jsonOut, []*mosaic.Result{res})
 	}
 	return nil
+}
+
+// writeExplanationJSON writes the provenance record as indented JSON to
+// path, or to stdout when path is "-".
+func writeExplanationJSON(path string, e *mosaic.Explanation) error {
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(e)
+	if f != nil {
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+	}
+	return werr
 }
 
 func runCorpus(ctx context.Context, dir string, cfg mosaic.Config, workers int, jsonOut string, heatmap bool, co corpusOpts) error {

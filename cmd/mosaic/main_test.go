@@ -29,20 +29,44 @@ func TestRunSingleTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := writeTestTrace(t, dir, "a.mosd")
 	cfg := mosaic.DefaultConfig()
-	if err := run(context.Background(), path, cfg, 1, false, "", false, false, "", "", corpusOpts{}); err != nil {
+	if err := run(context.Background(), path, cfg, 1, singleOpts{}, "", false, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// Explain + timeline paths.
-	if err := run(context.Background(), path, cfg, 1, true, "", false, true, "", "", corpusOpts{}); err != nil {
+	if err := run(context.Background(), path, cfg, 1, singleOpts{explain: true, timeline: true}, "", false, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// JSON output.
 	jsonPath := filepath.Join(dir, "out.json")
-	if err := run(context.Background(), path, cfg, 1, false, jsonPath, false, false, "", "", corpusOpts{}); err != nil {
+	if err := run(context.Background(), path, cfg, 1, singleOpts{jsonOut: jsonPath}, jsonPath, false, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("json output missing: %v", err)
+	}
+}
+
+func TestRunSingleExplainJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, "a.mosd")
+	out := filepath.Join(dir, "explain.json")
+	so := singleOpts{explain: true, explainJSON: out, explainMargin: 0.1}
+	if err := run(context.Background(), path, mosaic.DefaultConfig(), 1, so, "", false, "", "", corpusOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e mosaic.Explanation
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("-explain-json artifact is not a valid explanation: %v", err)
+	}
+	if e.Margin != 0.1 {
+		t.Fatalf("margin not threaded: got %g, want 0.1", e.Margin)
+	}
+	if len(e.Labels) == 0 || e.EvidenceCount() == 0 {
+		t.Fatalf("explanation empty: labels=%v evidence=%d", e.Labels, e.EvidenceCount())
 	}
 }
 
@@ -51,7 +75,7 @@ func TestRunCorpusDir(t *testing.T) {
 	writeTestTrace(t, dir, "a.mosd")
 	writeTestTrace(t, dir, "b.mosd")
 	jsonPath := filepath.Join(dir, "corpus.json")
-	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, jsonPath, true, false, "", "", corpusOpts{}); err != nil {
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, singleOpts{}, jsonPath, true, "", "", corpusOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
@@ -64,7 +88,7 @@ func TestRunConvertAndAnonymize(t *testing.T) {
 	path := writeTestTrace(t, dir, "a.mosd")
 	for _, out := range []string{"b.json", "c.txt", "d.mosd"} {
 		target := filepath.Join(dir, out)
-		if err := run(context.Background(), path, mosaic.DefaultConfig(), 1, false, "", false, false, target, "pepper", corpusOpts{}); err != nil {
+		if err := run(context.Background(), path, mosaic.DefaultConfig(), 1, singleOpts{}, "", false, target, "pepper", corpusOpts{}); err != nil {
 			t.Fatalf("convert to %s: %v", out, err)
 		}
 		back, err := mosaic.ReadTrace(target)
@@ -89,13 +113,13 @@ func TestRunRejectsCorruptedSingle(t *testing.T) {
 	if err := mosaic.WriteTrace(bad, j); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), bad, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", corpusOpts{}); err == nil {
+	if err := run(context.Background(), bad, mosaic.DefaultConfig(), 1, singleOpts{}, "", false, "", "", corpusOpts{}); err == nil {
 		t.Fatal("corrupted single trace accepted")
 	}
 }
 
 func TestRunMissingTarget(t *testing.T) {
-	if err := run(context.Background(), "/nonexistent/path", mosaic.DefaultConfig(), 1, false, "", false, false, "", "", corpusOpts{}); err == nil {
+	if err := run(context.Background(), "/nonexistent/path", mosaic.DefaultConfig(), 1, singleOpts{}, "", false, "", "", corpusOpts{}); err == nil {
 		t.Fatal("missing target accepted")
 	}
 }
@@ -105,7 +129,7 @@ func TestRunCorpusCancelled(t *testing.T) {
 	writeTestTrace(t, dir, "a.mosd")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, dir, mosaic.DefaultConfig(), 1, false, "", false, false, "", "", corpusOpts{})
+	err := run(ctx, dir, mosaic.DefaultConfig(), 1, singleOpts{}, "", false, "", "", corpusOpts{})
 	if err == nil {
 		t.Fatal("cancelled corpus run succeeded")
 	}
@@ -115,7 +139,7 @@ func TestRunCorpusProgress(t *testing.T) {
 	dir := t.TempDir()
 	writeTestTrace(t, dir, "a.mosd")
 	writeTestTrace(t, dir, "b.mosd")
-	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, "", false, false, "", "", corpusOpts{progress: true}); err != nil {
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, singleOpts{}, "", false, "", "", corpusOpts{progress: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -126,7 +150,7 @@ func TestRunCorpusTraceOut(t *testing.T) {
 	writeTestTrace(t, dir, "b.mosd")
 	tracePath := filepath.Join(t.TempDir(), "run.trace.json")
 	co := corpusOpts{traceOut: tracePath, slowK: 3}
-	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, false, "", false, false, "", "", co); err != nil {
+	if err := run(context.Background(), dir, mosaic.DefaultConfig(), 2, singleOpts{}, "", false, "", "", co); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(tracePath)

@@ -1,0 +1,55 @@
+package mosaic
+
+import (
+	"io"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
+)
+
+// Decision provenance, re-exported. The explain subsystem records, for
+// every category of the closed taxonomy, the rule evaluations that
+// assigned or rejected it: the preprocessing funnel (raw → clipped →
+// merged operation counts and the gap thresholds used), per-chunk
+// volumes with every 2× dominance comparison actually evaluated, every
+// Mean Shift cluster with its size/centroid/spread and acceptance or
+// rejection reason, period-magnitude bucketing, busy-time ratios, and
+// the metadata spike/density statistics against their cutoffs.
+//
+// Collection is strictly opt-in: Categorize never pays for it, and
+// CategorizeExplained is guaranteed to assign exactly the same labels.
+type (
+	// Explanation is the decision-provenance record of one categorization.
+	Explanation = explain.Explanation
+	// Evidence is one recorded rule evaluation (rule, operands,
+	// threshold, outcome, near-miss flag).
+	Evidence = explain.Evidence
+	// ExplainOptions tunes evidence collection (near-miss margin,
+	// per-direction segment-feature cap).
+	ExplainOptions = explain.Options
+)
+
+// Near-miss margin and segment-cap defaults used when ExplainOptions
+// fields are zero.
+const (
+	DefaultExplainMargin      = explain.DefaultMargin
+	DefaultExplainMaxSegments = explain.DefaultMaxSegments
+)
+
+// CategorizeExplained runs the full MOSAIC detection chain like
+// Categorize and additionally returns the decision-provenance record:
+// one Evidence entry per rule evaluation, including near-misses within
+// opts.Margin. Labels are identical to Categorize's for the same job
+// and config — evidence is collected on the side, never consulted by
+// the detectors.
+func CategorizeExplained(j *Job, cfg Config, opts ExplainOptions) (*Result, *Explanation, error) {
+	return core.CategorizeExplained(j, cfg, opts)
+}
+
+// RenderExplanation writes the human-readable rule trace of an
+// explanation: per-direction preprocessing funnel, chunk dominance
+// checks, periodicity clusters with verdicts, metadata rates, and every
+// evidence line with its pass/fail outcome and near-miss marker. The
+// output is deterministic for a given explanation, suitable for golden
+// files.
+func RenderExplanation(w io.Writer, e *Explanation) { explain.Render(w, e) }

@@ -1,0 +1,155 @@
+package mosaic_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+)
+
+func TestCategorizeExplainedFacade(t *testing.T) {
+	j := storeTestJobs(1)[0]
+	res, expl, err := mosaic.CategorizeExplained(j, mosaic.DefaultConfig(), mosaic.ExplainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl == nil || expl.EvidenceCount() == 0 {
+		t.Fatal("facade CategorizeExplained returned no evidence")
+	}
+	plain, err := mosaic.Categorize(j, mosaic.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Categories.Equal(plain.Categories) {
+		t.Fatalf("explained categories %v != plain %v", res.Labels, plain.Labels)
+	}
+	if len(expl.Labels) != len(res.Labels) {
+		t.Fatalf("explanation labels %v != result labels %v", expl.Labels, res.Labels)
+	}
+
+	var sb strings.Builder
+	mosaic.RenderExplanation(&sb, expl)
+	out := sb.String()
+	if !strings.Contains(out, "labels:") || !strings.Contains(out, "evidence:") {
+		t.Fatalf("rendered explanation incomplete:\n%s", out)
+	}
+	for _, l := range res.Labels {
+		if !strings.Contains(out, l) {
+			t.Fatalf("rendered explanation missing label %q:\n%s", l, out)
+		}
+	}
+}
+
+func TestOptionsExplainAttachesExplanations(t *testing.T) {
+	jobs := telemetryJobs(9)
+	explained, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{
+		Workers: 2, Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(explained.Apps) == 0 {
+		t.Fatal("no apps analyzed")
+	}
+	for i, a := range explained.Apps {
+		if a.Explanation == nil || a.Explanation.EvidenceCount() == 0 {
+			t.Fatalf("app %d (%s): Explain run missing explanation", i, a.Result.App)
+		}
+	}
+
+	plain, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, mosaic.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range plain.Apps {
+		if a.Explanation != nil {
+			t.Fatalf("app %d (%s): explanation collected without Explain", i, a.Result.App)
+		}
+		if !a.Result.Categories.Equal(explained.Apps[i].Result.Categories) {
+			t.Fatalf("app %d (%s): explained run changed categories", i, a.Result.App)
+		}
+	}
+}
+
+// TestStoreCountersExported: a run with both Store and Telemetry
+// exports the warm/cold counters, and they accumulate across runs.
+func TestStoreCountersExported(t *testing.T) {
+	st, err := mosaic.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tel := mosaic.NewTelemetry(mosaic.TelemetryConfig{})
+	jobs := storeTestJobs(3)
+
+	expo := func() string {
+		var sb strings.Builder
+		if err := tel.Registry().WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	// Cold run: everything is a miss.
+	if _, err := mosaic.AnalyzeJobsContext(context.Background(), jobs,
+		mosaic.Options{Store: st, Telemetry: tel}); err != nil {
+		t.Fatal(err)
+	}
+	out := expo()
+	if !strings.Contains(out, "mosaic_store_warm_total 0") {
+		t.Fatalf("cold run warm counter:\n%s", out)
+	}
+	if !strings.Contains(out, "mosaic_store_cold_total 3") {
+		t.Fatalf("cold run cold counter:\n%s", out)
+	}
+
+	// Warm run: counters accumulate on the same registry.
+	if _, err := mosaic.AnalyzeJobsContext(context.Background(), jobs,
+		mosaic.Options{Store: st, Telemetry: tel}); err != nil {
+		t.Fatal(err)
+	}
+	out = expo()
+	if !strings.Contains(out, "mosaic_store_warm_total 3") {
+		t.Fatalf("warm run warm counter:\n%s", out)
+	}
+	if !strings.Contains(out, "mosaic_store_cold_total 3") {
+		t.Fatalf("warm run cold counter:\n%s", out)
+	}
+}
+
+// A store-backed explained run persists explanations, so a second run
+// is warm for both the result and its provenance.
+func TestOptionsExplainWithStoreWarm(t *testing.T) {
+	st, err := mosaic.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	jobs := storeTestJobs(2)
+	opts := mosaic.Options{Store: st, Explain: true}
+
+	cold, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Explanations != 2 {
+		t.Fatalf("explanations stored = %d, want 2", st.Stats().Explanations)
+	}
+	warm, err := mosaic.AnalyzeJobsContext(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("explained warm run: hits=%d misses=%d, want 2/2", s.Hits, s.Misses)
+	}
+	for i := range warm.Apps {
+		if warm.Apps[i].Explanation == nil {
+			t.Fatalf("warm app %d lost its explanation", i)
+		}
+		if warm.Apps[i].Explanation.EvidenceCount() != cold.Apps[i].Explanation.EvidenceCount() {
+			t.Fatalf("warm app %d explanation differs from cold", i)
+		}
+	}
+}

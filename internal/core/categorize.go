@@ -47,6 +47,13 @@ type Result struct {
 // and metadata analysis (3c). The job must have passed darshan.Validate;
 // Categorize itself does not re-validate.
 func Categorize(j *darshan.Job, cfg Config) (*Result, error) {
+	return categorize(j, cfg, nil)
+}
+
+// categorize is the shared implementation behind Categorize (ex == nil,
+// the hot path: no provenance is collected, the only cost is pointer
+// checks) and CategorizeExplained (ex != nil).
+func categorize(j *darshan.Job, cfg Config, ex *explainState) (*Result, error) {
 	c := cfg.sane()
 	res := &Result{
 		JobID:      j.JobID,
@@ -64,15 +71,16 @@ func Categorize(j *darshan.Job, cfg Config) (*Result, error) {
 	// extended segments, when traced and not disabled, replace the
 	// aggregate open-to-close windows and expose intra-record structure.
 	reads, writes := j.ReadIntervals(), j.WriteIntervals()
-	if !c.DisableDXT && j.HasDXT() {
+	dxt := !c.DisableDXT && j.HasDXT()
+	if dxt {
 		reads, writes = j.ReadIntervalsDXT(), j.WriteIntervalsDXT()
 		res.Read.Spatial = spatialForJob(j, false)
 		res.Write.Spatial = spatialForJob(j, true)
 	}
-	if err := categorizeDirection(j, category.DirRead, reads, &c, res, &res.Read); err != nil {
+	if err := categorizeDirection(j, category.DirRead, reads, &c, res, &res.Read, ex.direction(category.DirRead, dxt)); err != nil {
 		return nil, fmt.Errorf("core: read direction of job %d: %w", j.JobID, err)
 	}
-	if err := categorizeDirection(j, category.DirWrite, writes, &c, res, &res.Write); err != nil {
+	if err := categorizeDirection(j, category.DirWrite, writes, &c, res, &res.Write, ex.direction(category.DirWrite, dxt)); err != nil {
 		return nil, fmt.Errorf("core: write direction of job %d: %w", j.JobID, err)
 	}
 
@@ -83,15 +91,29 @@ func Categorize(j *darshan.Job, cfg Config) (*Result, error) {
 	}
 
 	res.Labels = res.Categories.Strings()
+	if ex != nil {
+		ex.meta(j, res, &c)
+		ex.finish(res)
+	}
 	return res, nil
 }
 
-func categorizeDirection(j *darshan.Job, dir category.Direction, raw []interval.Interval, cfg *Config, res *Result, rep *DirectionReport) error {
+func categorizeDirection(j *darshan.Job, dir category.Direction, raw []interval.Interval, cfg *Config, res *Result, rep *DirectionReport, dx *dirExplain) error {
 	rep.RawOps = len(raw)
 	rep.Temporal = category.Insignificant
 
 	ops := interval.Clip(raw, j.Runtime)
-	merged := interval.Merge(ops, j.Runtime, cfg.neighborPolicy())
+	var merged []interval.Interval
+	if dx == nil {
+		merged = interval.Merge(ops, j.Runtime, cfg.neighborPolicy())
+	} else {
+		// Split the merge so the funnel (raw → clipped → concurrent →
+		// neighbor) is observable; the composition is identical to
+		// interval.Merge.
+		conc := interval.MergeConcurrent(ops)
+		merged = interval.MergeNeighbors(conc, j.Runtime, cfg.neighborPolicy())
+		dx.preprocess(len(raw), len(ops), len(conc), j.Runtime, cfg)
+	}
 	if len(ops) == 0 {
 		merged = nil
 	}
@@ -101,21 +123,35 @@ func categorizeDirection(j *darshan.Job, dir category.Direction, raw []interval.
 
 	// Temporality (3b).
 	rep.Chunks = Chunks(merged, j.Runtime, cfg.ChunkCount)
-	rep.Temporal = classifyTemporality(rep.Chunks, rep.TotalBytes, cfg)
+	var ttr *temporalTrace
+	if dx != nil {
+		ttr = &temporalTrace{}
+	}
+	rep.Temporal = classifyTemporalityTraced(rep.Chunks, rep.TotalBytes, cfg, ttr)
 	rep.TemporalS = rep.Temporal.String()
 	res.Categories.Add(category.Temporal(dir, rep.Temporal))
+	if dx != nil {
+		dx.temporality(rep, ttr, cfg)
+	}
 
 	// Periodicity (3a) — only significant directions are characterized.
 	if rep.Temporal == category.Insignificant {
 		return nil
 	}
-	groups, err := detectPeriodicity(merged, j.Runtime, cfg)
+	var ptr *periodicityTrace
+	if dx != nil {
+		ptr = &periodicityTrace{}
+	}
+	groups, err := detectPeriodicity(merged, j.Runtime, cfg, ptr)
 	if err != nil {
 		return err
 	}
 	rep.Groups = groups
 	for pc := range segment.Categories(dir, groups) {
 		res.Categories.Add(pc)
+	}
+	if dx != nil {
+		dx.periodicity(merged, rep, ptr, j.Runtime, cfg)
 	}
 	return nil
 }

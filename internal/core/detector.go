@@ -45,21 +45,46 @@ func (d PeriodicityDetector) String() string {
 	}
 }
 
+// periodicityTrace collects the detector evidence discarded by the plain
+// path: which algorithm ran, the segmentation clustering trace, and the
+// spectral detection (when the dft or hybrid detector consulted it). A
+// nil trace costs a pointer check per call site.
+type periodicityTrace struct {
+	Detector string
+	Seg      segment.DetectTrace
+	Spectral dsp.Detection
+}
+
 // detectPeriodicity dispatches on the configured detector and returns the
-// periodic groups of one direction.
-func detectPeriodicity(merged []interval.Interval, runtime float64, cfg *Config) ([]segment.Group, error) {
+// periodic groups of one direction. tr, when non-nil, receives the
+// detection evidence; results are identical either way.
+func detectPeriodicity(merged []interval.Interval, runtime float64, cfg *Config, tr *periodicityTrace) ([]segment.Group, error) {
+	if tr != nil {
+		tr.Detector = cfg.PeriodicityDetector.String()
+	}
 	switch cfg.PeriodicityDetector {
 	case DetectDFT:
-		return dftGroups(merged, runtime), nil
+		det := dsp.DetectPeriodicity(merged, runtime, dsp.DetectorConfig{})
+		if tr != nil {
+			tr.Spectral = det
+		}
+		return dftGroupsFrom(det, merged, runtime), nil
 	case DetectHybrid:
-		groups, err := meanShiftGroups(merged, runtime, cfg)
+		groups, err := meanShiftGroups(merged, runtime, cfg, tr)
 		if err != nil {
 			return nil, err
 		}
 		if len(groups) == 0 {
-			return dftGroups(merged, runtime), nil
+			det := dsp.DetectPeriodicity(merged, runtime, dsp.DetectorConfig{})
+			if tr != nil {
+				tr.Spectral = det
+			}
+			return dftGroupsFrom(det, merged, runtime), nil
 		}
 		det := dsp.DetectPeriodicity(merged, runtime, dsp.DetectorConfig{})
+		if tr != nil {
+			tr.Spectral = det
+		}
 		if !det.Periodic {
 			return groups, nil
 		}
@@ -76,13 +101,13 @@ func detectPeriodicity(merged []interval.Interval, runtime float64, cfg *Config)
 		}
 		return kept, nil
 	default: // DetectMeanShift
-		return meanShiftGroups(merged, runtime, cfg)
+		return meanShiftGroups(merged, runtime, cfg, tr)
 	}
 }
 
-func meanShiftGroups(merged []interval.Interval, runtime float64, cfg *Config) ([]segment.Group, error) {
+func meanShiftGroups(merged []interval.Interval, runtime float64, cfg *Config, tr *periodicityTrace) ([]segment.Group, error) {
 	segs := segment.Split(merged, runtime)
-	return segment.Detect(segs, segment.DetectConfig{
+	dc := segment.DetectConfig{
 		Bandwidth:    cfg.MeanShiftBandwidth,
 		Kernel:       cfg.MeanShiftKernel,
 		MinGroupSize: cfg.MinGroupSize,
@@ -91,14 +116,23 @@ func meanShiftGroups(merged []interval.Interval, runtime float64, cfg *Config) (
 			Runtime:        runtime,
 			VolumeLogScale: cfg.VolumeLogScale,
 		},
-	})
+	}
+	if tr != nil {
+		dc.Trace = &tr.Seg
+	}
+	return segment.Detect(segs, dc)
 }
 
-// dftGroups adapts a frequency-domain detection into the Group shape so
-// the rest of the pipeline (category assignment, reporting) is agnostic
-// to the detector.
+// dftGroups runs the spectral detector and adapts its result (see
+// dftGroupsFrom).
 func dftGroups(merged []interval.Interval, runtime float64) []segment.Group {
-	det := dsp.DetectPeriodicity(merged, runtime, dsp.DetectorConfig{})
+	return dftGroupsFrom(dsp.DetectPeriodicity(merged, runtime, dsp.DetectorConfig{}), merged, runtime)
+}
+
+// dftGroupsFrom adapts a frequency-domain detection into the Group shape
+// so the rest of the pipeline (category assignment, reporting) is
+// agnostic to the detector.
+func dftGroupsFrom(det dsp.Detection, merged []interval.Interval, runtime float64) []segment.Group {
 	if !det.Periodic || det.Period <= 0 {
 		return nil
 	}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+)
+
+// explainCorpus generates a small clean synthetic corpus spanning every
+// generator archetype.
+func explainCorpus(t testing.TB) []*darshan.Job {
+	t.Helper()
+	c := gen.Plan(gen.Profile{
+		Apps:           48,
+		Seed:           11,
+		CorruptionRate: 0,
+		MaxRunsPerApp:  1,
+		Users:          12,
+		Archetypes:     gen.DefaultArchetypes(),
+	})
+	var jobs []*darshan.Job
+	for _, run := range c.Generate() {
+		if run.Corrupted {
+			continue
+		}
+		if err := darshan.Validate(run.Job); err != nil {
+			continue
+		}
+		jobs = append(jobs, run.Job)
+	}
+	if len(jobs) < 20 {
+		t.Fatalf("synthetic corpus too small: %d jobs", len(jobs))
+	}
+	return jobs
+}
+
+// catDirection maps a category to its direction report, or "" for
+// metadata categories.
+func catDirection(c category.Category) string {
+	s := string(c)
+	switch {
+	case strings.HasPrefix(s, "read_"):
+		return "read"
+	case strings.HasPrefix(s, "write_"):
+		return "write"
+	default:
+		return ""
+	}
+}
+
+// TestExplainInvariants is the acceptance gate of the explain
+// subsystem, checked over a synthetic corpus spanning every archetype:
+//
+//  1. CategorizeExplained assigns exactly the labels Categorize does;
+//  2. every assigned label is backed by at least one passing evidence
+//     entry naming it;
+//  3. every category of the closed taxonomy that was NOT assigned —
+//     on a direction that crossed the significance threshold, plus all
+//     metadata categories — carries at least one failing rule (or
+//     recorded near-miss) explaining the rejection.
+func TestExplainInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	all := category.All()
+	for _, j := range explainCorpus(t) {
+		plain, err := Categorize(j, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, exp, err := CategorizeExplained(j, cfg, explain.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (1) identical labels.
+		if len(res.Labels) != len(plain.Labels) {
+			t.Fatalf("job %d: labels diverge: %v vs %v", j.JobID, res.Labels, plain.Labels)
+		}
+		for i := range res.Labels {
+			if res.Labels[i] != plain.Labels[i] {
+				t.Fatalf("job %d: labels diverge: %v vs %v", j.JobID, res.Labels, plain.Labels)
+			}
+		}
+		// (2) every assigned label is supported.
+		for _, l := range res.Labels {
+			if len(exp.Supporting(l)) == 0 {
+				t.Errorf("job %d: label %q has no supporting evidence", j.JobID, l)
+			}
+		}
+		// (3) every rejected category is explained.
+		sig := map[string]bool{
+			"read":  res.Read.Significant(),
+			"write": res.Write.Significant(),
+		}
+		for _, c := range all {
+			if res.Categories.Has(c) {
+				continue
+			}
+			if dir := catDirection(c); dir != "" && !sig[dir] {
+				// Insignificant directions are rejected wholesale by the
+				// significance rule; per-category rules never ran.
+				continue
+			}
+			against := exp.Against(string(c))
+			nearMiss := false
+			for _, ev := range against {
+				if ev.NearMiss {
+					nearMiss = true
+				}
+			}
+			if len(against) == 0 && !nearMiss {
+				t.Errorf("job %d: rejected category %q has no failing rule", j.JobID, c)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestExplainInsignificantDirectionIsExplained pins invariant (3)'s
+// escape hatch: an insignificant direction still carries the passing
+// significance rule for its _insignificant label and a failing entry is
+// not required for its other categories.
+func TestExplainInsignificantDirectionIsExplained(t *testing.T) {
+	j := &darshan.Job{
+		JobID: 9, User: "u", Exe: "/bin/w", NProcs: 4,
+		Start: 0, End: 1200, Runtime: 1200,
+	}
+	j.Records = append(j.Records, darshan.FileRecord{
+		Module: darshan.ModPOSIX, Path: "/out",
+		C: darshan.Counters{
+			Opens: 4, Closes: 4,
+			Writes: 6, BytesWritten: 1 << 30,
+			OpenStart: 9, OpenEnd: 10, WriteStart: 10, WriteEnd: 90,
+			CloseStart: 91, CloseEnd: 92,
+		},
+	})
+	res, exp, err := CategorizeExplained(j, DefaultConfig(), explain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Read.Significant() {
+		t.Fatal("read direction unexpectedly significant")
+	}
+	if len(exp.Supporting("read_insignificant")) == 0 {
+		t.Fatal("read_insignificant not supported by the significance rule")
+	}
+	if exp.Read == nil || exp.Read.Preprocess.RawOps != 0 {
+		t.Fatal("read preprocess funnel missing for zero-byte direction")
+	}
+}
+
+// BenchmarkCategorizePlain is the no-explanation baseline: the nil
+// collector must keep this path allocation- and branch-identical to the
+// pre-explain pipeline (PR acceptance: <= 1% overhead when disabled).
+func BenchmarkCategorizePlain(b *testing.B) {
+	j := checkpointJob()
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Categorize(j, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCategorizeExplained measures the opt-in provenance cost on
+// the same trace, for comparison against the plain baseline.
+func BenchmarkCategorizeExplained(b *testing.B) {
+	j := checkpointJob()
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CategorizeExplained(j, cfg, explain.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

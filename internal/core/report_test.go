@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/segment"
+)
+
+// DominantPeriod breaks ties by slice order: with equal occurrence
+// counts the first group wins, so the choice is deterministic for a
+// given detection (groups arrive sorted by the detector, not by map
+// iteration).
+func TestDominantPeriodTieBreak(t *testing.T) {
+	r := DirectionReport{Groups: []segment.Group{
+		{Count: 5, Period: 60},
+		{Count: 5, Period: 600},
+	}}
+	if p := r.DominantPeriod(); p != 60 {
+		t.Fatalf("equal counts: want first group's period 60, got %g", p)
+	}
+	// Reversing the slice flips the winner: order is the tie-break.
+	r.Groups[0], r.Groups[1] = r.Groups[1], r.Groups[0]
+	if p := r.DominantPeriod(); p != 600 {
+		t.Fatalf("equal counts reversed: want 600, got %g", p)
+	}
+}
+
+// A strictly larger count wins regardless of position.
+func TestDominantPeriodLargestCount(t *testing.T) {
+	r := DirectionReport{Groups: []segment.Group{
+		{Count: 2, Period: 600},
+		{Count: 9, Period: 60},
+		{Count: 3, Period: 3600},
+	}}
+	if p := r.DominantPeriod(); p != 60 {
+		t.Fatalf("want period of the largest group (60), got %g", p)
+	}
+}
+
+// A direction can be significant without being periodic: zero groups
+// means Periodic() is false and DominantPeriod is 0, but Significant()
+// still reports true.
+func TestSignificantWithZeroGroups(t *testing.T) {
+	r := DirectionReport{Temporal: category.OnStart}
+	if !r.Significant() {
+		t.Fatal("non-insignificant temporality must be significant")
+	}
+	if r.Periodic() || r.DominantPeriod() != 0 {
+		t.Fatalf("zero groups: Periodic()=%v DominantPeriod()=%g", r.Periodic(), r.DominantPeriod())
+	}
+}
+
+// A zero-byte direction never crosses the significance threshold: the
+// read side of a write-only job is categorized insignificant, carries
+// no bytes, and is skipped by periodicity detection entirely.
+func TestSignificantZeroByteDirection(t *testing.T) {
+	j := &darshan.Job{
+		JobID: 7, User: "u", Exe: "/bin/w", NProcs: 8,
+		Start: 0, End: 3600, Runtime: 3600,
+	}
+	j.Records = append(j.Records, darshan.FileRecord{
+		Module: darshan.ModPOSIX, Path: "/out",
+		C: darshan.Counters{
+			Opens: 8, Closes: 8,
+			Writes: 10, BytesWritten: 1 << 30,
+			OpenStart: 9, OpenEnd: 10, WriteStart: 10, WriteEnd: 100,
+			CloseStart: 101, CloseEnd: 102,
+		},
+	})
+	res, err := Categorize(j, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Read
+	if r.Significant() {
+		t.Fatal("zero-byte read direction reported significant")
+	}
+	if r.TotalBytes != 0 || r.RawOps != 0 {
+		t.Fatalf("zero-byte direction carries data: bytes=%d ops=%d", r.TotalBytes, r.RawOps)
+	}
+	if r.Temporal != category.Insignificant {
+		t.Fatalf("temporal = %v, want insignificant", r.Temporal)
+	}
+	if r.Periodic() || r.DominantPeriod() != 0 {
+		t.Fatal("insignificant direction must not be periodic")
+	}
+	if !res.Categories.Has(category.Temporal(category.DirRead, category.Insignificant)) {
+		t.Fatalf("missing read_insignificant in %v", res.Categories)
+	}
+}
+
+// Equal non-zero volumes below the significance threshold stay
+// insignificant; the same shape above the threshold is steady (CV 0).
+func TestSignificanceThresholdBoundary(t *testing.T) {
+	cfg := DefaultConfig().Normalized()
+	even := func(per int64) []float64 {
+		return []float64{float64(per), float64(per), float64(per), float64(per)}
+	}
+	below := cfg.SignificanceBytes/4 - 1
+	if got := classifyTemporality(even(below), 4*below, &cfg); got != category.Insignificant {
+		t.Fatalf("below threshold: %v, want insignificant", got)
+	}
+	above := cfg.SignificanceBytes / 4
+	if got := classifyTemporality(even(above), 4*above, &cfg); got != category.Steady {
+		t.Fatalf("at threshold with zero CV: %v, want steady", got)
+	}
+}

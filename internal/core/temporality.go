@@ -81,16 +81,47 @@ func maxF(a, b float64) float64 {
 //     cases where an operation is unequally spread across multiple
 //     chunks".
 func classifyTemporality(chunks []float64, total int64, cfg *Config) category.TemporalKind {
+	return classifyTemporalityTraced(chunks, total, cfg, nil)
+}
+
+// domCheck is one evaluated dominance comparison: does the top-K chunk
+// set dominate the rest by the configured factor?
+type domCheck struct {
+	K       int     // size of the candidate dominant set
+	MinDom  float64 // smallest volume inside the candidate set
+	MaxRest float64 // largest volume outside it
+	Pass    bool
+}
+
+// temporalTrace captures the intermediate quantities of the temporality
+// decision for the explain subsystem. A nil trace costs nothing beyond a
+// pointer check per comparison.
+type temporalTrace struct {
+	CV     float64
+	Checks []domCheck
+	Weak   bool // weak-dominance fallback (argmax chunk) decided
+}
+
+// classifyTemporalityTraced is classifyTemporality with optional
+// provenance collection; the two always return the same kind.
+func classifyTemporalityTraced(chunks []float64, total int64, cfg *Config, tr *temporalTrace) category.TemporalKind {
 	if total < cfg.SignificanceBytes {
 		return category.Insignificant
 	}
-	if stats.CoefficientOfVariation(chunks) < cfg.SteadyCV {
+	cv := stats.CoefficientOfVariation(chunks)
+	if tr != nil {
+		tr.CV = cv
+	}
+	if cv < cfg.SteadyCV {
 		return category.Steady
 	}
-	if dom := dominantChunks(chunks, cfg.DominanceFactor); dom != nil {
+	if dom := dominantChunksTraced(chunks, cfg.DominanceFactor, tr); dom != nil {
 		return kindForChunkSetWeighted(dom, chunks)
 	}
 	// Weak dominance: argmax chunk.
+	if tr != nil {
+		tr.Weak = true
+	}
 	best := 0
 	for i, v := range chunks {
 		if v > chunks[best] {
@@ -104,6 +135,10 @@ func classifyTemporality(chunks []float64, total int64, cfg *Config) category.Te
 // member holds more than factor× the volume of every non-member, or nil
 // when no set smaller than the whole dominates.
 func dominantChunks(chunks []float64, factor float64) []int {
+	return dominantChunksTraced(chunks, factor, nil)
+}
+
+func dominantChunksTraced(chunks []float64, factor float64, tr *temporalTrace) []int {
 	n := len(chunks)
 	idx := make([]int, n)
 	for i := range idx {
@@ -113,7 +148,11 @@ func dominantChunks(chunks []float64, factor float64) []int {
 	for k := 1; k < n; k++ {
 		minDom := chunks[idx[k-1]]
 		maxRest := chunks[idx[k]]
-		if minDom > factor*maxRest {
+		pass := minDom > factor*maxRest
+		if tr != nil {
+			tr.Checks = append(tr.Checks, domCheck{K: k, MinDom: minDom, MaxRest: maxRest, Pass: pass})
+		}
+		if pass {
 			dom := append([]int(nil), idx[:k]...)
 			sort.Ints(dom)
 			return dom

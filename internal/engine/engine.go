@@ -27,6 +27,7 @@ import (
 
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
 	"github.com/mosaic-hpc/mosaic/internal/parallel"
 	"github.com/mosaic-hpc/mosaic/internal/report"
 )
@@ -80,6 +81,16 @@ type Options struct {
 	// buffers are what make backpressure real: a full channel blocks the
 	// upstream stage.
 	Buffer int
+	// Explain enables decision-provenance collection during the
+	// Categorize stage: each AppResult carries an explain.Explanation
+	// recording why every category was (or wasn't) assigned. Requires an
+	// executor implementing ExplainExecutor (Local and the caching store
+	// executor do); otherwise explanations stay nil. Disabled, the hot
+	// path is untouched.
+	Explain bool
+	// ExplainOptions tunes collection (near-miss margin, segment cap);
+	// the zero value selects the explain package defaults.
+	ExplainOptions explain.Options
 }
 
 // AppResult is one deduplicated application's outcome.
@@ -89,6 +100,9 @@ type AppResult struct {
 	Runs   int          // valid executions in the group
 	Job    *darshan.Job // the heaviest run, the one analyzed
 	Result *core.Result
+	// Explanation is the decision-provenance record of Result, collected
+	// only when Options.Explain was set and the executor supports it.
+	Explanation *explain.Explanation
 }
 
 // Result is the outcome of a pipeline run.
@@ -154,6 +168,12 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 	// implement SpanObserver, span == nil and no per-item clock reads
 	// happen on the hot path.
 	span, _ := obs.(SpanObserver)
+	// Explanation collection is an opt-in executor capability, asserted
+	// once per run like SpanObserver above.
+	var exExec ExplainExecutor
+	if opts.Explain {
+		exExec, _ = exec.(ExplainExecutor)
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -289,7 +309,14 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 					if span != nil {
 						start = time.Now()
 					}
-					res, err := exec.Categorize(ctx, ig.g.Heaviest, cfg)
+					var res *core.Result
+					var expl *explain.Explanation
+					var err error
+					if exExec != nil {
+						res, expl, err = exExec.CategorizeExplained(ctx, ig.g.Heaviest, cfg, opts.ExplainOptions)
+					} else {
+						res, err = exec.Categorize(ctx, ig.g.Heaviest, cfg)
+					}
 					if span != nil {
 						span.ItemSpan(StageCategorize, ig.g.User+"/"+ig.g.App, start, time.Since(start))
 					}
@@ -304,7 +331,7 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 					obs.ItemOut(StageCategorize)
 					out := indexedResult{idx: ig.idx, res: AppResult{
 						App: ig.g.App, User: ig.g.User, Runs: ig.g.Runs,
-						Job: ig.g.Heaviest, Result: res,
+						Job: ig.g.Heaviest, Result: res, Explanation: expl,
 					}}
 					select {
 					case results <- out:

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
 )
 
 // Executor runs the Categorize stage for one validated trace. The
@@ -22,6 +23,19 @@ type Executor interface {
 	Concurrency() int
 }
 
+// ExplainExecutor is the optional capability of executors that can
+// collect decision provenance alongside the result. The engine
+// type-asserts once per run (mirroring SpanObserver): executors without
+// the capability — e.g. the distributed master, whose wire protocol does
+// not carry explanations — run the plain stage and the engine records a
+// nil Explanation.
+type ExplainExecutor interface {
+	Executor
+	// CategorizeExplained analyzes one validated trace and returns the
+	// result together with its provenance record.
+	CategorizeExplained(ctx context.Context, j *darshan.Job, cfg core.Config, opts explain.Options) (*core.Result, *explain.Explanation, error)
+}
+
 // Local is the in-process executor: one categorization per worker
 // goroutine, the Dispy-free fast path.
 type Local struct {
@@ -35,6 +49,14 @@ func (l Local) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) 
 		return nil, err
 	}
 	return core.Categorize(j, cfg)
+}
+
+// CategorizeExplained implements ExplainExecutor.
+func (l Local) CategorizeExplained(ctx context.Context, j *darshan.Job, cfg core.Config, opts explain.Options) (*core.Result, *explain.Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return core.CategorizeExplained(j, cfg, opts)
 }
 
 // Concurrency implements Executor.

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+)
+
+func TestRunExplainThreadsExplanations(t *testing.T) {
+	jobs := testJobs(t, 40)
+	res, err := Run(context.Background(), Jobs(jobs), Options{Workers: 4, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) == 0 {
+		t.Fatal("no apps analyzed")
+	}
+	for _, a := range res.Apps {
+		if a.Explanation == nil {
+			t.Fatalf("app %s/%s: Explain run produced no explanation", a.User, a.App)
+		}
+		if a.Explanation.EvidenceCount() == 0 {
+			t.Fatalf("app %s/%s: explanation carries no evidence", a.User, a.App)
+		}
+		// The explanation's labels are the result's labels.
+		if got, want := len(a.Explanation.Labels), len(a.Result.Labels); got != want {
+			t.Fatalf("app %s/%s: explanation labels %v, result labels %v",
+				a.User, a.App, a.Explanation.Labels, a.Result.Labels)
+		}
+		for i, l := range a.Explanation.Labels {
+			if l != a.Result.Labels[i] {
+				t.Fatalf("app %s/%s: label mismatch %v vs %v",
+					a.User, a.App, a.Explanation.Labels, a.Result.Labels)
+			}
+		}
+	}
+	// An explained run categorizes identically to a plain one.
+	plain, err := Run(context.Background(), Jobs(jobs), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Apps) != len(res.Apps) {
+		t.Fatalf("app count differs: explained %d plain %d", len(res.Apps), len(plain.Apps))
+	}
+	for i := range res.Apps {
+		if !res.Apps[i].Result.Categories.Equal(plain.Apps[i].Result.Categories) {
+			t.Fatalf("app %d: explained categories differ from plain run", i)
+		}
+	}
+}
+
+func TestRunWithoutExplainLeavesExplanationsNil(t *testing.T) {
+	res, err := Run(context.Background(), Jobs(testJobs(t, 20)), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Apps {
+		if a.Explanation != nil {
+			t.Fatalf("app %s/%s: explanation collected without Explain", a.User, a.App)
+		}
+	}
+}
+
+// plainOnlyExec hides Local's ExplainExecutor capability, standing in
+// for an executor that cannot collect evidence.
+type plainOnlyExec struct{ inner Local }
+
+func (p plainOnlyExec) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error) {
+	return p.inner.Categorize(ctx, j, cfg)
+}
+
+func (p plainOnlyExec) Concurrency() int { return p.inner.Concurrency() }
+
+func TestRunExplainDegradesWithoutCapability(t *testing.T) {
+	res, err := Run(context.Background(), Jobs(testJobs(t, 20)), Options{
+		Workers:  2,
+		Explain:  true,
+		Executor: plainOnlyExec{Local{Workers: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) == 0 {
+		t.Fatal("no apps analyzed")
+	}
+	for _, a := range res.Apps {
+		if a.Result == nil {
+			t.Fatalf("app %s/%s: no result from degraded run", a.User, a.App)
+		}
+		if a.Explanation != nil {
+			t.Fatalf("app %s/%s: capability-less executor produced an explanation", a.User, a.App)
+		}
+	}
+}

@@ -95,6 +95,39 @@ type Group struct {
 	Segments  []int                    // indices into the segment slice
 }
 
+// ClusterTrace describes one Mean Shift cluster — accepted or not — for
+// decision provenance: its size, converged centroid, per-axis member
+// spread, the period it implies, the runtime coverage of its members,
+// and the reason it was (not) promoted to a periodic group.
+type ClusterTrace struct {
+	Size             int
+	CentroidDuration float64 // feature space: duration/runtime
+	CentroidVolume   float64 // feature space: log2(1+bytes)/scale
+	SpreadDuration   float64 // member stddev along the duration axis
+	SpreadVolume     float64 // member stddev along the volume axis
+	Period           float64 // mean member inter-arrival time, seconds
+	MeanBytes        float64
+	Coverage         float64 // member span / runtime
+	Accepted         bool
+	Reason           string // "accepted" | "size" | "coverage"
+}
+
+// Cluster rejection reasons recorded in ClusterTrace.Reason.
+const (
+	ClusterAccepted         = "accepted"
+	ClusterRejectedSize     = "size"
+	ClusterRejectedCoverage = "coverage"
+)
+
+// DetectTrace, when attached to a DetectConfig, collects the clustering
+// evidence Detect normally discards: the number of segments clustered
+// and every cluster with its statistics and verdict. Clusters appear in
+// cluster-id order (deterministic for a given input).
+type DetectTrace struct {
+	Segments int
+	Clusters []ClusterTrace
+}
+
 // DetectConfig parametrizes periodic-group detection.
 type DetectConfig struct {
 	// Bandwidth is the Mean Shift bandwidth in feature-space units
@@ -115,6 +148,10 @@ type DetectConfig struct {
 	// guards against two accidental near-identical operations at the
 	// very start of a long job (default 0.5).
 	MinCoverage float64
+	// Trace, when non-nil, receives the clustering evidence (every
+	// cluster with size/centroid/spread and its verdict). Detection
+	// results are identical with or without it; nil costs nothing.
+	Trace *DetectTrace
 }
 
 // DefaultDetectConfig returns the detection defaults for a job of the
@@ -129,10 +166,11 @@ func DefaultDetectConfig(runtime float64) DetectConfig {
 	}
 }
 
-// busyHighThreshold splits periodic_low_busy_time from
+// BusyHighThreshold splits periodic_low_busy_time from
 // periodic_high_busy_time: the paper observes that almost all periodic
-// writers spend less than 25% of the time writing.
-const busyHighThreshold = 0.25
+// writers spend less than 25% of the time writing. Exported so the
+// explain subsystem can state the threshold it compared against.
+const BusyHighThreshold = 0.25
 
 // Detect clusters the segments and returns every periodic group found, or
 // nil when the trace has no periodic behaviour. Multiple groups model
@@ -144,6 +182,9 @@ func Detect(segs []Segment, cfg DetectConfig) ([]Group, error) {
 	}
 	if cfg.MinCoverage <= 0 {
 		cfg.MinCoverage = 0.5
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Segments = len(segs)
 	}
 	if len(segs) < cfg.MinGroupSize {
 		return nil, nil
@@ -164,19 +205,63 @@ func Detect(segs []Segment, cfg DetectConfig) ([]Group, error) {
 	var groups []Group
 	for l := 0; l < len(res.Centers); l++ {
 		members := byCluster[l]
-		if len(members) < cfg.MinGroupSize {
-			continue
-		}
-		g := buildGroup(segs, members)
+		var coverage float64
 		if runtime > 0 {
-			span := spanOf(segs, members)
-			if span/runtime < cfg.MinCoverage {
-				continue
-			}
+			coverage = spanOf(segs, members) / runtime
 		}
-		groups = append(groups, g)
+		accepted, reason := true, ClusterAccepted
+		switch {
+		case len(members) < cfg.MinGroupSize:
+			accepted, reason = false, ClusterRejectedSize
+		case runtime > 0 && coverage < cfg.MinCoverage:
+			accepted, reason = false, ClusterRejectedCoverage
+		}
+		var g Group
+		if accepted || cfg.Trace != nil {
+			g = buildGroup(segs, members)
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.Clusters = append(cfg.Trace.Clusters,
+				traceCluster(res.Centers[l], pts, members, g, coverage, accepted, reason))
+		}
+		if accepted {
+			groups = append(groups, g)
+		}
 	}
 	return groups, nil
+}
+
+// traceCluster assembles the provenance record of one cluster.
+func traceCluster(center cluster.Point, pts []cluster.Point, members []int, g Group, coverage float64, accepted bool, reason string) ClusterTrace {
+	ct := ClusterTrace{
+		Size:      len(members),
+		Period:    g.Period,
+		MeanBytes: g.MeanBytes,
+		Coverage:  coverage,
+		Accepted:  accepted,
+		Reason:    reason,
+	}
+	if len(center) == 2 {
+		ct.CentroidDuration, ct.CentroidVolume = center[0], center[1]
+	}
+	if n := float64(len(members)); n > 0 {
+		var mean0, mean1 float64
+		for _, i := range members {
+			mean0 += pts[i][0]
+			mean1 += pts[i][1]
+		}
+		mean0 /= n
+		mean1 /= n
+		var var0, var1 float64
+		for _, i := range members {
+			d0, d1 := pts[i][0]-mean0, pts[i][1]-mean1
+			var0 += d0 * d0
+			var1 += d1 * d1
+		}
+		ct.SpreadDuration = math.Sqrt(var0 / n)
+		ct.SpreadVolume = math.Sqrt(var1 / n)
+	}
+	return ct
 }
 
 func buildGroup(segs []Segment, members []int) Group {
@@ -222,7 +307,7 @@ func spanOf(segs []Segment, members []int) float64 {
 
 // BusyHigh reports whether a group's busy ratio crosses the
 // low/high-busy-time boundary.
-func (g Group) BusyHigh() bool { return g.BusyRatio >= busyHighThreshold }
+func (g Group) BusyHigh() bool { return g.BusyRatio >= BusyHighThreshold }
 
 // Categories returns the periodicity categories implied by the groups for
 // the given direction: the base periodic label, one magnitude label per

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/explain"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+func TestServeExplainEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, QueueDepth: 16, Explain: true})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j := testJob(21)
+	blob := encodeJob(t, j)
+	if resp, body := postBlob(t, ts.URL, blob); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d, body %s", resp.StatusCode, body)
+	}
+	id, _, err := store.TraceKey(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultBody := waitResult(t, ts.URL, id)
+
+	resp, body := getBody(t, ts.URL+"/v1/explain/"+string(id))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("explain Content-Type = %q", ct)
+	}
+	var e explain.Explanation
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("explain body not an Explanation: %v\n%s", err, body)
+	}
+	if e.EvidenceCount() == 0 {
+		t.Fatal("served explanation has no evidence")
+	}
+	if len(e.Labels) == 0 {
+		t.Fatal("served explanation has no labels")
+	}
+	// Labels must agree with the served result.
+	var res struct {
+		Categories []string `json:"categories"`
+	}
+	if err := json.Unmarshal([]byte(resultBody), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Categories) != len(e.Labels) {
+		t.Fatalf("result categories %v != explanation labels %v", res.Categories, e.Labels)
+	}
+
+	// Category filter keeps only matching evidence.
+	resp, body = getBody(t, ts.URL+"/v1/explain/"+string(id)+"?category=write")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered explain: status %d", resp.StatusCode)
+	}
+	var f explain.Explanation
+	if err := json.Unmarshal([]byte(body), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.EvidenceCount() == 0 {
+		t.Fatal("category filter removed all evidence")
+	}
+	for _, ev := range f.AllEvidence() {
+		if !strings.Contains(ev.Category, "write") {
+			t.Fatalf("filter leaked evidence for category %q", ev.Category)
+		}
+	}
+	// A filter matching nothing still answers 200 with empty evidence.
+	resp, body = getBody(t, ts.URL+"/v1/explain/"+string(id)+"?category=no-such-category")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-filter explain: status %d", resp.StatusCode)
+	}
+	var z explain.Explanation
+	if err := json.Unmarshal([]byte(body), &z); err != nil {
+		t.Fatal(err)
+	}
+	if z.EvidenceCount() != 0 {
+		t.Fatal("nonsense filter retained evidence")
+	}
+}
+
+func TestServeExplainStatusCodes(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Explain: true})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Malformed IDs are rejected before any store lookup.
+	for _, bad := range []string{"nope", strings.Repeat("g", 64), strings.Repeat("a", 63)} {
+		resp, _ := getBody(t, ts.URL+"/v1/explain/"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("explain %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// A well-formed but unknown ID is a 404.
+	unknown := strings.Repeat("ab", 32)
+	resp, body := getBody(t, ts.URL+"/v1/explain/"+unknown)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown explain: status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "unknown trace") {
+		t.Fatalf("unknown explain body: %s", body)
+	}
+}
+
+// A server with explanation collection disabled serves results but
+// answers 404 with a remediation hint for /v1/explain.
+func TestServeExplainDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Explain: false})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j := testJob(23)
+	if resp, body := postBlob(t, ts.URL, encodeJob(t, j)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d, body %s", resp.StatusCode, body)
+	}
+	id, _, err := store.TraceKey(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitResult(t, ts.URL, id)
+
+	resp, body := getBody(t, ts.URL+"/v1/explain/"+string(id))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled explain: status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "no explanation is stored") {
+		t.Fatalf("disabled explain body lacks remediation hint: %s", body)
+	}
+}
+
+func TestRequestIDMiddleware(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(reqID string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-Id", reqID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// A valid client ID is echoed unchanged.
+	if got := get("abc-123").Header.Get("X-Request-Id"); got != "abc-123" {
+		t.Fatalf("valid request ID not echoed: %q", got)
+	}
+	// No client ID: one is generated (16 hex chars).
+	gen := get("").Header.Get("X-Request-Id")
+	if len(gen) != 16 {
+		t.Fatalf("generated request ID %q, want 16 hex chars", gen)
+	}
+	// Invalid client IDs are replaced, never echoed. (Only values the
+	// Go HTTP client will transmit; control bytes are covered by the
+	// direct middleware test below.)
+	for _, bad := range []string{strings.Repeat("x", 200), "has\ttab"} {
+		got := get(bad).Header.Get("X-Request-Id")
+		if got == bad || got == "" {
+			t.Fatalf("invalid request ID %q handled as %q", bad, got)
+		}
+	}
+	// Two bare requests get distinct IDs.
+	if a, b := get("").Header.Get("X-Request-Id"), get("").Header.Get("X-Request-Id"); a == b {
+		t.Fatalf("request IDs not unique: %q", a)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	cases := []struct {
+		id   string
+		want bool
+	}{
+		{"", false},
+		{"a", true},
+		{"abc-123_XYZ.42", true},
+		{strings.Repeat("a", 128), true},
+		{strings.Repeat("a", 129), false},
+		{"has space", false}, // space is <= ' '
+		{"tab\there", false},
+		{"high\x80bit", false},
+		{"del\x7f", false},
+	}
+	for _, c := range cases {
+		if got := validRequestID(c.id); got != c.want {
+			t.Errorf("validRequestID(%q) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestRequestIDFrom(t *testing.T) {
+	if id := RequestIDFrom(context.Background()); id != "" {
+		t.Fatalf("RequestIDFrom(empty ctx) = %q, want empty", id)
+	}
+	var seen string
+	h := RequestIDMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-Request-Id", "ctx-check")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if seen != "ctx-check" {
+		t.Fatalf("RequestIDFrom(handler ctx) = %q, want ctx-check", seen)
+	}
+
+	// A control byte in the header (never transmittable by a real
+	// client, but possible from a buggy proxy) is replaced.
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header["X-Request-Id"] = []string{"bad\x7fbyte"}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen == "bad\x7fbyte" || seen == "" {
+		t.Fatalf("control-byte request ID handled as %q", seen)
+	}
+	if echoed := rec.Header().Get("X-Request-Id"); echoed != seen {
+		t.Fatalf("echoed ID %q != context ID %q", echoed, seen)
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// requestIDHeader is the header carrying the request correlation ID.
+const requestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied IDs; longer (or
+// non-printable) values are replaced with a generated one so log lines
+// stay clean.
+const maxRequestIDLen = 128
+
+type requestIDKey struct{}
+
+// RequestIDFrom returns the request ID stored in ctx by
+// RequestIDMiddleware, or "" when the request did not pass through it.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// RequestIDMiddleware assigns every request a correlation ID: a valid
+// client-supplied X-Request-Id is kept (so callers can trace a request
+// across systems), otherwise one is generated. The ID is echoed in the
+// response header and stored in the request context for handler and
+// worker log lines.
+func RequestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// validRequestID accepts printable-ASCII IDs up to maxRequestIDLen.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// newRequestID returns a 16-hex-char random ID. crypto/rand never
+// fails on supported platforms; on the impossible error path a fixed
+// marker keeps requests flowing rather than failing them over an ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}

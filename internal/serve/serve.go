@@ -42,6 +42,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/engine"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
 	"github.com/mosaic-hpc/mosaic/internal/index"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
@@ -77,6 +78,14 @@ type Config struct {
 	// NoBackfill disables the startup pass that re-enqueues stored
 	// traces lacking a result under the current fingerprint.
 	NoBackfill bool
+	// Explain enables decision-provenance collection: every
+	// categorization additionally produces an explain.Explanation,
+	// persisted under the same (trace hash × config fingerprint) key as
+	// the result and served on GET /v1/explain/{id}.
+	Explain bool
+	// ExplainMargin is the near-miss margin for evidence collection
+	// (<= 0: explain.DefaultMargin).
+	ExplainMargin float64
 }
 
 // Ingest item statuses reported per uploaded trace.
@@ -96,10 +105,13 @@ type IngestItem struct {
 	Error  string        `json:"error,omitempty"`
 }
 
-// ingestJob is one queued categorization.
+// ingestJob is one queued categorization. reqID names the HTTP request
+// (or synthetic origin, e.g. "backfill") that enqueued it, so worker
+// log lines correlate with the ingest request that caused them.
 type ingestJob struct {
-	id  store.TraceID
-	job *darshan.Job
+	id    store.TraceID
+	job   *darshan.Job
+	reqID string
 }
 
 // Server is a running analysis service (HTTP handler + worker pool).
@@ -122,6 +134,9 @@ type Server struct {
 	runCtx     context.Context
 	runCancel  context.CancelFunc
 
+	explainOn bool
+	exOpts    explain.Options
+
 	mu      sync.Mutex
 	pending map[store.TraceID]struct{} // queued or in-flight
 	failed  map[store.TraceID]string   // categorization/funnel failures
@@ -138,6 +153,8 @@ type Server struct {
 	querySecs      *telemetry.Histogram
 	queries        *telemetry.Counter
 	resultsServed  *telemetry.Counter
+	explainsServed *telemetry.Counter
+	exMetrics      *telemetry.ExplainMetrics
 }
 
 // New builds a server over an open store: it rebuilds the category
@@ -186,6 +203,8 @@ func New(cfg Config) (*Server, error) {
 		pending:   make(map[store.TraceID]struct{}),
 		failed:    make(map[store.TraceID]string),
 		reg:       reg,
+		explainOn: cfg.Explain,
+		exOpts:    explain.Options{Margin: cfg.ExplainMargin}.Normalized(),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.registerMetrics()
@@ -225,6 +244,10 @@ func (s *Server) registerMetrics() {
 	s.querySecs = s.reg.Histogram("mosaic_serve_query_seconds", "Query request latency.", nil, nil)
 	s.queries = s.reg.Counter("mosaic_serve_queries_total", "Category queries served.", nil)
 	s.resultsServed = s.reg.Counter("mosaic_serve_results_total", "Result lookups served.", nil)
+	s.explainsServed = s.reg.Counter("mosaic_serve_explains_total", "Explanation lookups served.", nil)
+	if s.explainOn {
+		s.exMetrics = telemetry.NewExplainMetrics(s.reg)
+	}
 }
 
 // Fingerprint returns the server's effective config fingerprint.
@@ -255,7 +278,7 @@ func (s *Server) backfill() {
 			return true
 		}
 		select {
-		case s.queue <- ingestJob{id: id, job: j}:
+		case s.queue <- ingestJob{id: id, job: j, reqID: "backfill"}:
 			s.queueDepth.Inc()
 			queued++
 			return true
@@ -341,7 +364,10 @@ func (s *Server) worker() {
 func (s *Server) process(item ingestJob) {
 	defer s.unmarkPending(item.id)
 	start := time.Now()
-	opts := engine.Options{Config: s.cfg, Workers: 1, Executor: s.exec}
+	opts := engine.Options{
+		Config: s.cfg, Workers: 1, Executor: s.exec,
+		Explain: s.explainOn, ExplainOptions: s.exOpts,
+	}
 	if s.tel != nil {
 		opts.Observer = s.tel
 	}
@@ -353,13 +379,13 @@ func (s *Server) process(item ingestJob) {
 	case err != nil:
 		s.recordFailure(item.id, err.Error())
 		if s.log != nil {
-			s.log.Warn("categorization failed", "id", string(item.id), "err", err)
+			s.log.Warn("categorization failed", "request_id", item.reqID, "id", string(item.id), "err", err)
 		}
 		return
 	case len(res.Apps) == 0:
 		s.recordFailure(item.id, "evicted by the funnel (corrupted or invalid trace)")
 		if s.log != nil {
-			s.log.Warn("trace evicted by funnel", "id", string(item.id))
+			s.log.Warn("trace evicted by funnel", "request_id", item.reqID, "id", string(item.id))
 		}
 		return
 	}
@@ -367,14 +393,26 @@ func (s *Server) process(item ingestJob) {
 	if err := s.st.PutResult(item.id, s.fp, result); err != nil {
 		s.recordFailure(item.id, err.Error())
 		if s.log != nil {
-			s.log.Error("persisting result failed", "id", string(item.id), "err", err)
+			s.log.Error("persisting result failed", "request_id", item.reqID, "id", string(item.id), "err", err)
 		}
 		return
+	}
+	if expl := res.Apps[0].Explanation; expl != nil {
+		size, err := s.st.PutExplanation(item.id, s.fp, expl)
+		if err != nil {
+			// The result is durable; a lost explanation only degrades
+			// inspectability, so log and continue rather than fail the trace.
+			if s.log != nil {
+				s.log.Error("persisting explanation failed", "request_id", item.reqID, "id", string(item.id), "err", err)
+			}
+		} else {
+			s.exMetrics.Observe(expl.EvidenceCount(), expl.NearMissCount(), size)
+		}
 	}
 	s.cacheMisses.Inc()
 	s.ix.Add(item.id, result.Categories)
 	if s.log != nil {
-		s.log.Debug("trace categorized", "id", string(item.id),
+		s.log.Debug("trace categorized", "request_id", item.reqID, "id", string(item.id),
 			"categories", len(result.Categories), "dur", time.Since(start))
 	}
 }
@@ -414,11 +452,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ---- HTTP layer ----
 
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API, wrapped in the request-ID
+// middleware: every response echoes (or is assigned) an X-Request-Id,
+// and ingest/query/explain log lines carry it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/traces", s.handleIngest)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -429,7 +470,66 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
 	})
-	return mux
+	return RequestIDMiddleware(mux)
+}
+
+// reqLog returns the server logger bound to the request's ID, or nil
+// when logging is disabled.
+func (s *Server) reqLog(r *http.Request) *slog.Logger {
+	if s.log == nil {
+		return nil
+	}
+	if id := RequestIDFrom(r.Context()); id != "" {
+		return s.log.With("request_id", id)
+	}
+	return s.log
+}
+
+// handleExplain serves the stored decision-provenance record of one
+// trace under the server's fingerprint. ?category=<substring> narrows
+// the evidence lists to entries about matching categories.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.explainsServed.Inc()
+	id := store.TraceID(strings.ToLower(r.PathValue("id")))
+	if !id.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "id must be a 64-char SHA-256 hex digest"})
+		return
+	}
+	e, ok, err := s.st.GetExplanation(id, s.fp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if ok {
+		if c := r.URL.Query().Get("category"); c != "" {
+			e = e.FilterCategory(c)
+		}
+		if log := s.reqLog(r); log != nil {
+			log.Debug("explanation served", "id", string(id), "evidence", e.EvidenceCount())
+		}
+		writeJSON(w, http.StatusOK, e)
+		return
+	}
+	switch {
+	case s.isPending(id):
+		writeJSON(w, http.StatusAccepted, struct {
+			Status string `json:"status"`
+		}{Status: "pending"})
+	case s.st.HasResult(id, s.fp):
+		// Categorized before explanations existed (or with explain
+		// disabled): re-ingesting under an explain-enabled server heals.
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "result exists but no explanation is stored; re-ingest with explanation collection enabled"})
+	default:
+		if reason, failed := s.failureOf(id); failed {
+			writeJSON(w, http.StatusUnprocessableEntity, struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}{Status: "failed", Error: reason})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown trace"})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -472,8 +572,9 @@ func decodeBlob(data []byte) (*darshan.Job, error) {
 	return j, nil
 }
 
-// ingestOne persists and enqueues a single decoded upload.
-func (s *Server) ingestOne(name string, data []byte) IngestItem {
+// ingestOne persists and enqueues a single decoded upload. reqID is
+// the originating request's ID, carried to the worker's log lines.
+func (s *Server) ingestOne(name string, data []byte, reqID string) IngestItem {
 	job, err := decodeBlob(data)
 	if err != nil {
 		return IngestItem{Name: name, Status: StatusUnreadable, Error: err.Error()}
@@ -495,7 +596,7 @@ func (s *Server) ingestOne(name string, data []byte) IngestItem {
 		return IngestItem{Name: name, ID: id, Status: StatusPending}
 	}
 	select {
-	case s.queue <- ingestJob{id: id, job: job}:
+	case s.queue <- ingestJob{id: id, job: job, reqID: reqID}:
 		s.queueDepth.Inc()
 		return IngestItem{Name: name, ID: id, Status: StatusAccepted}
 	default:
@@ -508,6 +609,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.ingestSecs.Observe(time.Since(start).Seconds()) }()
 	s.ingestRequests.Inc()
+	reqID := RequestIDFrom(r.Context())
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
 		return
@@ -544,7 +646,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 					Error: fmt.Sprintf("trace exceeds %d byte upload limit", s.maxUpload)})
 				continue
 			}
-			items = append(items, s.ingestOne(name, data))
+			items = append(items, s.ingestOne(name, data, reqID))
 		}
 	} else {
 		data, err := io.ReadAll(io.LimitReader(r.Body, s.maxUpload+1))
@@ -561,7 +663,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request body"})
 			return
 		}
-		items = append(items, s.ingestOne("", data))
+		items = append(items, s.ingestOne("", data, reqID))
 	}
 	if len(items) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no traces in request"})
@@ -586,6 +688,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// items already accepted in this request stay accepted.
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
+	}
+	if log := s.reqLog(r); log != nil {
+		log.Info("ingest handled", "traces", len(items), "status", code)
 	}
 	writeJSON(w, code, struct {
 		Results []IngestItem `json:"results"`
@@ -637,6 +742,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
+	}
+	if log := s.reqLog(r); log != nil {
+		log.Debug("query served", "q", q, "matches", len(ids))
 	}
 	limit := len(ids)
 	if lv := r.URL.Query().Get("limit"); lv != "" {

@@ -7,6 +7,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/engine"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
 )
 
 // CachingExecutor wraps any engine.Executor (the in-process Local
@@ -70,6 +71,62 @@ func (e *CachingExecutor) Categorize(ctx context.Context, j *darshan.Job, cfg co
 	return res, nil
 }
 
+// CategorizeExplained implements engine.ExplainExecutor: a warm hit
+// requires both the result and its explanation to be stored; when the
+// result is present but the explanation is not (e.g. it was computed
+// before explanations existed, or with explain disabled), both are
+// recomputed and only the missing explanation is written back — the
+// stored result stays authoritative. Inner executors without the
+// ExplainExecutor capability degrade to the plain path with a nil
+// explanation.
+func (e *CachingExecutor) CategorizeExplained(ctx context.Context, j *darshan.Job, cfg core.Config, opts explain.Options) (*core.Result, *explain.Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	ex, ok := e.inner.(engine.ExplainExecutor)
+	if !ok {
+		res, err := e.Categorize(ctx, j, cfg)
+		return res, nil, err
+	}
+	fp := cfg.Fingerprint()
+	id, data, err := TraceKey(j)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, haveRes, err := e.store.GetResult(id, fp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if haveRes {
+		if expl, haveExpl, err := e.store.GetExplanation(id, fp); err != nil {
+			return nil, nil, err
+		} else if haveExpl {
+			e.hits.Add(1)
+			return res, expl, nil
+		}
+	}
+	fresh, expl, err := ex.CategorizeExplained(ctx, j, cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.misses.Add(1)
+	if e.StoreTraces {
+		if _, _, err := e.store.PutTraceBytes(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	if !haveRes {
+		if err := e.store.PutResult(id, fp, fresh); err != nil {
+			return nil, nil, err
+		}
+		res = fresh
+	}
+	if _, err := e.store.PutExplanation(id, fp, expl); err != nil {
+		return nil, nil, err
+	}
+	return res, expl, nil
+}
+
 // Concurrency implements engine.Executor, deferring to the inner
 // executor's parallelism.
 func (e *CachingExecutor) Concurrency() int { return e.inner.Concurrency() }
@@ -80,4 +137,7 @@ func (e *CachingExecutor) Hits() int64 { return e.hits.Load() }
 // Misses returns how many categorizations ran and were written back.
 func (e *CachingExecutor) Misses() int64 { return e.misses.Load() }
 
-var _ engine.Executor = (*CachingExecutor)(nil)
+var (
+	_ engine.Executor        = (*CachingExecutor)(nil)
+	_ engine.ExplainExecutor = (*CachingExecutor)(nil)
+)

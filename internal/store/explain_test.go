@@ -1,0 +1,221 @@
+package store
+
+import (
+	"context"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/engine"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
+)
+
+func testExplained(t *testing.T, seed int) (*core.Result, *explain.Explanation) {
+	t.Helper()
+	res, expl, err := core.CategorizeExplained(testJob(seed), core.DefaultConfig(), explain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, expl
+}
+
+func TestStoreExplanationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j := testJob(3)
+	id, _, err := TraceKey(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := core.DefaultConfig().Fingerprint()
+	if s.HasExplanation(id, fp) {
+		t.Fatal("explanation present before put")
+	}
+	if _, ok, err := s.GetExplanation(id, fp); err != nil || ok {
+		t.Fatalf("get before put: ok=%v err=%v", ok, err)
+	}
+	_, expl := testExplained(t, 3)
+	n, err := s.PutExplanation(id, fp, expl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("PutExplanation size = %d, want > 0", n)
+	}
+	if !s.HasExplanation(id, fp) {
+		t.Fatal("HasExplanation false after put")
+	}
+	back, ok, err := s.GetExplanation(id, fp)
+	if err != nil || !ok {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	if back.EvidenceCount() != expl.EvidenceCount() || len(back.Labels) != len(expl.Labels) {
+		t.Fatal("explanation round trip lost evidence")
+	}
+	if st := s.Stats(); st.Explanations != 1 {
+		t.Fatalf("Stats.Explanations = %d, want 1", st.Explanations)
+	}
+	// A different fingerprint is a different record.
+	if s.HasExplanation(id, "cfg-other") {
+		t.Fatal("explanation leaked across fingerprints")
+	}
+}
+
+func TestStoreExplanationSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(5)
+	id, _, err := TraceKey(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := core.DefaultConfig().Fingerprint()
+	_, expl := testExplained(t, 5)
+	if _, err := s.PutExplanation(id, fp, expl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	back, ok, err := s2.GetExplanation(id, fp)
+	if err != nil || !ok {
+		t.Fatalf("explanation lost across reopen: ok=%v err=%v", ok, err)
+	}
+	if back.EvidenceCount() != expl.EvidenceCount() {
+		t.Fatal("reopened explanation differs")
+	}
+	if st := s2.Stats(); st.Explanations != 1 {
+		t.Fatalf("reopened Stats.Explanations = %d, want 1", st.Explanations)
+	}
+}
+
+func TestCachingExecutorExplained(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	exec := NewCachingExecutor(s, engine.Local{Workers: 2})
+	cfg := core.DefaultConfig()
+	j := testJob(7)
+	ctx := context.Background()
+
+	res1, expl1, err := exec.CategorizeExplained(ctx, j, cfg, explain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl1 == nil || expl1.EvidenceCount() == 0 {
+		t.Fatal("cold run returned no explanation")
+	}
+	if exec.Hits() != 0 || exec.Misses() != 1 {
+		t.Fatalf("after cold run: hits=%d misses=%d", exec.Hits(), exec.Misses())
+	}
+	res2, expl2, err := exec.CategorizeExplained(ctx, j, cfg, explain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Hits() != 1 || exec.Misses() != 1 {
+		t.Fatalf("after warm run: hits=%d misses=%d", exec.Hits(), exec.Misses())
+	}
+	if !res1.Categories.Equal(res2.Categories) {
+		t.Fatal("warm result categories differ")
+	}
+	if expl2.EvidenceCount() != expl1.EvidenceCount() {
+		t.Fatal("warm explanation differs from cold one")
+	}
+}
+
+// A result stored without an explanation (plain Categorize path, or a
+// pre-explain corpus) is not a warm hit for the explained path: both
+// are recomputed, only the missing explanation is written back, and
+// the stored result stays authoritative.
+func TestCachingExecutorBackfillsExplanation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	exec := NewCachingExecutor(s, engine.Local{Workers: 2})
+	cfg := core.DefaultConfig()
+	j := testJob(9)
+	ctx := context.Background()
+	id, _, err := TraceKey(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := cfg.Fingerprint()
+
+	// Plain path stores only the result.
+	if _, err := exec.Categorize(ctx, j, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasExplanation(id, fp) {
+		t.Fatal("plain path stored an explanation")
+	}
+	// Explained path misses (no explanation), recomputes, backfills.
+	_, expl, err := exec.CategorizeExplained(ctx, j, cfg, explain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl == nil {
+		t.Fatal("backfill returned no explanation")
+	}
+	if exec.Misses() != 2 {
+		t.Fatalf("explanation backfill should count as a miss: misses=%d", exec.Misses())
+	}
+	if !s.HasExplanation(id, fp) {
+		t.Fatal("explanation not backfilled")
+	}
+	// Second explained call is now fully warm.
+	if _, _, err := exec.CategorizeExplained(ctx, j, cfg, explain.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if exec.Hits() != 1 {
+		t.Fatalf("after backfill: hits=%d, want 1", exec.Hits())
+	}
+}
+
+func TestCachingExecutorExplainDegradesWithoutCapability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	exec := NewCachingExecutor(s, noExplainExec{engine.Local{Workers: 1}})
+	res, expl, err := exec.CategorizeExplained(context.Background(), testJob(11), core.DefaultConfig(), explain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no result from degraded path")
+	}
+	if expl != nil {
+		t.Fatal("capability-less inner executor produced an explanation")
+	}
+}
+
+// noExplainExec wraps Local but only exposes the plain Executor
+// interface, standing in for an executor (e.g. an old remote master)
+// that cannot collect evidence.
+type noExplainExec struct{ inner engine.Local }
+
+func (n noExplainExec) Categorize(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, error) {
+	return n.inner.Categorize(ctx, j, cfg)
+}
+
+func (n noExplainExec) Concurrency() int { return n.inner.Concurrency() }

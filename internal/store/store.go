@@ -37,6 +37,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/explain"
 )
 
 // TraceID is the content address of one trace: the lowercase hex
@@ -75,8 +76,9 @@ func TraceKey(j *darshan.Job) (TraceID, []byte, error) {
 
 // Record kinds in the segment log.
 const (
-	kindTrace  byte = 1
-	kindResult byte = 2
+	kindTrace   byte = 1
+	kindResult  byte = 2
+	kindExplain byte = 3
 )
 
 // Frame layout: [u32 payloadLen][payload][u32 crc32(payload)] with
@@ -124,6 +126,7 @@ type loc struct {
 type Stats struct {
 	Traces           int   `json:"traces"`
 	Results          int   `json:"results"`
+	Explanations     int   `json:"explanations"`
 	Segments         int   `json:"segments"`
 	DiskBytes        int64 `json:"disk_bytes"`
 	CacheItems       int   `json:"cache_items"`
@@ -147,8 +150,9 @@ type Store struct {
 	size    int64      // bytes in the active segment
 	closed  bool
 
-	traces  int
-	results int
+	traces   int
+	results  int
+	explains int
 
 	cache *lru
 
@@ -264,7 +268,7 @@ func (s *Store) scanSegment(seg int, f *os.File) (good int64, dropped int64, err
 		}
 		kind := payload[0]
 		keyLen := int(binary.LittleEndian.Uint16(payload[1:3]))
-		if keyLen > maxKeyLen || framePayloadMin+int64(keyLen) > n || (kind != kindTrace && kind != kindResult) {
+		if keyLen > maxKeyLen || framePayloadMin+int64(keyLen) > n || (kind != kindTrace && kind != kindResult && kind != kindExplain) {
 			break // structurally invalid: treat like a torn tail
 		}
 		key := string(payload[3 : 3+keyLen])
@@ -279,13 +283,17 @@ func (s *Store) scanSegment(seg int, f *os.File) (good int64, dropped int64, err
 	return off, fileSize - off, nil
 }
 
-// indexPut records a key's location, maintaining the trace/result
-// counters (last write wins, matching log replay order).
+// indexPut records a key's location, maintaining the
+// trace/result/explanation counters (last write wins, matching log
+// replay order).
 func (s *Store) indexPut(key string, l loc) {
 	if _, exists := s.index[key]; !exists {
-		if strings.HasPrefix(key, "t/") {
+		switch {
+		case strings.HasPrefix(key, "t/"):
 			s.traces++
-		} else {
+		case strings.HasPrefix(key, "e/"):
+			s.explains++
+		default:
 			s.results++
 		}
 	}
@@ -376,8 +384,9 @@ func (s *Store) readValue(key string, l loc) ([]byte, error) {
 	return buf, nil
 }
 
-func traceKeyOf(id TraceID) string             { return "t/" + string(id) }
-func resultKeyOf(id TraceID, fp string) string { return "r/" + string(id) + "/" + fp }
+func traceKeyOf(id TraceID) string              { return "t/" + string(id) }
+func resultKeyOf(id TraceID, fp string) string  { return "r/" + string(id) + "/" + fp }
+func explainKeyOf(id TraceID, fp string) string { return "e/" + string(id) + "/" + fp }
 
 // PutTraceBytes stores an encoded trace blob under its content
 // address. It returns the address and whether the blob was already
@@ -456,6 +465,56 @@ func (s *Store) PutResult(id TraceID, fp string, res *core.Result) error {
 	}
 	s.cache.put(key, data)
 	return nil
+}
+
+// PutExplanation stores the decision-provenance record of (trace,
+// config fingerprint) — the same key scheme as results, under its own
+// record kind, so explanation and result always pair up. It returns
+// the serialized size, which feeds the explanation-size telemetry.
+func (s *Store) PutExplanation(id TraceID, fp string, e *explain.Explanation) (int, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("store: encoding explanation %s: %w", id, err)
+	}
+	key := explainKeyOf(id, fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(kindExplain, key, data); err != nil {
+		return 0, err
+	}
+	s.cache.put(key, data)
+	return len(data), nil
+}
+
+// GetExplanation returns the stored explanation of (trace,
+// fingerprint), reporting found-ness. Explanation lookups do not feed
+// the result hit/miss counters.
+func (s *Store) GetExplanation(id TraceID, fp string) (*explain.Explanation, bool, error) {
+	key := explainKeyOf(id, fp)
+	s.mu.RLock()
+	l, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := s.readValue(key, l)
+	if err != nil {
+		return nil, false, err
+	}
+	var e explain.Explanation
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false, fmt.Errorf("store: decoding explanation %s: %w", id, err)
+	}
+	return &e, true, nil
+}
+
+// HasExplanation reports whether an explanation is stored without
+// reading it.
+func (s *Store) HasExplanation(id TraceID, fp string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[explainKeyOf(id, fp)]
+	return ok
 }
 
 // decodeResult parses a stored result and rehydrates the fields that
@@ -580,6 +639,7 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Traces:           s.traces,
 		Results:          s.results,
+		Explanations:     s.explains,
 		Segments:         len(s.readers),
 		RecoveredFrames:  s.recoveredFrames,
 		DroppedTailBytes: s.droppedTailBytes,

@@ -114,9 +114,21 @@ type Options struct {
 	// per-trace spans and the slow-trace log (see NewTelemetry). It
 	// composes with Observer via MultiObserver, so both receive events.
 	Telemetry *Telemetry
+	// Explain enables decision-provenance collection: each AppResult
+	// carries the Explanation recording why every category was (or
+	// wasn't) assigned. Off by default — the hot path pays nothing.
+	// With Store set, explanations are persisted alongside results and
+	// warm hits require both to be present.
+	Explain bool
+	// ExplainOptions tunes collection (near-miss margin, segment cap);
+	// the zero value selects the defaults. Ignored unless Explain is set.
+	ExplainOptions ExplainOptions
 }
 
-func (o Options) engine() engine.Options {
+// engine lowers the facade options onto the engine, returning the
+// caching executor (nil without Options.Store) so callers can export
+// its warm/cold counters after the run.
+func (o Options) engine() (engine.Options, *CachingExecutor) {
 	obs := o.Observer
 	if o.Telemetry != nil {
 		if obs != nil {
@@ -126,23 +138,47 @@ func (o Options) engine() engine.Options {
 		}
 	}
 	exec := o.Executor
+	var ce *CachingExecutor
 	if o.Store != nil {
-		exec = cachingExecutor(o.Store, exec, o.Workers)
+		ce = cachingExecutor(o.Store, exec, o.Workers)
+		exec = ce
 	}
 	return engine.Options{
-		Config:   o.Config,
-		Workers:  o.Workers,
-		Policy:   o.Policy,
-		Observer: obs,
-		Executor: exec,
+		Config:         o.Config,
+		Workers:        o.Workers,
+		Policy:         o.Policy,
+		Observer:       obs,
+		Executor:       exec,
+		Explain:        o.Explain,
+		ExplainOptions: o.ExplainOptions,
+	}, ce
+}
+
+// finishRun flushes per-run telemetry: the engine gauges via
+// FinishRun, and — when a store warm-started the run — the warm/cold
+// counters (mosaic_store_warm_total / mosaic_store_cold_total), so a
+// scrape shows how much of the corpus was served from disk.
+func (o Options) finishRun(ce *CachingExecutor) {
+	if o.Telemetry == nil {
+		return
 	}
+	if ce != nil {
+		reg := o.Telemetry.Registry()
+		reg.Counter("mosaic_store_warm_total",
+			"Categorizations served warm from the result store.", nil).Add(ce.Hits())
+		reg.Counter("mosaic_store_cold_total",
+			"Categorizations computed cold and written back to the store.", nil).Add(ce.Misses())
+	}
+	o.Telemetry.FinishRun()
 }
 
 // AppResult pairs an application's categorization with its execution
-// count, the unit of the "all runs" statistics.
+// count, the unit of the "all runs" statistics. Explanation is non-nil
+// only when Options.Explain was set.
 type AppResult struct {
-	Result *Result `json:"result"`
-	Runs   int     `json:"runs"`
+	Result      *Result      `json:"result"`
+	Runs        int          `json:"runs"`
+	Explanation *Explanation `json:"explanation,omitempty"`
 }
 
 // Analysis is the outcome of a corpus run: the pre-processing funnel, one
@@ -159,7 +195,7 @@ func fromEngine(r *engine.Result) *Analysis {
 	}
 	apps := make([]AppResult, len(r.Apps))
 	for i, a := range r.Apps {
-		apps[i] = AppResult{Result: a.Result, Runs: a.Runs}
+		apps[i] = AppResult{Result: a.Result, Runs: a.Runs, Explanation: a.Explanation}
 	}
 	return &Analysis{Funnel: r.Funnel, Apps: apps, Aggregate: r.Agg}
 }
@@ -169,10 +205,9 @@ func fromEngine(r *engine.Result) *Analysis {
 // application's heaviest run, and aggregation. Cancelling ctx stops
 // in-flight work promptly and returns the context's error.
 func AnalyzeJobsContext(ctx context.Context, jobs []*Job, opt Options) (*Analysis, error) {
-	res, err := engine.Run(ctx, engine.Jobs(jobs), opt.engine())
-	if opt.Telemetry != nil {
-		opt.Telemetry.FinishRun()
-	}
+	eopt, ce := opt.engine()
+	res, err := engine.Run(ctx, engine.Jobs(jobs), eopt)
+	opt.finishRun(ce)
 	return fromEngine(res), err
 }
 
@@ -188,10 +223,9 @@ func AnalyzeJobs(jobs []*Job, opt Options) (*Analysis, error) {
 // drains every stage without goroutine leaks. Decode failures count as
 // corrupted traces, like damaged logs in the Blue Waters dataset.
 func AnalyzeCorpusContext(ctx context.Context, dir string, opt Options) (*Analysis, error) {
-	res, err := engine.Run(ctx, engine.Dir(dir), opt.engine())
-	if opt.Telemetry != nil {
-		opt.Telemetry.FinishRun()
-	}
+	eopt, ce := opt.engine()
+	res, err := engine.Run(ctx, engine.Dir(dir), eopt)
+	opt.finishRun(ce)
 	return fromEngine(res), err
 }
 
