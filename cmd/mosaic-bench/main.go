@@ -6,6 +6,14 @@
 //
 //	mosaic-bench [-exp all|fig3|table2|table3|fig4|fig5|accuracy|stability|perf|ablation]
 //	             [-apps N] [-seed S] [-workers W] [-sample N]
+//
+// With -bench-json (and friends) the command instead runs the pinned
+// performance benchmark suite (internal/benchsuite) and records or checks
+// the BENCH_meanshift.json / BENCH_pipeline.json baselines:
+//
+//	mosaic-bench -bench-json .                         # refresh baselines
+//	mosaic-bench -bench-json /tmp/b -bench-against . \
+//	             -bench-tolerance 0.10 -bench-count 5  # CI regression gate
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 
 	"encoding/json"
 
+	"github.com/mosaic-hpc/mosaic/internal/benchio"
+	"github.com/mosaic-hpc/mosaic/internal/benchsuite"
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/experiments"
@@ -37,12 +47,110 @@ func main() {
 		sample   = flag.Int("sample", 512, "sample size for the accuracy experiment")
 		outDir   = flag.String("out", "", "also write machine-readable artifacts (JSON, CSV, PNG figures) to this directory")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON of the shared corpus run to this file")
+
+		benchJSON  = flag.String("bench-json", "", "run the pinned benchmark suite and write BENCH_*.json into this directory (instead of the experiments)")
+		benchOld   = flag.String("bench-against", "", "compare the fresh pinned results against the BENCH_*.json baselines in this directory; exit non-zero on regression")
+		benchTol   = flag.Float64("bench-tolerance", 0.10, "allowed fractional ns/op slowdown before -bench-against fails (0.10 = +10%)")
+		benchCount = flag.Int("bench-count", 3, "runs per pinned benchmark; the fastest is recorded")
+		benchText  = flag.String("bench-text", "", "also write the fresh results in Go benchmark text format (benchstat input)")
+		benchBase  = flag.String("bench-baseline-text", "", "convert the committed BENCH_*.json baselines in the current directory to Go benchmark text at this path, without running anything")
 	)
 	flag.Parse()
+	if *benchBase != "" {
+		if err := writeBaselineText(*benchBase); err != nil {
+			fmt.Fprintln(os.Stderr, "mosaic-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchJSON != "" || *benchOld != "" {
+		if err := runBench(*benchJSON, *benchOld, *benchTol, *benchCount, *benchText); err != nil {
+			fmt.Fprintln(os.Stderr, "mosaic-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *apps, *seed, *workers, *sample, *outDir, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mosaic-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeBaselineText renders the committed baselines as benchstat input so
+// CI can print a human-readable old-vs-new table.
+func writeBaselineText(path string) error {
+	var all []benchio.File
+	for _, name := range []string{benchsuite.MeanShiftFile, benchsuite.PipelineFile} {
+		f, err := benchio.Read(name)
+		if err != nil {
+			return err
+		}
+		all = append(all, f)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := benchio.WriteGoBench(out, all...)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// runBench executes the pinned benchmark suite, optionally persisting the
+// results (JSON baselines + benchstat text) and gating against committed
+// baselines.
+func runBench(jsonDir, againstDir string, tol float64, count int, textPath string) error {
+	fmt.Printf("pinned benchmark suite: %d targets, best of %d runs each\n\n",
+		len(benchsuite.Targets()), count)
+	files := benchsuite.Run(count, func(line string) { fmt.Println(line) })
+
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range []string{benchsuite.MeanShiftFile, benchsuite.PipelineFile} {
+			path := filepath.Join(jsonDir, name)
+			if err := benchio.Write(path, files[name]); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote %s (%d entries)", path, len(files[name].Entries))
+		}
+		fmt.Println()
+	}
+	if textPath != "" {
+		f, err := os.Create(textPath)
+		if err != nil {
+			return err
+		}
+		werr := benchio.WriteGoBench(f, files[benchsuite.MeanShiftFile], files[benchsuite.PipelineFile])
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", textPath, werr)
+		}
+	}
+	if againstDir != "" {
+		var regs []benchio.Regression
+		for _, name := range []string{benchsuite.MeanShiftFile, benchsuite.PipelineFile} {
+			base, err := benchio.Read(filepath.Join(againstDir, name))
+			if err != nil {
+				return fmt.Errorf("baseline %s: %w", name, err)
+			}
+			regs = append(regs, benchio.Compare(base, files[name], tol)...)
+		}
+		if len(regs) > 0 {
+			fmt.Println()
+			for _, r := range regs {
+				fmt.Println("REGRESSION:", r)
+			}
+			return fmt.Errorf("%d pinned benchmark(s) regressed beyond %.0f%%", len(regs), tol*100)
+		}
+		fmt.Printf("\nno regressions beyond %.0f%% against %s\n", tol*100, againstDir)
+	}
+	return nil
 }
 
 func run(exp string, apps int, seed int64, workers, sample int, outDir, traceOut string) error {

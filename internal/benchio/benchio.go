@@ -1,0 +1,140 @@
+// Package benchio defines the on-disk format of MOSAIC's pinned benchmark
+// results (the BENCH_*.json files at the repository root) and the
+// comparison logic behind the CI regression gate.
+//
+// The format is deliberately tiny: a schema version, the environment the
+// numbers were taken on, and one entry per pinned benchmark with its
+// ns/op, B/op and allocs/op. WriteGoBench renders the same data in the
+// standard Go benchmark text format so benchstat can diff two files.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema is the current file schema version.
+const Schema = 1
+
+// Entry is one pinned benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`         // full name, e.g. BenchmarkMeanShift/n=5k/binned
+	NsPerOp     float64 `json:"ns_per_op"`    // best (minimum) over the run count
+	BytesPerOp  int64   `json:"bytes_per_op"` // allocated bytes per op
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"` // b.N of the best run
+}
+
+// File is one benchmark result file.
+type File struct {
+	Schema  int     `json:"schema"`
+	Go      string  `json:"go,omitempty"`   // runtime.Version()
+	OS      string  `json:"os,omitempty"`   // GOOS
+	Arch    string  `json:"arch,omitempty"` // GOARCH
+	Entries []Entry `json:"entries"`
+}
+
+// Lookup returns the entry with the given name.
+func (f *File) Lookup(name string) (Entry, bool) {
+	for _, e := range f.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Read loads a benchmark file.
+func Read(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("benchio: parse %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return File{}, fmt.Errorf("benchio: %s has schema %d, want %d", path, f.Schema, Schema)
+	}
+	return f, nil
+}
+
+// Write stores a benchmark file with stable formatting (sorted entries,
+// indented JSON, trailing newline) so committed baselines diff cleanly.
+func Write(path string, f File) error {
+	f.Schema = Schema
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].Name < f.Entries[j].Name })
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteGoBench renders the entries in the Go benchmark text format
+// understood by benchstat:
+//
+//	BenchmarkName	N	ns/op	B/op	allocs/op
+func WriteGoBench(w io.Writer, files ...File) error {
+	var entries []Entry
+	for _, f := range files {
+		entries = append(entries, f.Entries...)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, e := range entries {
+		n := e.Iterations
+		if n <= 0 {
+			n = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%.1f ns/op\t%d B/op\t%d allocs/op\n",
+			e.Name, n, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regression is one benchmark that got slower than the baseline allows.
+type Regression struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64 // NewNs / OldNs
+	Missed bool    // baseline entry absent from the fresh run
+}
+
+func (r Regression) String() string {
+	if r.Missed {
+		return fmt.Sprintf("%s: present in baseline but not measured", r.Name)
+	}
+	return fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%.2fx, tolerance exceeded)",
+		r.Name, r.OldNs, r.NewNs, r.Ratio)
+}
+
+// Compare returns every baseline entry whose fresh ns/op exceeds the
+// baseline by more than the tolerance (e.g. 0.10 for +10%), and every
+// baseline entry missing from the fresh results. Fresh entries without a
+// baseline are ignored — adding a benchmark is not a regression.
+func Compare(baseline, fresh File, tolerance float64) []Regression {
+	var regs []Regression
+	for _, old := range baseline.Entries {
+		cur, ok := fresh.Lookup(old.Name)
+		if !ok {
+			regs = append(regs, Regression{Name: old.Name, Missed: true})
+			continue
+		}
+		if old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+tolerance) {
+			regs = append(regs, Regression{
+				Name:  old.Name,
+				OldNs: old.NsPerOp,
+				NewNs: cur.NsPerOp,
+				Ratio: cur.NsPerOp / old.NsPerOp,
+			})
+		}
+	}
+	return regs
+}

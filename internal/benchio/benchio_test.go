@@ -1,0 +1,101 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() File {
+	return File{
+		Go: "go1.x", OS: "linux", Arch: "amd64",
+		Entries: []Entry{
+			{Name: "BenchmarkB/sub", NsPerOp: 200, BytesPerOp: 64, AllocsPerOp: 2, Iterations: 100},
+			{Name: "BenchmarkA", NsPerOp: 1000.5, BytesPerOp: 128, AllocsPerOp: 3, Iterations: 50},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Entries) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// Write sorts entries by name.
+	if got.Entries[0].Name != "BenchmarkA" {
+		t.Fatalf("entries not sorted: %+v", got.Entries)
+	}
+	if e, ok := got.Lookup("BenchmarkB/sub"); !ok || e.NsPerOp != 200 {
+		t.Fatalf("lookup failed: %+v %v", e, ok)
+	}
+	if _, ok := got.Lookup("BenchmarkC"); ok {
+		t.Fatal("lookup of missing entry succeeded")
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeRaw(path, `{"schema": 99, "entries": []}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("schema 99 accepted")
+	}
+}
+
+func TestWriteGoBench(t *testing.T) {
+	var b strings.Builder
+	if err := WriteGoBench(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "BenchmarkA\t50\t1000.5 ns/op\t128 B/op\t3 allocs/op") {
+		t.Fatalf("bad benchstat text:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "BenchmarkA") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := File{Entries: []Entry{
+		{Name: "X", NsPerOp: 100},
+		{Name: "Y", NsPerOp: 100},
+		{Name: "Z", NsPerOp: 100},
+	}}
+	fresh := File{Entries: []Entry{
+		{Name: "X", NsPerOp: 109}, // within 10%
+		{Name: "Y", NsPerOp: 150}, // regression
+		{Name: "W", NsPerOp: 1},   // new benchmark: ignored
+	}}
+	regs := Compare(base, fresh, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("want regression for Y and missing Z, got %v", regs)
+	}
+	byName := map[string]Regression{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	if r := byName["Y"]; r.Missed || r.Ratio != 1.5 {
+		t.Fatalf("Y regression wrong: %+v", r)
+	}
+	if r := byName["Z"]; !r.Missed || !strings.Contains(r.String(), "not measured") {
+		t.Fatalf("Z should be reported missing: %+v", r)
+	}
+	if regs := Compare(base, base, 0); len(regs) != 0 {
+		t.Fatalf("identical files must not regress: %v", regs)
+	}
+}
+
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

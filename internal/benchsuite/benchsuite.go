@@ -1,0 +1,225 @@
+// Package benchsuite defines the pinned benchmarks behind MOSAIC's
+// performance regression gate. The same functions back two entry points:
+// the `go test -bench` targets in internal/cluster and the repo root, and
+// `mosaic-bench -bench-json`, which runs them through testing.Benchmark
+// and records the results in the committed BENCH_*.json baselines that CI
+// compares fresh runs against.
+//
+// Pinned names are stable identifiers — renaming one silently drops it
+// from the regression gate, so don't.
+package benchsuite
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic"
+	"github.com/mosaic-hpc/mosaic/internal/benchio"
+	"github.com/mosaic-hpc/mosaic/internal/cluster"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/experiments"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+)
+
+// Result file names at the repository root.
+const (
+	MeanShiftFile = "BENCH_meanshift.json"
+	PipelineFile  = "BENCH_pipeline.json"
+)
+
+// Target is one pinned benchmark: its stable name, the baseline file it
+// belongs to, and the benchmark body.
+type Target struct {
+	Name string // e.g. "BenchmarkMeanShift/n=5k/binned"
+	File string // MeanShiftFile or PipelineFile
+	Fn   func(b *testing.B)
+}
+
+// pointsSeed pins the synthetic clustering workload; the dataset is a
+// pure function of n.
+const pointsSeed = 42
+
+// Points returns the deterministic clustering workload used by every
+// MeanShift benchmark: six Gaussian blobs plus 20% uniform noise in
+// [0,1]², the shape of a segment feature space with several interleaved
+// periodic operations.
+func Points(n int) []cluster.Point {
+	rng := rand.New(rand.NewSource(pointsSeed))
+	const k = 6
+	centers := make([]cluster.Point, k)
+	for i := range centers {
+		centers[i] = cluster.Point{rng.Float64(), rng.Float64()}
+	}
+	pts := make([]cluster.Point, n)
+	for i := range pts {
+		if rng.Float64() < 0.2 {
+			pts[i] = cluster.Point{rng.Float64(), rng.Float64()}
+			continue
+		}
+		c := centers[rng.Intn(k)]
+		pts[i] = cluster.Point{
+			c[0] + rng.NormFloat64()*0.02,
+			c[1] + rng.NormFloat64()*0.02,
+		}
+	}
+	return pts
+}
+
+// meanShiftBench returns a benchmark body clustering Points(n) with the
+// given configuration (bandwidth 0.05, scratch reuse across iterations).
+func meanShiftBench(n int, cfg cluster.MeanShiftConfig) func(*testing.B) {
+	return func(b *testing.B) {
+		pts := Points(n)
+		cfg.Bandwidth = 0.05
+		cfg.Scratch = cluster.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := cluster.MeanShift(pts, cfg)
+			if err != nil || len(res.Centers) == 0 {
+				b.Fatalf("centers=%d err=%v", len(res.Centers), err)
+			}
+		}
+	}
+}
+
+// Size is one pinned input scale.
+type Size struct {
+	Label string
+	N     int
+}
+
+// Mode is one pinned MeanShift configuration.
+type Mode struct {
+	Label string
+	Cfg   cluster.MeanShiftConfig
+}
+
+// MeanShiftSizes lists the pinned input scales.
+func MeanShiftSizes() []Size {
+	return []Size{{"1k", 1000}, {"5k", 5000}, {"20k", 20000}}
+}
+
+// MeanShiftModes lists the pinned configurations per scale. The exact
+// reference path is only pinned up to 5k — at 20k the O(n²·iters) scan is
+// too slow to gate CI on.
+func MeanShiftModes(n int) []Mode {
+	var modes []Mode
+	if n <= 5000 {
+		modes = append(modes, Mode{"exact", cluster.MeanShiftConfig{Exact: true}})
+	}
+	return append(modes,
+		Mode{"grid", cluster.MeanShiftConfig{}},
+		Mode{"binned", cluster.MeanShiftConfig{BinSeeding: true}},
+	)
+}
+
+// corpusJobs lazily builds the small deduplicated corpus the pipeline
+// benchmarks categorize (one representative run per app, 120 apps).
+var corpusJobs = sync.OnceValue(func() []*mosaic.Job {
+	corpus := gen.Plan(experiments.ScaledProfile(1, 120))
+	jobs := make([]*mosaic.Job, 0, len(corpus.Apps))
+	for _, app := range corpus.Apps {
+		jobs = append(jobs, corpus.GenerateRun(app, 0).Job)
+	}
+	return jobs
+})
+
+// CategorizeSingle measures the full per-trace pipeline on the flagship
+// checkpointing trace (pinned as BenchmarkCategorizeSingle).
+func CategorizeSingle(b *testing.B) {
+	arch, ok := gen.ArchetypeByName("checkpointer-minute")
+	if !ok {
+		b.Fatal("checkpointer-minute archetype missing")
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := arch.Params(rng)
+	builder := gen.NewBuilder(rng, "u", arch.Exe, 1, p.Ranks, p.RuntimeBase)
+	arch.Build(builder, p)
+	job := builder.Job()
+	cfg := core.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Categorize(job, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// PipelineParallel measures corpus categorization throughput at the given
+// worker count (pinned as BenchmarkPipelineParallel/4workers).
+func PipelineParallel(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		jobs := corpusJobs()
+		cfg := core.DefaultConfig()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mosaic.CategorizeAll(context.Background(), jobs, mosaic.Options{Config: cfg, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Targets returns every pinned benchmark.
+func Targets() []Target {
+	var ts []Target
+	for _, size := range MeanShiftSizes() {
+		for _, mode := range MeanShiftModes(size.N) {
+			ts = append(ts, Target{
+				Name: fmt.Sprintf("BenchmarkMeanShift/n=%s/%s", size.Label, mode.Label),
+				File: MeanShiftFile,
+				Fn:   meanShiftBench(size.N, mode.Cfg),
+			})
+		}
+	}
+	ts = append(ts,
+		Target{Name: "BenchmarkCategorizeSingle", File: PipelineFile, Fn: CategorizeSingle},
+		Target{Name: "BenchmarkPipelineParallel/4workers", File: PipelineFile, Fn: PipelineParallel(4)},
+	)
+	return ts
+}
+
+// Run executes every pinned target count times through testing.Benchmark,
+// keeping the fastest ns/op per target, and returns the results grouped
+// by baseline file name. report, when non-nil, receives one line per
+// measurement.
+func Run(count int, report func(string)) map[string]benchio.File {
+	if count < 1 {
+		count = 1
+	}
+	files := make(map[string]benchio.File)
+	for _, t := range Targets() {
+		var best benchio.Entry
+		for c := 0; c < count; c++ {
+			r := testing.Benchmark(t.Fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if c == 0 || ns < best.NsPerOp {
+				best = benchio.Entry{
+					Name:        t.Name,
+					NsPerOp:     ns,
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					Iterations:  r.N,
+				}
+			}
+		}
+		if report != nil {
+			report(fmt.Sprintf("%-44s %14.0f ns/op %8d B/op %6d allocs/op",
+				t.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp))
+		}
+		f := files[t.File]
+		f.Go = runtime.Version()
+		f.OS = runtime.GOOS
+		f.Arch = runtime.GOARCH
+		f.Entries = append(f.Entries, best)
+		files[t.File] = f
+	}
+	return files
+}

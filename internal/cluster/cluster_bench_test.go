@@ -1,0 +1,66 @@
+package cluster_test
+
+// Benchmarks of the accelerated Mean Shift engine. The pinned sub-
+// benchmarks (BenchmarkMeanShift/n=.../...) are defined once in
+// internal/benchsuite and shared with `mosaic-bench -bench-json`, which
+// records them into the committed BENCH_meanshift.json baseline that CI's
+// regression gate compares against.
+//
+// Run locally with:
+//
+//	go test ./internal/cluster -bench BenchmarkMeanShift -run ^$
+
+import (
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/benchsuite"
+	"github.com/mosaic-hpc/mosaic/internal/cluster"
+)
+
+func BenchmarkMeanShift(b *testing.B) {
+	for _, size := range benchsuite.MeanShiftSizes() {
+		for _, mode := range benchsuite.MeanShiftModes(size.N) {
+			mode := mode
+			cfg := mode.Cfg
+			cfg.Bandwidth = 0.05
+			cfg.Scratch = cluster.NewScratch()
+			pts := benchsuite.Points(size.N)
+			b.Run("n="+size.Label+"/"+mode.Label, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := cluster.MeanShift(pts, cfg)
+					if err != nil || len(res.Centers) == 0 {
+						b.Fatalf("centers=%d err=%v", len(res.Centers), err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEstimateBandwidth covers both regimes of the estimator: the
+// exact all-pairs quickselect below the cutoff and pair sampling above.
+func BenchmarkEstimateBandwidth(b *testing.B) {
+	for _, n := range []int{200, 5000} {
+		pts := benchsuite.Points(n)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if bw := cluster.EstimateBandwidth(pts, 0.3); bw <= 0 {
+					b.Fatal("bandwidth must be positive")
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randFlat fills a flattened n*d coordinate store with uniform points.
+func randFlat(rng *rand.Rand, n, d int) []float64 {
+	coords := make([]float64, n*d)
+	for i := range coords {
+		coords[i] = rng.Float64()
+	}
+	return coords
+}
+
+// gridCandidates collects the point indices found by a radius-r neighbor
+// probe around query q, mimicking the odometer in shiftOne.
+func gridCandidates(g *grid, q []float64, r int64) map[int]bool {
+	d := g.d
+	base := make([]int64, d)
+	off := make([]int64, d)
+	cell := make([]int64, d)
+	quantizeInto(q, g.inv, base)
+	for i := range off {
+		off[i] = -r
+	}
+	out := make(map[int]bool)
+	for {
+		for i := range cell {
+			cell[i] = base[i] + off[i]
+		}
+		for _, pi := range g.bucket(cell) {
+			out[int(pi)] = true
+		}
+		k := 0
+		for k < d {
+			off[k]++
+			if off[k] <= r {
+				break
+			}
+			off[k] = -r
+			k++
+		}
+		if k == d {
+			break
+		}
+	}
+	return out
+}
+
+// TestGridNeighborhoodComplete verifies the core guarantee of the spatial
+// index: every point within distance h (= cell edge) of a query lies in
+// one of the 3^d cells around the query's cell.
+func TestGridNeighborhoodComplete(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(7 + d)))
+		const n = 400
+		coords := randFlat(rng, n, d)
+		h := 0.07
+		g := buildGrid(coords, n, d, h, NewScratch())
+		for qi := 0; qi < n; qi++ {
+			q := coords[qi*d : (qi+1)*d]
+			cand := gridCandidates(&g, q, 1)
+			for pi := 0; pi < n; pi++ {
+				p := coords[pi*d : (pi+1)*d]
+				if math.Sqrt(dist2F(q, p)) <= h && !cand[pi] {
+					t.Fatalf("d=%d: point %d within h of query %d but not probed", d, pi, qi)
+				}
+			}
+		}
+	}
+}
+
+// TestGridDeterministicLayout: two builds over the same input produce the
+// same CSR layout, and items stay ascending within each cell.
+func TestGridDeterministicLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, d = 500, 2
+	coords := randFlat(rng, n, d)
+	g1 := buildGrid(coords, n, d, 0.05, NewScratch())
+	g2 := buildGrid(coords, n, d, 0.05, NewScratch())
+	if g1.nCells != g2.nCells {
+		t.Fatalf("cell counts differ: %d vs %d", g1.nCells, g2.nCells)
+	}
+	for i := range g1.items {
+		if g1.items[i] != g2.items[i] {
+			t.Fatalf("item order differs at %d: %d vs %d", i, g1.items[i], g2.items[i])
+		}
+	}
+	for c := 0; c < g1.nCells; c++ {
+		bucket := g1.items[g1.starts[c]:g1.starts[c+1]]
+		if len(bucket) == 0 {
+			t.Fatalf("cell %d empty: occupied cells only", c)
+		}
+		for i := 1; i < len(bucket); i++ {
+			if bucket[i] <= bucket[i-1] {
+				t.Fatalf("cell %d items not ascending: %v", c, bucket)
+			}
+		}
+	}
+	// Every point appears exactly once.
+	seen := make([]bool, n)
+	for _, pi := range g1.items {
+		if seen[pi] {
+			t.Fatalf("point %d indexed twice", pi)
+		}
+		seen[pi] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d missing from index", i)
+		}
+	}
+}
+
+// TestGridScratchReuse: rebuilding through the same scratch over inputs of
+// shrinking and growing sizes stays correct.
+func TestGridScratchReuse(t *testing.T) {
+	sc := NewScratch()
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{300, 50, 700, 10} {
+		coords := randFlat(rng, n, 2)
+		g := buildGrid(coords, n, 2, 0.1, sc)
+		total := 0
+		for c := 0; c < g.nCells; c++ {
+			total += int(g.starts[c+1] - g.starts[c])
+		}
+		if total != n {
+			t.Fatalf("n=%d: CSR holds %d items", n, total)
+		}
+	}
+}
+
+// TestQuantizeCoordClamp: extreme coordinate/bandwidth ratios must not
+// overflow the int64 cell index.
+func TestQuantizeCoordClamp(t *testing.T) {
+	big := quantizeCoord(math.MaxFloat64, 1e300)
+	small := quantizeCoord(-math.MaxFloat64, 1e300)
+	if big <= 0 || small >= 0 {
+		t.Fatalf("clamped quantization has wrong signs: %d, %d", big, small)
+	}
+}

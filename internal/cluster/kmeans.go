@@ -4,10 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
 )
-
-func sortFloats(xs []float64) { sort.Float64s(xs) }
 
 // KMeansConfig parametrizes KMeans, the ablation baseline against Mean
 // Shift. Unlike Mean Shift it needs the number of clusters up front —

@@ -5,9 +5,12 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/mosaic-hpc/mosaic/internal/parallel"
 )
 
 // Point is a point in d-dimensional feature space. MOSAIC clusters
@@ -53,6 +56,47 @@ func (k Kernel) String() string {
 	}
 }
 
+// kernelWeightFunc maps a squared distance and squared bandwidth to a
+// kernel weight. The function is selected once per MeanShift call
+// (hoisting the per-point kernel switch out of the inner loop).
+type kernelWeightFunc func(d2, h2 float64) float64
+
+func flatWeight(d2, h2 float64) float64 {
+	if d2 <= h2 {
+		return 1
+	}
+	return 0
+}
+
+func gaussianWeight(d2, h2 float64) float64 { return math.Exp(-d2 / (2 * h2)) }
+
+func kernelFor(k Kernel) kernelWeightFunc {
+	if k == GaussianKernel {
+		return gaussianWeight
+	}
+	return flatWeight
+}
+
+// Tuning constants of the accelerated path.
+const (
+	// denseCutoff is the input size below which the O(n²) dense scan
+	// beats grid construction. Small traces (the overwhelming majority
+	// of per-trace segment sets) take the dense path and produce
+	// bit-identical results to the historical implementation.
+	denseCutoff = 64
+	// autoParallelSeeds is the seed count above which Workers==0 turns
+	// on parallel shifting.
+	autoParallelSeeds = 512
+	// parallelRoundCutoff is the active-seed count below which a round
+	// runs serially even in a parallel run (late rounds are tiny).
+	parallelRoundCutoff = 64
+	// gaussianRadiusCells is the neighbor-probe radius, in grid cells,
+	// of the gaussian kernel: the kernel is truncated at 3h where the
+	// weight has decayed to exp(-4.5) ≈ 0.011. The flat kernel uses
+	// radius 1 and is exact.
+	gaussianRadiusCells = 3
+)
+
 // MeanShiftConfig parametrizes MeanShift.
 type MeanShiftConfig struct {
 	// Bandwidth is the kernel radius in feature-space units. It is the
@@ -68,6 +112,30 @@ type MeanShiftConfig struct {
 	// Tol is the convergence threshold on shift displacement
 	// (default Bandwidth * 1e-3).
 	Tol float64
+	// BinSeeding shifts one seed per occupied grid cell (cell edge =
+	// bandwidth) instead of one per point — scikit-learn's bin_seeding.
+	// Labels are then assigned by nearest converged mode. Results are
+	// equivalent but not identical to exhaustive seeding; cost drops
+	// from O(n·iters·neighborhood) to O(cells·iters·neighborhood).
+	// Bin-seeded runs also memoize basins of attraction: a seed whose
+	// trajectory lands within Tol of an already-converged mode adopts
+	// that mode and stops early.
+	BinSeeding bool
+	// Exact forces the historical dense O(n²) reference path: no grid
+	// index, no parallelism, no memoization. Differential tests compare
+	// the accelerated path against it.
+	Exact bool
+	// Workers controls parallel seed shifting: 0 selects automatically
+	// (parallel once enough seeds are active), 1 forces serial, >1 uses
+	// that many goroutines. Results are identical for every setting —
+	// the mode merge order is fixed by seed index, independent of
+	// goroutine scheduling.
+	Workers int
+	// Scratch supplies reusable buffers (see Scratch). Optional; a nil
+	// scratch allocates per call.
+	Scratch *Scratch
+	// Stats, when non-nil, receives the cost profile of the call.
+	Stats *MeanShiftStats
 }
 
 func (c *MeanShiftConfig) withDefaults() MeanShiftConfig {
@@ -126,10 +194,17 @@ func checkPoints(points []Point) error {
 
 // MeanShift clusters the points by iteratively shifting each seed to the
 // weighted mean of its kernel neighbourhood until convergence, then
-// merging modes that lie within half a bandwidth of each other. Every
-// input point is used as a seed (exact mean shift; the segment sets MOSAIC
-// clusters are small after merging, so no binning seed strategy is
-// needed).
+// merging modes that lie within half a bandwidth of each other.
+//
+// By default every input point is a seed and, above a small size cutoff,
+// a uniform grid spatial index (cell edge = bandwidth) restricts each
+// kernel-mean evaluation to the 3^d neighboring cells — an accelerated
+// path whose flat-kernel results are label-identical to the exhaustive
+// O(n²·iters) scan (set Exact to force the reference path). BinSeeding
+// additionally reduces the seed set to the occupied cells. Seeds shift
+// in deterministic lockstep rounds, optionally in parallel; the final
+// mode merge always runs in seed order, so results never depend on
+// goroutine scheduling.
 func MeanShift(points []Point, cfg MeanShiftConfig) (*Result, error) {
 	if cfg.Bandwidth <= 0 || math.IsNaN(cfg.Bandwidth) {
 		return nil, ErrBadBandwidth
@@ -141,44 +216,275 @@ func MeanShift(points []Point, cfg MeanShiftConfig) (*Result, error) {
 		return &Result{}, nil
 	}
 	c := cfg.withDefaults()
-
-	dim := len(points[0])
-	modes := make([]Point, len(points))
-	mean := make(Point, dim)
-	for i, p := range points {
-		cur := append(Point(nil), p...)
-		for iter := 0; iter < c.MaxIter; iter++ {
-			shiftKernelMean(cur, points, c, mean)
-			if Dist(cur, mean) < c.Tol {
-				copy(cur, mean)
-				break
-			}
-			copy(cur, mean)
-		}
-		modes[i] = cur
+	sc := c.Scratch
+	if sc == nil {
+		sc = NewScratch()
 	}
-	return mergeModes(modes, c.Bandwidth), nil
+
+	e := &msEngine{
+		n:   len(points),
+		d:   len(points[0]),
+		c:   c,
+		sc:  sc,
+		h2:  c.Bandwidth * c.Bandwidth,
+		kfn: kernelFor(c.Kernel),
+	}
+	e.tol2 = c.Tol * c.Tol
+	e.stats.Points = e.n
+
+	// Flatten the input into the contiguous backing store.
+	e.coords = growF64(&sc.coords, e.n*e.d)
+	for i, p := range points {
+		copy(e.coords[i*e.d:(i+1)*e.d], p)
+	}
+
+	useGrid := !c.Exact && e.d <= maxGridDim && (c.BinSeeding || e.n >= denseCutoff)
+	if useGrid {
+		e.g = buildGrid(e.coords, e.n, e.d, c.Bandwidth, sc)
+		e.hasGrid = true
+		e.radius = 1
+		if c.Kernel == GaussianKernel {
+			e.radius = gaussianRadiusCells
+		}
+		e.stats.GridCells = e.g.nCells
+		e.stats.Accelerated = true
+	}
+
+	e.seed()
+	e.run()
+	res := e.finish()
+
+	e.stats.Seeds = e.nSeeds
+	recordTotals(&e.stats)
+	if c.Stats != nil {
+		*c.Stats = e.stats
+	}
+	return res, nil
 }
 
-// shiftKernelMean writes into out the kernel-weighted mean of points
-// around center.
-func shiftKernelMean(center Point, points []Point, c MeanShiftConfig, out Point) {
+// msEngine holds the state of one accelerated MeanShift run.
+type msEngine struct {
+	n, d    int
+	coords  []float64 // n*d flattened input (read-only after flatten)
+	c       MeanShiftConfig
+	sc      *Scratch
+	h2      float64
+	tol2    float64
+	kfn     kernelWeightFunc
+	g       grid
+	hasGrid bool
+	radius  int // neighbor probe radius in cells
+
+	seeds  []float64 // nSeeds*d, current positions (end state: modes)
+	nSeeds int
+
+	stats MeanShiftStats
+}
+
+// seed initializes the seed set: every point (exhaustive, the exact
+// semantics) or one seed per occupied grid cell at the cell's centroid
+// (BinSeeding). Bin seeds follow dense cell-id order — the order cells
+// are first touched when scanning points by index — so seeding is
+// deterministic.
+func (e *msEngine) seed() {
+	sc := e.sc
+	if e.c.BinSeeding && e.hasGrid {
+		e.nSeeds = e.g.nCells
+		e.seeds = growF64(&sc.seeds, e.nSeeds*e.d)
+		for c := 0; c < e.g.nCells; c++ {
+			s := e.seeds[c*e.d : (c+1)*e.d]
+			for k := range s {
+				s[k] = 0
+			}
+			items := e.g.items[e.g.starts[c]:e.g.starts[c+1]]
+			for _, pi := range items {
+				p := e.coords[int(pi)*e.d : (int(pi)+1)*e.d]
+				for k := range s {
+					s[k] += p[k]
+				}
+			}
+			inv := 1 / float64(len(items))
+			for k := range s {
+				s[k] *= inv
+			}
+		}
+		return
+	}
+	e.nSeeds = e.n
+	e.seeds = growF64(&sc.seeds, e.n*e.d)
+	copy(e.seeds, e.coords)
+}
+
+// run executes the lockstep shift rounds. Each round shifts every still-
+// active seed once (optionally across goroutines — seeds only read the
+// immutable coordinate store and write their own slot, so rounds are
+// race-free and deterministic), then a serial commit pass in ascending
+// seed order applies convergence, registers finished modes, and — on
+// bin-seeded runs — snaps trajectories that landed within Tol of an
+// already-registered mode (basin-of-attraction memoization).
+func (e *msEngine) run() {
+	sc := e.sc
+	d := e.d
+	next := growF64(&sc.next, e.nSeeds*d)
+	active := growI32(&sc.active, e.nSeeds)
+	for i := range active {
+		active[i] = int32(i)
+	}
+
+	workers := e.c.Workers
+	if e.c.Exact {
+		workers = 1
+	} else if workers <= 0 {
+		if e.nSeeds >= autoParallelSeeds {
+			workers = parallel.DefaultWorkers()
+		} else {
+			workers = 1
+		}
+	}
+	nChunks := 1
+	if workers > 1 {
+		nChunks = workers * 4
+	}
+	// Per-chunk probe scratch: base, offset and cell coordinates for the
+	// neighbor odometer (3*d int64 each).
+	probes := growI64(&sc.probes, nChunks*3*d)
+
+	memo := e.c.BinSeeding && e.hasGrid
+	var modes []float64 // registered converged modes (memoization)
+	nModes := 0
+	if memo {
+		modes = growF64(&sc.modes, 0)
+	}
+
+	ctx := context.Background()
+	for round := 0; round < e.c.MaxIter && len(active) > 0; round++ {
+		e.stats.Rounds++
+		e.stats.Iterations += len(active)
+
+		if workers > 1 && len(active) >= parallelRoundCutoff {
+			e.stats.Parallel = true
+			act := active
+			_ = parallel.ForEachCtx(ctx, workers, nChunks, func(ci int) {
+				lo := ci * len(act) / nChunks
+				hi := (ci + 1) * len(act) / nChunks
+				pr := probes[ci*3*d : (ci+1)*3*d]
+				for _, si := range act[lo:hi] {
+					e.shiftOne(int(si), next, pr)
+				}
+			})
+		} else {
+			pr := probes[:3*d]
+			for _, si := range active {
+				e.shiftOne(int(si), next, pr)
+			}
+		}
+
+		// Serial commit pass, ascending seed order: deterministic by
+		// construction regardless of how the shifts were scheduled.
+		w := 0
+		for _, si := range active {
+			cur := e.seeds[int(si)*d : (int(si)+1)*d]
+			nxt := next[int(si)*d : (int(si)+1)*d]
+			moved2 := dist2F(cur, nxt)
+			copy(cur, nxt)
+			if moved2 < e.tol2 {
+				if memo {
+					modes = append(modes, cur...)
+					nModes++
+				}
+				continue // converged
+			}
+			if memo && nModes > 0 {
+				if m := nearestWithin(cur, modes, nModes, d, e.tol2); m >= 0 {
+					copy(cur, modes[m*d:(m+1)*d])
+					e.stats.EarlyStops++
+					continue // snapped onto a known mode
+				}
+			}
+			active[w] = si
+			w++
+		}
+		active = active[:w]
+	}
+	if memo {
+		sc.modes = modes[:0]
+	}
+	// Seeds still active after MaxIter keep their last position as their
+	// mode, matching the historical behavior.
+}
+
+// shiftOne writes into next the kernel-weighted mean of the points
+// around seed si's current position. pr is a caller-owned probe scratch
+// of length 3*d int64s (base, offset and cell coordinates of the grid
+// odometer); it is untouched on the dense path.
+func (e *msEngine) shiftOne(si int, next []float64, pr []int64) {
+	d := e.d
+	cur := e.seeds[si*d : (si+1)*d]
+	out := next[si*d : (si+1)*d]
 	for i := range out {
 		out[i] = 0
 	}
-	h2 := c.Bandwidth * c.Bandwidth
 	var wsum float64
-	for _, p := range points {
-		d2 := Dist2(center, p)
-		var w float64
-		switch c.Kernel {
-		case GaussianKernel:
-			w = math.Exp(-d2 / (2 * h2))
-		default: // FlatKernel
-			if d2 <= h2 {
-				w = 1
+	if e.hasGrid {
+		base := pr[:d]
+		off := pr[d : 2*d]
+		cell := pr[2*d : 3*d]
+		quantizeInto(cur, e.g.inv, base)
+		r := int64(e.radius)
+		for i := range off {
+			off[i] = -r
+		}
+		for {
+			for i := range cell {
+				cell[i] = base[i] + off[i]
+			}
+			wsum += e.accumulate(cur, out, e.g.bucket(cell))
+			// Odometer over the (2r+1)^d neighbor offsets.
+			k := 0
+			for k < d {
+				off[k]++
+				if off[k] <= r {
+					break
+				}
+				off[k] = -r
+				k++
+			}
+			if k == d {
+				break
 			}
 		}
+	} else {
+		wsum = e.accumulateDense(cur, out)
+	}
+	if wsum == 0 {
+		// No neighbours (cannot happen with flat kernel since the point
+		// itself is within the bandwidth, but guard anyway).
+		copy(out, cur)
+		return
+	}
+	inv := 1 / wsum
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// accumulate adds the kernel-weighted coordinates of the given candidate
+// points to out and returns the weight mass contributed.
+func (e *msEngine) accumulate(center, out []float64, items []int32) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	d := e.d
+	h2 := e.h2
+	var wsum float64
+	for _, pi := range items {
+		p := e.coords[int(pi)*d : (int(pi)+1)*d]
+		var d2 float64
+		for i := range center {
+			dd := center[i] - p[i]
+			d2 += dd * dd
+		}
+		w := e.kfn(d2, h2)
 		if w == 0 {
 			continue
 		}
@@ -187,80 +493,187 @@ func shiftKernelMean(center Point, points []Point, c MeanShiftConfig, out Point)
 			out[i] += w * p[i]
 		}
 	}
-	if wsum == 0 {
-		// No neighbours (cannot happen with flat kernel since the point
-		// itself is within the bandwidth, but guard anyway).
-		copy(out, center)
-		return
-	}
-	for i := range out {
-		out[i] /= wsum
-	}
+	return wsum
 }
 
-// mergeModes collapses converged modes lying within bandwidth/2 of each
-// other into single clusters and assigns labels.
-func mergeModes(modes []Point, bandwidth float64) *Result {
+// accumulateDense is the reference all-points scan, accumulating in
+// ascending point order — bit-identical to the historical
+// implementation.
+func (e *msEngine) accumulateDense(center, out []float64) float64 {
+	d := e.d
+	h2 := e.h2
+	var wsum float64
+	for pi := 0; pi < e.n; pi++ {
+		p := e.coords[pi*d : (pi+1)*d]
+		var d2 float64
+		for i := range center {
+			dd := center[i] - p[i]
+			d2 += dd * dd
+		}
+		w := e.kfn(d2, h2)
+		if w == 0 {
+			continue
+		}
+		wsum += w
+		for i := range out {
+			out[i] += w * p[i]
+		}
+	}
+	return wsum
+}
+
+// finish merges the converged seed modes into cluster centers and
+// assigns point labels.
+func (e *msEngine) finish() *Result {
+	d := e.d
+	sc := e.sc
+	centers, seedLabels, nCenters := mergeModesFlat(e.seeds, e.nSeeds, d, e.c.Bandwidth, sc)
+
+	if !(e.c.BinSeeding && e.hasGrid) {
+		// Exhaustive seeding: seed i is point i.
+		labels := make([]int, e.n)
+		for i := range labels {
+			labels[i] = int(seedLabels[i])
+		}
+		return &Result{Labels: labels, Centers: centersToPoints(centers, nCenters, d)}
+	}
+
+	// Bin seeding: assign every point to its nearest center (ties break
+	// toward the lowest center id), then compact away centers that
+	// attracted no points so labels stay dense.
+	labels := make([]int, e.n)
+	used := growI32(&sc.seedLab, nCenters)
+	for i := range used {
+		used[i] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		p := e.coords[i*d : (i+1)*d]
+		best, bestD2 := 0, math.Inf(1)
+		for c := 0; c < nCenters; c++ {
+			ctr := centers[c*d : (c+1)*d]
+			var d2 float64
+			for k := range p {
+				dd := p[k] - ctr[k]
+				d2 += dd * dd
+			}
+			if d2 < bestD2 {
+				best, bestD2 = c, d2
+			}
+		}
+		labels[i] = best
+		used[best] = 1
+	}
+	// Compact: remap[c] is the dense id of center c, or -1 when unused.
+	nUsed := 0
+	for c := 0; c < nCenters; c++ {
+		if used[c] == 1 {
+			used[c] = int32(nUsed)
+			nUsed++
+		} else {
+			used[c] = -1
+		}
+	}
+	if nUsed != nCenters {
+		compact := make([]float64, 0, nUsed*d)
+		for c := 0; c < nCenters; c++ {
+			if used[c] >= 0 {
+				compact = append(compact, centers[c*d:(c+1)*d]...)
+			}
+		}
+		for i := range labels {
+			labels[i] = int(used[labels[i]])
+		}
+		return &Result{Labels: labels, Centers: centersToPoints(compact, nUsed, d)}
+	}
+	return &Result{Labels: labels, Centers: centersToPoints(centers, nCenters, d)}
+}
+
+// centersToPoints copies the flat center store into the returned Result
+// representation: point headers over one fresh contiguous backing array
+// (scratch memory must not escape).
+func centersToPoints(centers []float64, k, d int) []Point {
+	back := make([]float64, k*d)
+	copy(back, centers[:k*d])
+	out := make([]Point, k)
+	for i := range out {
+		out[i] = back[i*d : (i+1)*d : (i+1)*d]
+	}
+	return out
+}
+
+// mergeModesFlat collapses converged modes lying within bandwidth/2 of
+// each other into single clusters, scanning modes in ascending seed
+// order (stable merge order, independent of how seeds were scheduled).
+// Matching the historical implementation, a cluster's center is the
+// running average of its member modes. Returns the flat center store
+// (scratch-owned), per-seed labels (scratch-owned) and the center count.
+func mergeModesFlat(modes []float64, s, d int, bandwidth float64, sc *Scratch) ([]float64, []int32, int) {
 	mergeR2 := (bandwidth / 2) * (bandwidth / 2)
-	var centers []Point
-	var weight []int
-	labels := make([]int, len(modes))
-	for i, m := range modes {
+	centers := growF64(&sc.centers, 0)
+	weights := growI32(&sc.weights, 0)
+	labels := growI32(&sc.active, s) // active worklist is free by now
+	nCenters := 0
+	for i := 0; i < s; i++ {
+		m := modes[i*d : (i+1)*d]
 		assigned := -1
-		for ci, ctr := range centers {
-			if Dist2(m, ctr) <= mergeR2 {
+		for ci := 0; ci < nCenters; ci++ {
+			ctr := centers[ci*d : (ci+1)*d]
+			var d2 float64
+			for k := range m {
+				dd := m[k] - ctr[k]
+				d2 += dd * dd
+			}
+			if d2 <= mergeR2 {
 				assigned = ci
 				break
 			}
 		}
 		if assigned < 0 {
-			centers = append(centers, append(Point(nil), m...))
-			weight = append(weight, 0)
-			assigned = len(centers) - 1
+			centers = append(centers, m...)
+			weights = append(weights, 0)
+			assigned = nCenters
+			nCenters++
 		} else {
 			// Running average keeps the center representative of its
 			// members rather than of the first mode found.
-			w := float64(weight[assigned])
-			ctr := centers[assigned]
+			w := float64(weights[assigned])
+			ctr := centers[assigned*d : (assigned+1)*d]
 			for k := range ctr {
 				ctr[k] = (ctr[k]*w + m[k]) / (w + 1)
 			}
 		}
-		weight[assigned]++
-		labels[i] = assigned
+		weights[assigned]++
+		labels[i] = int32(assigned)
 	}
-	return &Result{Labels: labels, Centers: centers}
+	sc.centers = centers
+	sc.weights = weights
+	return centers, labels, nCenters
 }
 
-// EstimateBandwidth returns a data-driven bandwidth: the given quantile
-// (in [0,1], e.g. 0.3 like scikit-learn's estimate_bandwidth) of all
-// pairwise distances. Returns 0 for fewer than two points; callers should
-// then fall back to a configured default.
-func EstimateBandwidth(points []Point, quantile float64) float64 {
-	n := len(points)
-	if n < 2 {
-		return 0
+// dist2F is Dist2 over flat coordinate slices.
+func dist2F(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
 	}
-	dists := make([]float64, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dists = append(dists, Dist(points[i], points[j]))
+	return s
+}
+
+// nearestWithin returns the index of the first registered mode within
+// the squared radius of p, or -1. Modes are scanned in registration
+// order, so the snap target is deterministic.
+func nearestWithin(p, modes []float64, nModes, d int, r2 float64) int {
+	for m := 0; m < nModes; m++ {
+		var d2 float64
+		mm := modes[m*d : (m+1)*d]
+		for i := range p {
+			dd := p[i] - mm[i]
+			d2 += dd * dd
+		}
+		if d2 <= r2 {
+			return m
 		}
 	}
-	// Percentile via partial sort would be fancier; n is small here.
-	sortFloat64s(dists)
-	if quantile <= 0 {
-		return dists[0]
-	}
-	if quantile >= 1 {
-		return dists[len(dists)-1]
-	}
-	idx := int(quantile * float64(len(dists)-1))
-	return dists[idx]
-}
-
-func sortFloat64s(xs []float64) {
-	// insertion sort is fine for the small slices seen here, but use the
-	// stdlib for robustness on large ablation sweeps.
-	sortFloats(xs)
+	return -1
 }

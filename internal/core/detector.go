@@ -3,12 +3,20 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/cluster"
 	"github.com/mosaic-hpc/mosaic/internal/dsp"
 	"github.com/mosaic-hpc/mosaic/internal/interval"
 	"github.com/mosaic-hpc/mosaic/internal/segment"
 )
+
+// clusterScratchPool hands each categorization worker a reusable bundle of
+// clustering buffers. With it, the Mean Shift hot path allocates O(1) per
+// trace regardless of segment count: feature embedding, grid index, seed
+// trajectories, and mode-merge working sets all live in the scratch.
+var clusterScratchPool = sync.Pool{New: func() any { return cluster.NewScratch() }}
 
 // PeriodicityDetector selects the algorithm used for step (3)(a). The
 // paper ships the segmentation + Mean Shift detector and names
@@ -107,6 +115,8 @@ func detectPeriodicity(merged []interval.Interval, runtime float64, cfg *Config,
 
 func meanShiftGroups(merged []interval.Interval, runtime float64, cfg *Config, tr *periodicityTrace) ([]segment.Group, error) {
 	segs := segment.Split(merged, runtime)
+	sc := clusterScratchPool.Get().(*cluster.Scratch)
+	defer clusterScratchPool.Put(sc)
 	dc := segment.DetectConfig{
 		Bandwidth:    cfg.MeanShiftBandwidth,
 		Kernel:       cfg.MeanShiftKernel,
@@ -116,6 +126,7 @@ func meanShiftGroups(merged []interval.Interval, runtime float64, cfg *Config, t
 			Runtime:        runtime,
 			VolumeLogScale: cfg.VolumeLogScale,
 		},
+		Scratch: sc,
 	}
 	if tr != nil {
 		dc.Trace = &tr.Seg

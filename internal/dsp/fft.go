@@ -115,29 +115,9 @@ func FFTReal(signal []float64) []complex128 {
 // freq[k] = k * sampleRate / N for k in [0, N/2]. The DC component is
 // removed first so that a constant offset does not mask periodic peaks.
 func Periodogram(signal []float64, sampleRate float64) (power, freq []float64) {
-	if len(signal) == 0 {
-		return nil, nil
-	}
-	mean := 0.0
-	for _, v := range signal {
-		mean += v
-	}
-	mean /= float64(len(signal))
-	centered := make([]float64, len(signal))
-	for i, v := range signal {
-		centered[i] = v - mean
-	}
-	spec := FFTReal(centered)
-	n := len(spec)
-	half := n/2 + 1
-	power = make([]float64, half)
-	freq = make([]float64, half)
-	for k := 0; k < half; k++ {
-		re, im := real(spec[k]), imag(spec[k])
-		power[k] = (re*re + im*im) / float64(n)
-		freq[k] = float64(k) * sampleRate / float64(n)
-	}
-	return power, freq
+	// A throwaway scratch keeps the allocating contract (fresh slices)
+	// while sharing the implementation with the pooled hot path.
+	return periodogramInto(signal, sampleRate, new(detectorScratch))
 }
 
 // Autocorrelation returns the normalized autocorrelation of the signal for
@@ -145,36 +125,5 @@ func Periodogram(signal []float64, sampleRate float64) (power, freq []float64) {
 // for non-constant signals; constant signals return all zeros beyond a
 // leading 1-or-0 convention (r[0]=0 when variance is 0).
 func Autocorrelation(signal []float64, maxLag int) []float64 {
-	n := len(signal)
-	if n == 0 || maxLag < 0 {
-		return nil
-	}
-	if maxLag >= n {
-		maxLag = n - 1
-	}
-	mean := 0.0
-	for _, v := range signal {
-		mean += v
-	}
-	mean /= float64(n)
-	// Zero-pad to 2n to avoid circular correlation.
-	size := NextPowerOfTwo(2 * n)
-	x := make([]complex128, size)
-	for i, v := range signal {
-		x[i] = complex(v-mean, 0)
-	}
-	_ = FFT(x)
-	for i := range x {
-		x[i] *= cmplx.Conj(x[i])
-	}
-	_ = IFFT(x)
-	out := make([]float64, maxLag+1)
-	variance := real(x[0])
-	if variance <= 0 {
-		return out
-	}
-	for lag := 0; lag <= maxLag; lag++ {
-		out[lag] = real(x[lag]) / variance
-	}
-	return out
+	return autocorrInto(signal, maxLag, new(detectorScratch))
 }

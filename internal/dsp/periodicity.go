@@ -51,27 +51,7 @@ type Detection struct {
 // representation frequency techniques operate on.
 func Binned(ops []interval.Interval, runtime float64, bins int) []float64 {
 	sig := make([]float64, bins)
-	if runtime <= 0 || bins <= 0 {
-		return sig
-	}
-	binW := runtime / float64(bins)
-	for _, op := range ops {
-		lo := int(op.Start / binW)
-		hi := int(op.End / binW)
-		if hi >= bins {
-			hi = bins - 1
-		}
-		if lo < 0 {
-			lo = 0
-		}
-		if lo > hi {
-			continue
-		}
-		share := float64(op.Bytes) / float64(hi-lo+1)
-		for b := lo; b <= hi; b++ {
-			sig[b] += share
-		}
-	}
+	binnedInto(sig, ops, runtime)
 	return sig
 }
 
@@ -83,9 +63,12 @@ func DetectPeriodicity(ops []interval.Interval, runtime float64, cfg DetectorCon
 	if runtime <= 0 || len(ops) < 2 {
 		return Detection{}
 	}
-	signal := Binned(ops, runtime, cfg.Bins)
+	sc := detectorPool.Get().(*detectorScratch)
+	defer detectorPool.Put(sc)
+	signal := growS(&sc.sig, cfg.Bins)
+	binnedInto(signal, ops, runtime)
 	sampleRate := float64(cfg.Bins) / runtime
-	power, freq := Periodogram(signal, sampleRate)
+	power, freq := periodogramInto(signal, sampleRate, sc)
 	if len(power) < 3 {
 		return Detection{}
 	}
@@ -128,9 +111,12 @@ func DetectByAutocorrelation(ops []interval.Interval, runtime float64, cfg Detec
 	if runtime <= 0 || len(ops) < 2 {
 		return Detection{}
 	}
-	signal := Binned(ops, runtime, cfg.Bins)
+	sc := detectorPool.Get().(*detectorScratch)
+	defer detectorPool.Put(sc)
+	signal := growS(&sc.sig, cfg.Bins)
+	binnedInto(signal, ops, runtime)
 	binW := runtime / float64(cfg.Bins)
-	r := Autocorrelation(signal, cfg.Bins/2)
+	r := autocorrInto(signal, cfg.Bins/2, sc)
 	// Find the first local maximum after the zero-lag peak decays.
 	lag := firstPeak(r)
 	if lag <= 0 {

@@ -1,0 +1,146 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"sync"
+
+	"github.com/mosaic-hpc/mosaic/internal/interval"
+)
+
+// Allocation-lean variants of the detector hot path. The exported
+// Binned/Periodogram/Autocorrelation keep their allocating semantics
+// (fresh slices every call); DetectPeriodicity and
+// DetectByAutocorrelation route through the *Into variants below with a
+// pooled scratch so that repeated detections — one or two per trace, across
+// every corpus worker — reuse the binned signal, FFT, and spectrum buffers
+// instead of reallocating them.
+
+// detectorScratch bundles the reusable buffers of one detection. Not safe
+// for concurrent use; the pool hands each goroutine its own.
+type detectorScratch struct {
+	sig   []float64    // binned byte-rate signal
+	power []float64    // periodogram / autocorrelation output
+	freq  []float64    // periodogram frequency axis
+	cx    []complex128 // FFT working buffer
+}
+
+var detectorPool = sync.Pool{New: func() any { return new(detectorScratch) }}
+
+// growS resizes *buf to length n, reusing capacity when possible. The
+// returned slice contents are unspecified; callers overwrite or clear.
+func growS(buf *[]float64, n int) []float64 {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]float64, n, n+n/2)
+	}
+	return *buf
+}
+
+func growCx(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]complex128, n, n+n/2)
+	}
+	return *buf
+}
+
+// binnedInto rasterizes ops into sig (which defines the bin count),
+// clearing it first. Same math as Binned.
+func binnedInto(sig []float64, ops []interval.Interval, runtime float64) {
+	clear(sig)
+	bins := len(sig)
+	if runtime <= 0 || bins <= 0 {
+		return
+	}
+	binW := runtime / float64(bins)
+	for _, op := range ops {
+		lo := int(op.Start / binW)
+		hi := int(op.End / binW)
+		if hi >= bins {
+			hi = bins - 1
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > hi {
+			continue
+		}
+		share := float64(op.Bytes) / float64(hi-lo+1)
+		for b := lo; b <= hi; b++ {
+			sig[b] += share
+		}
+	}
+}
+
+// periodogramInto computes the one-sided power spectrum of signal into the
+// scratch buffers and returns views of them. Same math as Periodogram; the
+// returned slices are owned by sc and invalidated by the next call.
+func periodogramInto(signal []float64, sampleRate float64, sc *detectorScratch) (power, freq []float64) {
+	if len(signal) == 0 {
+		return nil, nil
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(len(signal))
+	n := NextPowerOfTwo(len(signal))
+	x := growCx(&sc.cx, n)
+	clear(x)
+	for i, v := range signal {
+		x[i] = complex(v-mean, 0)
+	}
+	// Length is a power of two by construction; FFT cannot fail.
+	_ = FFT(x)
+	half := n/2 + 1
+	power = growS(&sc.power, half)
+	freq = growS(&sc.freq, half)
+	for k := 0; k < half; k++ {
+		re, im := real(x[k]), imag(x[k])
+		power[k] = (re*re + im*im) / float64(n)
+		freq[k] = float64(k) * sampleRate / float64(n)
+	}
+	return power, freq
+}
+
+// autocorrInto computes the normalized autocorrelation of signal for lags
+// 0..maxLag into the scratch and returns a view of it. Same math as
+// Autocorrelation; the returned slice is owned by sc.
+func autocorrInto(signal []float64, maxLag int, sc *detectorScratch) []float64 {
+	n := len(signal)
+	if n == 0 || maxLag < 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(n)
+	// Zero-pad to 2n to avoid circular correlation.
+	size := NextPowerOfTwo(2 * n)
+	x := growCx(&sc.cx, size)
+	clear(x)
+	for i, v := range signal {
+		x[i] = complex(v-mean, 0)
+	}
+	_ = FFT(x)
+	for i := range x {
+		x[i] *= cmplx.Conj(x[i])
+	}
+	_ = IFFT(x)
+	out := growS(&sc.power, maxLag+1)
+	clear(out)
+	variance := real(x[0])
+	if variance <= 0 {
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = real(x[lag]) / variance
+	}
+	return out
+}

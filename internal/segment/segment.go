@@ -65,7 +65,23 @@ const DefaultVolumeLogScale = 64
 // size" criterion: the Mean Shift bandwidth then expresses, in one number,
 // how much two occurrences of the same logical operation may drift apart
 // in time and volume.
+// Feature points are 2-D and always allocated as headers over one
+// contiguous float64 backing store (two allocations total, independent
+// of the segment count), which is also the layout the accelerated
+// clustering engine flattens into.
 func Features(segs []Segment, cfg FeatureConfig) []cluster.Point {
+	pts := make([]cluster.Point, len(segs))
+	backing := make([]float64, 2*len(segs))
+	for i := range pts {
+		pts[i] = backing[2*i : 2*i+2 : 2*i+2]
+	}
+	fillFeatures(pts, segs, cfg)
+	return pts
+}
+
+// fillFeatures writes the feature embedding of segs into pts, which must
+// hold len(segs) 2-D points.
+func fillFeatures(pts []cluster.Point, segs []Segment, cfg FeatureConfig) {
 	scale := cfg.VolumeLogScale
 	if scale <= 0 {
 		scale = DefaultVolumeLogScale
@@ -74,14 +90,10 @@ func Features(segs []Segment, cfg FeatureConfig) []cluster.Point {
 	if rt <= 0 {
 		rt = 1
 	}
-	pts := make([]cluster.Point, len(segs))
 	for i, s := range segs {
-		pts[i] = cluster.Point{
-			s.Duration / rt,
-			math.Log2(1+float64(s.Op.Bytes)) / scale,
-		}
+		pts[i][0] = s.Duration / rt
+		pts[i][1] = math.Log2(1+float64(s.Op.Bytes)) / scale
 	}
-	return pts
 }
 
 // Group is a detected periodic operation: a cluster of at least two
@@ -152,6 +164,14 @@ type DetectConfig struct {
 	// cluster with size/centroid/spread and its verdict). Detection
 	// results are identical with or without it; nil costs nothing.
 	Trace *DetectTrace
+	// BinSeeding, when true, asks Mean Shift to seed from occupied grid
+	// cells instead of every segment — much faster on large traces, with
+	// near-identical (not bit-identical) grouping. Off by default.
+	BinSeeding bool
+	// Scratch, when non-nil, supplies reusable clustering buffers so
+	// repeated Detect calls stay allocation-free in the hot path. Results
+	// are identical with or without it. Not safe for concurrent use.
+	Scratch *cluster.Scratch
 }
 
 // DefaultDetectConfig returns the detection defaults for a job of the
@@ -189,10 +209,18 @@ func Detect(segs []Segment, cfg DetectConfig) ([]Group, error) {
 	if len(segs) < cfg.MinGroupSize {
 		return nil, nil
 	}
-	pts := Features(segs, cfg.Features)
+	var pts []cluster.Point
+	if cfg.Scratch != nil {
+		pts = cfg.Scratch.Points(len(segs), 2)
+		fillFeatures(pts, segs, cfg.Features)
+	} else {
+		pts = Features(segs, cfg.Features)
+	}
 	res, err := cluster.MeanShift(pts, cluster.MeanShiftConfig{
-		Bandwidth: cfg.Bandwidth,
-		Kernel:    cfg.Kernel,
+		Bandwidth:  cfg.Bandwidth,
+		Kernel:     cfg.Kernel,
+		BinSeeding: cfg.BinSeeding,
+		Scratch:    cfg.Scratch,
 	})
 	if err != nil {
 		return nil, err

@@ -187,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	telemetry.RegisterClusterMetrics(reg)
 	analysis := cfg.Analysis.Normalized()
 	s := &Server{
 		st:        cfg.Store,

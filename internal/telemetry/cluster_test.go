@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/cluster"
+)
+
+func TestOnCollectRunsBeforeExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hook_fired_total", "test", nil)
+	calls := 0
+	reg.OnCollect("test", func() { calls++; c.Inc() })
+	reg.OnCollect("test", func() { t.Fatal("duplicate hook must not replace the first") })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1", calls)
+	}
+	if !strings.Contains(b.String(), "hook_fired_total 1") {
+		t.Fatalf("exposition missing hook-updated value:\n%s", b.String())
+	}
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hook_fired_total 2") {
+		t.Fatalf("hook not re-run on second exposition:\n%s", b.String())
+	}
+}
+
+func TestRegisterClusterMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterClusterMetrics(reg)
+	RegisterClusterMetrics(reg) // idempotent
+
+	// Drive at least one MeanShift run so the totals move.
+	pts := []cluster.Point{{0, 0}, {0.01, 0}, {1, 1}, {1.01, 1}}
+	if _, err := cluster.MeanShift(pts, cluster.MeanShiftConfig{Bandwidth: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"mosaic_cluster_runs_total",
+		"mosaic_cluster_seeds_total",
+		"mosaic_cluster_shift_iterations_total",
+		"mosaic_cluster_grid_cells_total",
+		"mosaic_cluster_early_stops_total",
+		"mosaic_cluster_parallel_runs_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" counter") {
+			t.Errorf("exposition missing %s family:\n%s", name, out)
+		}
+	}
+	// The run above must be visible (>= 1; other tests may add more).
+	if strings.Contains(out, "mosaic_cluster_runs_total 0\n") {
+		t.Errorf("mosaic_cluster_runs_total still zero after a MeanShift run:\n%s", out)
+	}
+}

@@ -235,6 +235,10 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric // keyed by name + label key
 	order   []string           // registration order of keys
+
+	collectMu    sync.Mutex
+	collectors   map[string]func()
+	collectOrder []string
 }
 
 // NewRegistry returns an empty registry.
@@ -292,11 +296,46 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	return m.hist
 }
 
+// OnCollect registers a hook that runs at the start of every
+// WritePrometheus call, before the registry is rendered. Hooks pull
+// lazily-maintained values (e.g. package-level atomic totals) into
+// registered instruments right before exposition, so the instrument
+// values are current without per-event registry traffic. Hooks are
+// deduplicated by name — re-registering an existing name is a no-op —
+// and run in first-registration order, outside the registry lock (they
+// may register or update instruments freely).
+func (r *Registry) OnCollect(name string, fn func()) {
+	r.collectMu.Lock()
+	defer r.collectMu.Unlock()
+	if r.collectors == nil {
+		r.collectors = make(map[string]func())
+	}
+	if _, ok := r.collectors[name]; ok {
+		return
+	}
+	r.collectors[name] = fn
+	r.collectOrder = append(r.collectOrder, name)
+}
+
+// runCollectors invokes the OnCollect hooks in registration order.
+func (r *Registry) runCollectors() {
+	r.collectMu.Lock()
+	hooks := make([]func(), 0, len(r.collectOrder))
+	for _, name := range r.collectOrder {
+		hooks = append(hooks, r.collectors[name])
+	}
+	r.collectMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // WritePrometheus renders every registered instrument in the Prometheus
 // text exposition format (version 0.0.4), grouped by metric name with
 // one # HELP/# TYPE header per family, families in first-registration
 // order and series within a family in label order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollectors()
 	r.mu.Lock()
 	type family struct {
 		name, help string

@@ -53,6 +53,7 @@ func New(cfg Config) *Telemetry {
 	if reg == nil {
 		reg = NewRegistry()
 	}
+	RegisterClusterMetrics(reg)
 	t := &Telemetry{
 		reg:       reg,
 		slow:      NewSlowLog(cfg.SlowK),
