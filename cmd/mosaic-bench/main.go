@@ -9,7 +9,8 @@
 //
 // With -bench-json (and friends) the command instead runs the pinned
 // performance benchmark suite (internal/benchsuite) and records or checks
-// the BENCH_meanshift.json / BENCH_pipeline.json baselines:
+// the BENCH_meanshift.json / BENCH_pipeline.json / BENCH_ingest.json
+// baselines:
 //
 //	mosaic-bench -bench-json .                         # refresh baselines
 //	mosaic-bench -bench-json /tmp/b -bench-against . \
@@ -80,7 +81,7 @@ func main() {
 // CI can print a human-readable old-vs-new table.
 func writeBaselineText(path string) error {
 	var all []benchio.File
-	for _, name := range []string{benchsuite.MeanShiftFile, benchsuite.PipelineFile} {
+	for _, name := range benchsuite.Files() {
 		f, err := benchio.Read(name)
 		if err != nil {
 			return err
@@ -110,7 +111,7 @@ func runBench(jsonDir, againstDir string, tol float64, count int, textPath strin
 		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
 			return err
 		}
-		for _, name := range []string{benchsuite.MeanShiftFile, benchsuite.PipelineFile} {
+		for _, name := range benchsuite.Files() {
 			path := filepath.Join(jsonDir, name)
 			if err := benchio.Write(path, files[name]); err != nil {
 				return err
@@ -124,7 +125,11 @@ func runBench(jsonDir, againstDir string, tol float64, count int, textPath strin
 		if err != nil {
 			return err
 		}
-		werr := benchio.WriteGoBench(f, files[benchsuite.MeanShiftFile], files[benchsuite.PipelineFile])
+		var ordered []benchio.File
+		for _, name := range benchsuite.Files() {
+			ordered = append(ordered, files[name])
+		}
+		werr := benchio.WriteGoBench(f, ordered...)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -134,7 +139,7 @@ func runBench(jsonDir, againstDir string, tol float64, count int, textPath strin
 	}
 	if againstDir != "" {
 		var regs []benchio.Regression
-		for _, name := range []string{benchsuite.MeanShiftFile, benchsuite.PipelineFile} {
+		for _, name := range benchsuite.Files() {
 			base, err := benchio.Read(filepath.Join(againstDir, name))
 			if err != nil {
 				return fmt.Errorf("baseline %s: %w", name, err)

@@ -4,6 +4,10 @@
 // over the accumulated corpus.
 //
 //	POST /v1/traces        ingest traces (multipart file parts or raw body)
+//	POST /v1/traces:batch  bulk ingest (multipart, or length-prefixed
+//	                       application/x-mosaic-batch frames); the whole
+//	                       batch is persisted with one group-committed
+//	                       fsync before any item is acknowledged
 //	GET  /v1/results/{id}  categorization of one trace by content address
 //	GET  /v1/explain/{id}  decision provenance: why each category was (or
 //	                       wasn't) assigned (?category= filters rules)

@@ -10,7 +10,9 @@
 package benchsuite
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -21,15 +23,25 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/benchio"
 	"github.com/mosaic-hpc/mosaic/internal/cluster"
 	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/experiments"
 	"github.com/mosaic-hpc/mosaic/internal/gen"
+	"github.com/mosaic-hpc/mosaic/internal/store"
 )
 
 // Result file names at the repository root.
 const (
 	MeanShiftFile = "BENCH_meanshift.json"
 	PipelineFile  = "BENCH_pipeline.json"
+	IngestFile    = "BENCH_ingest.json"
 )
+
+// Files lists every baseline file produced by the pinned targets; the
+// bench gate iterates this, so a new baseline file only needs to be
+// added here.
+func Files() []string {
+	return []string{MeanShiftFile, PipelineFile, IngestFile}
+}
 
 // Target is one pinned benchmark: its stable name, the baseline file it
 // belongs to, and the benchmark body.
@@ -167,6 +179,140 @@ func PipelineParallel(workers int) func(b *testing.B) {
 	}
 }
 
+// ingestTrace builds the pinned decode/encode workload: a deterministic
+// 200-record trace with metadata and DXT segments on the heavy records,
+// the shape of a mid-size production Darshan log.
+var ingestTrace = sync.OnceValue(func() *darshan.Job {
+	rng := rand.New(rand.NewSource(pointsSeed))
+	j := &darshan.Job{
+		JobID:   987654,
+		UID:     1001,
+		User:    "benchuser",
+		Exe:     "/apps/climate/cam6.exe",
+		NProcs:  512,
+		Start:   1_700_000_000,
+		End:     1_700_003_600,
+		Runtime: 3600,
+		Metadata: map[string]string{
+			"jobid": "987654", "lib_ver": "3.4.4", "host": "h0001",
+		},
+	}
+	mods := []darshan.Module{darshan.ModPOSIX, darshan.ModMPIIO, darshan.ModSTDIO}
+	j.Records = make([]darshan.FileRecord, 200)
+	for i := range j.Records {
+		r := &j.Records[i]
+		r.Module = mods[i%len(mods)]
+		r.Path = fmt.Sprintf("/scratch/run42/out.%04d.nc", i)
+		r.Rank = int32(i % 64)
+		r.C = darshan.Counters{
+			Opens: int64(1 + i%4), Closes: int64(1 + i%4),
+			Reads: int64(rng.Intn(500)), Writes: int64(rng.Intn(2000)),
+			BytesRead: int64(rng.Intn(1 << 24)), BytesWritten: int64(rng.Intn(1 << 26)),
+			OpenStart: 1, OpenEnd: 2,
+			ReadStart: 5, ReadEnd: 120,
+			WriteStart: 130, WriteEnd: 3400,
+			CloseStart: 3500, CloseEnd: 3590,
+		}
+		if i%10 == 0 { // every tenth record carries DXT segments
+			r.DXTWrites = make([]darshan.DXTEvent, 16)
+			for k := range r.DXTWrites {
+				r.DXTWrites[k] = darshan.DXTEvent{
+					Start: float64(130 + k), End: float64(131 + k),
+					Offset: int64(k) << 20, Length: 1 << 20,
+				}
+			}
+		}
+	}
+	return j
+})
+
+// IngestDecodeWarm is the warm single-trace decode hot path: DecodeInto
+// reusing one Job's record, DXT and metadata storage across iterations,
+// parsing straight from the raw blob (pinned as
+// BenchmarkIngest/decode_warm).
+func IngestDecodeWarm(b *testing.B) {
+	blob, err := darshan.MarshalBinary(ingestTrace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var j darshan.Job
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := darshan.DecodeInto(&j, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// IngestDecodeGzip decodes the at-rest .mosd encoding (gzip body) with
+// pooled inflate state (pinned as BenchmarkIngest/decode_gzip).
+func IngestDecodeGzip(b *testing.B) {
+	var buf bytes.Buffer
+	if err := darshan.WriteBinary(&buf, ingestTrace()); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	var j darshan.Job
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := darshan.DecodeInto(&j, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// IngestEncode is the canonical encode path with a reused destination
+// buffer (pinned as BenchmarkIngest/encode).
+func IngestEncode(b *testing.B) {
+	j := ingestTrace()
+	buf, err := darshan.MarshalBinary(j)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = darshan.AppendEncode(buf[:0], j)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// IngestStoreAppend measures the segment-log append path: content
+// addressing, framing, CRC and the buffered write, without fsync
+// (pinned as BenchmarkIngest/store_append). Distinct content per
+// iteration comes from rewriting the JobID bytes in place — offset 8,
+// the first body field after the 8-byte header.
+func IngestStoreAppend(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	j := &darshan.Job{JobID: 1, NProcs: 8, Runtime: 100,
+		Records: []darshan.FileRecord{{Module: darshan.ModPOSIX, Path: "/scratch/x", Rank: -1,
+			C: darshan.Counters{Opens: 1, Writes: 10, BytesWritten: 1 << 20}}}}
+	blob, err := darshan.MarshalBinary(j)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(blob[8:], uint64(i))
+		if _, dup, err := st.PutTraceBytes(blob); err != nil || dup {
+			b.Fatalf("dup=%v err=%v", dup, err)
+		}
+	}
+}
+
 // Targets returns every pinned benchmark.
 func Targets() []Target {
 	var ts []Target
@@ -182,6 +328,10 @@ func Targets() []Target {
 	ts = append(ts,
 		Target{Name: "BenchmarkCategorizeSingle", File: PipelineFile, Fn: CategorizeSingle},
 		Target{Name: "BenchmarkPipelineParallel/4workers", File: PipelineFile, Fn: PipelineParallel(4)},
+		Target{Name: "BenchmarkIngest/decode_warm", File: IngestFile, Fn: IngestDecodeWarm},
+		Target{Name: "BenchmarkIngest/decode_gzip", File: IngestFile, Fn: IngestDecodeGzip},
+		Target{Name: "BenchmarkIngest/encode", File: IngestFile, Fn: IngestEncode},
+		Target{Name: "BenchmarkIngest/store_append", File: IngestFile, Fn: IngestStoreAppend},
 	)
 	return ts
 }

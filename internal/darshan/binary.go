@@ -1,7 +1,6 @@
 package darshan
 
 import (
-	"bufio"
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
@@ -9,24 +8,46 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
+	"sync"
 )
 
 // Binary codec for Darshan-like logs. Real Darshan logs are a compressed
 // binary container (zlib regions indexed by a header); we reproduce the
-// same architecture with a small header followed by a gzip-compressed
-// little-endian body. The format is versioned and self-describing enough
-// for the corpus reader to reject foreign files cheaply.
+// same architecture with a small header followed by a little-endian body
+// that is either raw or gzip-compressed, selected by a header flag. The
+// format is versioned and self-describing enough for the corpus reader
+// to reject foreign files cheaply.
 //
 // Layout:
 //
 //	magic   [4]byte  "MOSD"
-//	version uint16   (current: 1)
+//	version uint16   (current: 2)
 //	flags   uint16   (bit 0: body is gzip-compressed)
-//	body    — little-endian fields, see encodeBody
+//	body    — little-endian fields, see appendBody
 //
 // Strings are length-prefixed (uint32 + raw bytes). All multi-byte values
 // are little-endian.
+//
+// Two encodings share this container:
+//
+//   - The canonical encoding (MarshalBinary / AppendEncode) leaves the
+//     body raw. It is the content-addressing identity (store.TraceKey
+//     hashes these bytes) and the ingest hot path: encoding is a single
+//     buffer append and decoding parses in place with zero copies.
+//   - The file encoding (WriteBinary, .mosd corpora) gzips the body,
+//     trading decode work for disk footprint on at-rest corpora.
+//
+// Both are decoded by the same reader — the flag bit, not the API,
+// selects the path — so blobs written by either remain interchangeable,
+// and files written by pre-existing (always-gzip) writers stay readable.
+//
+// The decode hot path is allocation-free when warm: gzip readers,
+// inflate arenas and scratch buffers are pooled via sync.Pool, strings
+// are interned in a bounded per-state table (repeated decodes of traces
+// sharing paths/users hit the table and allocate nothing), and
+// DecodeInto reuses the caller's Record/Metadata storage.
 
 // Magic identifies MOSAIC Darshan-like binary logs.
 var Magic = [4]byte{'M', 'O', 'S', 'D'}
@@ -40,12 +61,24 @@ const minFormatVersion uint16 = 1
 
 const flagGzip uint16 = 1 << 0
 
+// headerLen is the fixed container prefix: magic, version, flags.
+const headerLen = 8
+
 // Limits protecting the decoder against corrupted or hostile inputs.
 const (
 	maxStringLen  = 1 << 20 // 1 MiB per string
 	maxRecords    = 1 << 26 // 64M records per job
 	maxMetaPairs  = 1 << 16
 	maxDXTPerList = 1 << 24 // 16M traced segments per record
+	maxBodyBytes  = 1 << 30 // 1 GiB decompressed body (gzip-bomb guard)
+)
+
+// Minimum encoded sizes, used to validate hostile element counts against
+// the bytes actually present before allocating.
+const (
+	minRecordLen   = 4 + 4 + 4 + 16*8 // module + path prefix + rank + 16 counters
+	dxtEventLen    = 4 * 8
+	minMetaPairLen = 4 + 4 // two empty length-prefixed strings
 )
 
 // ErrBadMagic reports that a stream does not start with the MOSD magic.
@@ -54,325 +87,609 @@ var ErrBadMagic = errors.New("darshan: bad magic (not a MOSAIC binary log)")
 // ErrBadVersion reports an unsupported format version.
 var ErrBadVersion = errors.New("darshan: unsupported format version")
 
-// WriteBinary encodes the job to w in the binary log format, compressing
-// the body with gzip.
-func WriteBinary(w io.Writer, j *Job) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(Magic[:]); err != nil {
-		return err
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint16(hdr[0:2], FormatVersion)
-	binary.LittleEndian.PutUint16(hdr[2:4], flagGzip)
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	zw := gzip.NewWriter(bw)
-	e := &encoder{w: zw}
-	e.encodeBody(j)
-	if e.err != nil {
-		return e.err
-	}
-	if err := zw.Close(); err != nil {
-		return err
-	}
-	return bw.Flush()
+// maxPooledBuf bounds what is returned to the buffer pools: one
+// pathological trace must not pin a giant arena for the process
+// lifetime.
+const maxPooledBuf = 8 << 20
+
+// ---- Encoding ----
+
+// encodeState is the pooled per-encode scratch: the body staging buffer
+// and the metadata key-sorting slice.
+type encodeState struct {
+	body []byte
+	keys []string
 }
 
-// ReadBinary decodes one job from r. It validates the container framing
-// but not the semantic content; callers run Validate separately so that
-// corruption statistics can be collected (the paper's step 1).
-func ReadBinary(r io.Reader) (*Job, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("darshan: reading magic: %w", err)
+var encodeStatePool = sync.Pool{New: func() any { return new(encodeState) }}
+
+// gzipWriterPool pools file-encoding compressors. BestSpeed: corpus
+// files are written once and read many times by a decoder whose inflate
+// cost barely depends on the compression level.
+var gzipWriterPool = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return zw
+	},
+}
+
+// AppendEncode appends the canonical (raw-body) binary encoding of j to
+// dst and returns the extended slice. This is the zero-allocation encode
+// path: callers that reuse dst across traces pay only the bytes they
+// append. The result is what store.TraceKey hashes.
+func AppendEncode(dst []byte, j *Job) ([]byte, error) {
+	dst = append(dst, Magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, FormatVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	return appendBody(dst, j)
+}
+
+// MarshalBinary returns the canonical binary encoding of the job.
+func MarshalBinary(j *Job) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, encodedLen(j)), j)
+}
+
+// encodedLen computes the exact canonical encoding size, so MarshalBinary
+// allocates once.
+func encodedLen(j *Job) int {
+	n := headerLen + 8 + 4 + (4 + len(j.User)) + (4 + len(j.Exe)) + 4 + 8 + 8 + 8
+	n += 4
+	for k, v := range j.Metadata {
+		n += 4 + len(k) + 4 + len(v)
 	}
-	if magic != Magic {
-		return nil, ErrBadMagic
+	n += 4
+	for i := range j.Records {
+		r := &j.Records[i]
+		n += minRecordLen + len(r.Path) + 4 + dxtEventLen*len(r.DXTReads) + 4 + dxtEventLen*len(r.DXTWrites)
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("darshan: reading header: %w", err)
+	return n
+}
+
+// WriteBinary encodes the job to w in the binary log format, compressing
+// the body with gzip — the at-rest .mosd file encoding. The header and
+// body layout match AppendEncode; only the flag bit and the compression
+// wrapper differ.
+func WriteBinary(w io.Writer, j *Job) error {
+	st := encodeStatePool.Get().(*encodeState)
+	body, err := appendBody(st.body[:0], j)
+	if cap(body) <= maxPooledBuf {
+		st.body = body[:0]
+	} else {
+		st.body = nil
 	}
-	version := binary.LittleEndian.Uint16(hdr[0:2])
-	flags := binary.LittleEndian.Uint16(hdr[2:4])
-	if version < minFormatVersion || version > FormatVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	if err != nil {
+		encodeStatePool.Put(st)
+		return err
 	}
-	var body io.Reader = br
-	if flags&flagGzip != 0 {
-		zr, err := gzip.NewReader(br)
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], FormatVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], flagGzip)
+	if _, err := w.Write(hdr[:]); err != nil {
+		encodeStatePool.Put(st)
+		return err
+	}
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(w)
+	_, werr := zw.Write(body)
+	encodeStatePool.Put(st)
+	cerr := zw.Close()
+	gzipWriterPool.Put(zw)
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return appendU64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func appendStr(dst []byte, s string) ([]byte, error) {
+	if len(s) > maxStringLen {
+		return dst, fmt.Errorf("darshan: string too long (%d bytes)", len(s))
+	}
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendBody(dst []byte, j *Job) ([]byte, error) {
+	var err error
+	dst = appendU64(dst, j.JobID)
+	dst = appendU32(dst, j.UID)
+	if dst, err = appendStr(dst, j.User); err != nil {
+		return dst, err
+	}
+	if dst, err = appendStr(dst, j.Exe); err != nil {
+		return dst, err
+	}
+	dst = appendU32(dst, uint32(j.NProcs))
+	dst = appendI64(dst, j.Start)
+	dst = appendI64(dst, j.End)
+	dst = appendF64(dst, j.Runtime)
+
+	dst = appendU32(dst, uint32(len(j.Metadata)))
+	if len(j.Metadata) > 0 {
+		// Metadata keys are emitted sorted so that encoding is a pure
+		// function of the Job value: same corpus seed ⇒ byte-identical
+		// encodings, and content addresses are stable.
+		st := encodeStatePool.Get().(*encodeState)
+		keys := st.keys[:0]
+		for k := range j.Metadata {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if dst, err = appendStr(dst, k); err != nil {
+				break
+			}
+			if dst, err = appendStr(dst, j.Metadata[k]); err != nil {
+				break
+			}
+		}
+		st.keys = keys[:0]
+		encodeStatePool.Put(st)
+		if err != nil {
+			return dst, err
+		}
+	}
+
+	dst = appendU32(dst, uint32(len(j.Records)))
+	for i := range j.Records {
+		r := &j.Records[i]
+		dst = appendU32(dst, uint32(r.Module))
+		if dst, err = appendStr(dst, r.Path); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(r.Rank))
+		c := &r.C
+		dst = appendI64(dst, c.Opens)
+		dst = appendI64(dst, c.Closes)
+		dst = appendI64(dst, c.Seeks)
+		dst = appendI64(dst, c.Stats)
+		dst = appendI64(dst, c.Reads)
+		dst = appendI64(dst, c.Writes)
+		dst = appendI64(dst, c.BytesRead)
+		dst = appendI64(dst, c.BytesWritten)
+		dst = appendF64(dst, c.OpenStart)
+		dst = appendF64(dst, c.OpenEnd)
+		dst = appendF64(dst, c.ReadStart)
+		dst = appendF64(dst, c.ReadEnd)
+		dst = appendF64(dst, c.WriteStart)
+		dst = appendF64(dst, c.WriteEnd)
+		dst = appendF64(dst, c.CloseStart)
+		dst = appendF64(dst, c.CloseEnd)
+		dst = appendDXTList(dst, r.DXTReads)
+		dst = appendDXTList(dst, r.DXTWrites)
+	}
+	return dst, nil
+}
+
+func appendDXTList(dst []byte, events []DXTEvent) []byte {
+	dst = appendU32(dst, uint32(len(events)))
+	for i := range events {
+		ev := &events[i]
+		dst = appendF64(dst, ev.Start)
+		dst = appendF64(dst, ev.End)
+		dst = appendI64(dst, ev.Offset)
+		dst = appendI64(dst, ev.Length)
+	}
+	return dst
+}
+
+// ---- Decoding ----
+
+// Intern table bounds: paths, users and metadata keys repeat heavily
+// across records and traces, so small strings are deduplicated into a
+// bounded table on the pooled decode state. A full table degrades to
+// plain copying, never to an error.
+const (
+	maxInternStrLen  = 256
+	maxInternEntries = 4096
+	maxInternBytes   = 1 << 20
+)
+
+// decodeState is the pooled per-decode scratch: the inflate arena, the
+// gzip reader (lazily built, Reset between uses), the bytes.Reader
+// feeding it, and the string intern table. States cycle through a
+// sync.Pool, so a warm decode path reuses all of it.
+type decodeState struct {
+	arena       []byte
+	br          bytes.Reader
+	zr          *gzip.Reader
+	intern      map[string]string
+	internBytes int
+}
+
+var decodeStatePool = sync.Pool{New: func() any { return new(decodeState) }}
+
+func (st *decodeState) internString(b []byte) string {
+	if len(b) > maxInternStrLen {
+		return string(b)
+	}
+	if s, ok := st.intern[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	s := string(b)
+	if len(st.intern) < maxInternEntries && st.internBytes+len(s) <= maxInternBytes {
+		if st.intern == nil {
+			st.intern = make(map[string]string, 64)
+		}
+		st.intern[s] = s
+		st.internBytes += len(s)
+	}
+	return s
+}
+
+// inflate decompresses a gzip body into the state's arena and returns
+// the decompressed bytes, rejecting bodies past maxBodyBytes and
+// trailing garbage after the gzip stream.
+func (st *decodeState) inflate(src []byte) ([]byte, error) {
+	st.br.Reset(src)
+	if st.zr == nil {
+		zr, err := gzip.NewReader(&st.br)
 		if err != nil {
 			return nil, fmt.Errorf("darshan: opening gzip body: %w", err)
 		}
-		defer zr.Close()
-		body = zr
+		st.zr = zr
+	} else if err := st.zr.Reset(&st.br); err != nil {
+		return nil, fmt.Errorf("darshan: opening gzip body: %w", err)
 	}
-	d := &decoder{r: bufio.NewReader(body), version: version}
-	j := d.decodeBody()
-	if d.err != nil {
-		return nil, d.err
-	}
-	// Drain the remainder of the body: for gzip this forces the CRC32
-	// trailer check, so silently truncated files are rejected.
-	if _, err := io.Copy(io.Discard, d.r); err != nil {
-		return nil, fmt.Errorf("darshan: corrupted body trailer: %w", err)
-	}
-	return j, nil
-}
-
-type encoder struct {
-	w   io.Writer
-	err error
-	buf [8]byte
-}
-
-func (e *encoder) u32(v uint32) {
-	if e.err != nil {
-		return
-	}
-	binary.LittleEndian.PutUint32(e.buf[:4], v)
-	_, e.err = e.w.Write(e.buf[:4])
-}
-
-func (e *encoder) u64(v uint64) {
-	if e.err != nil {
-		return
-	}
-	binary.LittleEndian.PutUint64(e.buf[:8], v)
-	_, e.err = e.w.Write(e.buf[:8])
-}
-
-func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
-func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
-
-func (e *encoder) str(s string) {
-	if e.err != nil {
-		return
-	}
-	if len(s) > maxStringLen {
-		e.err = fmt.Errorf("darshan: string too long (%d bytes)", len(s))
-		return
-	}
-	e.u32(uint32(len(s)))
-	if e.err == nil {
-		_, e.err = io.WriteString(e.w, s)
-	}
-}
-
-func (e *encoder) encodeBody(j *Job) {
-	e.u64(j.JobID)
-	e.u32(j.UID)
-	e.str(j.User)
-	e.str(j.Exe)
-	e.u32(uint32(j.NProcs))
-	e.i64(j.Start)
-	e.i64(j.End)
-	e.f64(j.Runtime)
-
-	e.u32(uint32(len(j.Metadata)))
-	// Metadata keys are emitted sorted so that encoding is a pure function
-	// of the Job value: same corpus seed ⇒ byte-identical .mosd files.
-	keys := make([]string, 0, len(j.Metadata))
-	for k := range j.Metadata {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		e.str(k)
-		e.str(j.Metadata[k])
-	}
-
-	e.u32(uint32(len(j.Records)))
-	for i := range j.Records {
-		r := &j.Records[i]
-		e.u32(uint32(r.Module))
-		e.str(r.Path)
-		e.u32(uint32(r.Rank))
-		c := &r.C
-		for _, v := range []int64{c.Opens, c.Closes, c.Seeks, c.Stats, c.Reads, c.Writes, c.BytesRead, c.BytesWritten} {
-			e.i64(v)
+	st.zr.Multistream(false)
+	buf := st.arena[:0]
+	for {
+		if len(buf) == cap(buf) {
+			grown := make([]byte, len(buf), max(64<<10, min(2*cap(buf)+1, maxBodyBytes+1)))
+			copy(grown, buf)
+			buf = grown
 		}
-		for _, v := range []float64{c.OpenStart, c.OpenEnd, c.ReadStart, c.ReadEnd, c.WriteStart, c.WriteEnd, c.CloseStart, c.CloseEnd} {
-			e.f64(v)
+		n, err := st.zr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		st.arena = buf
+		if err == io.EOF {
+			break
 		}
-		e.dxtList(r.DXTReads)
-		e.dxtList(r.DXTWrites)
+		if err != nil {
+			return nil, fmt.Errorf("darshan: corrupted gzip body: %w", err)
+		}
+		if len(buf) > maxBodyBytes {
+			return nil, fmt.Errorf("darshan: body exceeds %d byte limit", maxBodyBytes)
+		}
 	}
+	if st.br.Len() != 0 {
+		return nil, errors.New("darshan: trailing garbage after gzip body")
+	}
+	return buf, nil
 }
 
-func (e *encoder) dxtList(events []DXTEvent) {
-	e.u32(uint32(len(events)))
-	for _, ev := range events {
-		e.f64(ev.Start)
-		e.f64(ev.End)
-		e.i64(ev.Offset)
-		e.i64(ev.Length)
+func putDecodeState(st *decodeState) {
+	if cap(st.arena) > maxPooledBuf {
+		st.arena = nil
 	}
+	decodeStatePool.Put(st)
 }
 
-type decoder struct {
-	r       io.Reader
-	err     error
+// cursor is the incremental body parser: a bounds-checked offset walking
+// one flat byte slice. No intermediate readers, no per-field copies.
+type cursor struct {
+	data    []byte
+	off     int
 	version uint16
-	buf     [8]byte
+	st      *decodeState
+	err     error
 }
 
-func (d *decoder) fail(err error) {
-	if d.err == nil {
-		d.err = err
+func (c *cursor) fail(err error) {
+	if c.err == nil {
+		c.err = err
 	}
 }
 
-func (d *decoder) u32() uint32 {
-	if d.err != nil {
-		return 0
+// need reports whether n more bytes are available, failing the cursor
+// with a truncation error otherwise.
+func (c *cursor) need(n int) bool {
+	if c.err != nil {
+		return false
 	}
-	if _, err := io.ReadFull(d.r, d.buf[:4]); err != nil {
-		d.fail(fmt.Errorf("darshan: truncated body: %w", err))
-		return 0
+	if len(c.data)-c.off < n {
+		c.fail(fmt.Errorf("darshan: truncated body: %w", io.ErrUnexpectedEOF))
+		return false
 	}
-	return binary.LittleEndian.Uint32(d.buf[:4])
+	return true
 }
 
-func (d *decoder) u64() uint64 {
-	if d.err != nil {
-		return 0
+// checkCount validates an element count against both its absolute limit
+// and the bytes actually remaining (each element needs at least minLen
+// bytes), so hostile counts fail before any proportional allocation.
+func (c *cursor) checkCount(n uint32, limit uint32, minLen int, what string) bool {
+	if c.err != nil {
+		return false
 	}
-	if _, err := io.ReadFull(d.r, d.buf[:8]); err != nil {
-		d.fail(fmt.Errorf("darshan: truncated body: %w", err))
-		return 0
+	if n > limit {
+		c.fail(fmt.Errorf("darshan: %s count %d exceeds limit", what, n))
+		return false
 	}
-	return binary.LittleEndian.Uint64(d.buf[:8])
+	if int64(len(c.data)-c.off) < int64(n)*int64(minLen) {
+		c.fail(fmt.Errorf("darshan: truncated body: %s count %d exceeds remaining bytes", what, n))
+		return false
+	}
+	return true
 }
 
-func (d *decoder) i64() int64   { return int64(d.u64()) }
-func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (c *cursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.data[c.off:])
+	c.off += 4
+	return v
+}
 
-func (d *decoder) str() string {
-	n := d.u32()
-	if d.err != nil {
+func (c *cursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.data[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) i64() int64   { return int64(c.u64()) }
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) str() string {
+	n := c.u32()
+	if c.err != nil {
 		return ""
 	}
 	if n > maxStringLen {
-		d.fail(fmt.Errorf("darshan: string length %d exceeds limit", n))
+		c.fail(fmt.Errorf("darshan: string length %d exceeds limit", n))
 		return ""
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(d.r, b); err != nil {
-		d.fail(fmt.Errorf("darshan: truncated string: %w", err))
+	if !c.need(int(n)) {
 		return ""
 	}
-	return string(b)
+	b := c.data[c.off : c.off+int(n)]
+	c.off += int(n)
+	if n == 0 {
+		return ""
+	}
+	return c.st.internString(b)
 }
 
-func (d *decoder) dxtList() []DXTEvent {
-	n := d.u32()
-	if d.err != nil {
+// dxtList decodes one DXT event list, reusing the capacity of prev when
+// it suffices. An empty list decodes to nil, matching the encoder.
+func (c *cursor) dxtList(prev []DXTEvent) []DXTEvent {
+	n := c.u32()
+	if !c.checkCount(n, maxDXTPerList, dxtEventLen, "DXT list") || n == 0 {
 		return nil
 	}
-	if n > maxDXTPerList {
-		d.fail(fmt.Errorf("darshan: DXT list length %d exceeds limit", n))
-		return nil
+	var out []DXTEvent
+	if cap(prev) >= int(n) {
+		out = prev[:n]
+	} else {
+		out = make([]DXTEvent, n)
 	}
-	if n == 0 {
-		return nil
+	for i := range out {
+		ev := &out[i]
+		ev.Start = c.f64()
+		ev.End = c.f64()
+		ev.Offset = c.i64()
+		ev.Length = c.i64()
 	}
-	out := make([]DXTEvent, 0, min(n, 4096))
-	for i := uint32(0); i < n; i++ {
-		var ev DXTEvent
-		ev.Start = d.f64()
-		ev.End = d.f64()
-		ev.Offset = d.i64()
-		ev.Length = d.i64()
-		if d.err != nil {
-			return nil
-		}
-		out = append(out, ev)
+	if c.err != nil {
+		return nil
 	}
 	return out
 }
 
-func (d *decoder) decodeBody() *Job {
-	j := &Job{}
-	j.JobID = d.u64()
-	j.UID = d.u32()
-	j.User = d.str()
-	j.Exe = d.str()
-	j.NProcs = int32(d.u32())
-	j.Start = d.i64()
-	j.End = d.i64()
-	j.Runtime = d.f64()
+func (c *cursor) decodeBody(j *Job) {
+	j.JobID = c.u64()
+	j.UID = c.u32()
+	j.User = c.str()
+	j.Exe = c.str()
+	j.NProcs = int32(c.u32())
+	j.Start = c.i64()
+	j.End = c.i64()
+	j.Runtime = c.f64()
 
-	nMeta := d.u32()
-	if d.err != nil {
-		return nil
+	nMeta := c.u32()
+	if !c.checkCount(nMeta, maxMetaPairs, minMetaPairLen, "metadata pair") {
+		return
 	}
-	if nMeta > maxMetaPairs {
-		d.fail(fmt.Errorf("darshan: metadata pair count %d exceeds limit", nMeta))
-		return nil
-	}
-	if nMeta > 0 {
-		j.Metadata = make(map[string]string, nMeta)
+	if nMeta == 0 {
+		j.Metadata = nil
+	} else {
+		if j.Metadata == nil {
+			j.Metadata = make(map[string]string, nMeta)
+		} else {
+			clear(j.Metadata)
+		}
 		for i := uint32(0); i < nMeta; i++ {
-			k := d.str()
-			v := d.str()
-			if d.err != nil {
-				return nil
+			k := c.str()
+			v := c.str()
+			if c.err != nil {
+				return
 			}
 			j.Metadata[k] = v
 		}
 	}
 
-	nRec := d.u32()
-	if d.err != nil {
-		return nil
-	}
-	if nRec > maxRecords {
-		d.fail(fmt.Errorf("darshan: record count %d exceeds limit", nRec))
-		return nil
+	nRec := c.u32()
+	if !c.checkCount(nRec, maxRecords, minRecordLen, "record") {
+		return
 	}
 	if nRec == 0 {
-		return j
+		if j.Records != nil {
+			j.Records = j.Records[:0]
+		}
+		return
 	}
-	j.Records = make([]FileRecord, 0, min(nRec, 4096))
-	for i := uint32(0); i < nRec; i++ {
-		var r FileRecord
-		r.Module = Module(d.u32())
-		r.Path = d.str()
-		r.Rank = int32(d.u32())
-		c := &r.C
-		ints := []*int64{&c.Opens, &c.Closes, &c.Seeks, &c.Stats, &c.Reads, &c.Writes, &c.BytesRead, &c.BytesWritten}
-		for _, p := range ints {
-			*p = d.i64()
-		}
-		floats := []*float64{&c.OpenStart, &c.OpenEnd, &c.ReadStart, &c.ReadEnd, &c.WriteStart, &c.WriteEnd, &c.CloseStart, &c.CloseEnd}
-		for _, p := range floats {
-			*p = d.f64()
-		}
-		if d.version >= 2 {
-			r.DXTReads = d.dxtList()
-			r.DXTWrites = d.dxtList()
-		}
-		if d.err != nil {
-			return nil
-		}
-		j.Records = append(j.Records, r)
+	if cap(j.Records) >= int(nRec) {
+		j.Records = j.Records[:nRec]
+	} else {
+		j.Records = make([]FileRecord, nRec)
 	}
-	return j
+	for i := range j.Records {
+		r := &j.Records[i]
+		r.Module = Module(c.u32())
+		r.Path = c.str()
+		r.Rank = int32(c.u32())
+		cc := &r.C
+		cc.Opens = c.i64()
+		cc.Closes = c.i64()
+		cc.Seeks = c.i64()
+		cc.Stats = c.i64()
+		cc.Reads = c.i64()
+		cc.Writes = c.i64()
+		cc.BytesRead = c.i64()
+		cc.BytesWritten = c.i64()
+		cc.OpenStart = c.f64()
+		cc.OpenEnd = c.f64()
+		cc.ReadStart = c.f64()
+		cc.ReadEnd = c.f64()
+		cc.WriteStart = c.f64()
+		cc.WriteEnd = c.f64()
+		cc.CloseStart = c.f64()
+		cc.CloseEnd = c.f64()
+		if c.version >= 2 {
+			r.DXTReads = c.dxtList(r.DXTReads)
+			r.DXTWrites = c.dxtList(r.DXTWrites)
+		} else {
+			r.DXTReads, r.DXTWrites = nil, nil
+		}
+		if c.err != nil {
+			return
+		}
+	}
 }
 
-// MarshalBinary returns the binary log encoding of the job as bytes.
-func MarshalBinary(j *Job) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := WriteBinary(&buf, j); err != nil {
-		return nil, err
+// DecodeInto parses a binary-log-encoded job from data into j, reusing
+// j's Records slice, DXT lists and Metadata map where their capacity
+// suffices — the warm ingest path decodes repeatedly into the same Job
+// with zero allocations. The decoded job never aliases data (strings
+// are copied or interned), so callers may recycle the input buffer
+// immediately. On error j's contents are unspecified.
+//
+// It validates the container framing but not the semantic content;
+// callers run Validate separately so that corruption statistics can be
+// collected (the paper's step 1).
+func DecodeInto(j *Job, data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("darshan: reading magic: %w", io.ErrUnexpectedEOF)
 	}
-	return buf.Bytes(), nil
+	if [4]byte(data[:4]) != Magic {
+		return ErrBadMagic
+	}
+	if len(data) < headerLen {
+		return fmt.Errorf("darshan: reading header: %w", io.ErrUnexpectedEOF)
+	}
+	version := binary.LittleEndian.Uint16(data[4:6])
+	flags := binary.LittleEndian.Uint16(data[6:8])
+	if version < minFormatVersion || version > FormatVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	st := decodeStatePool.Get().(*decodeState)
+	defer putDecodeState(st)
+	body := data[headerLen:]
+	if flags&flagGzip != 0 {
+		var err error
+		if body, err = st.inflate(body); err != nil {
+			return err
+		}
+	}
+	c := cursor{data: body, version: version, st: st}
+	c.decodeBody(j)
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(body) {
+		return fmt.Errorf("darshan: %d trailing bytes after body", len(body)-c.off)
+	}
+	return nil
 }
 
 // UnmarshalBinary parses a binary-log-encoded job.
 func UnmarshalBinary(data []byte) (*Job, error) {
-	return ReadBinary(bytes.NewReader(data))
+	j := new(Job)
+	if err := DecodeInto(j, data); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// fileBufPool holds whole-file staging buffers for the io.Reader entry
+// points, so repeated file decodes do not reallocate.
+var fileBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// ReadBinary decodes one job from r. The stream is read fully into a
+// pooled buffer and parsed in place.
+func ReadBinary(r io.Reader) (*Job, error) {
+	bp := fileBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64<<10)
+	}
+	var rerr error
+	for {
+		if len(buf) == cap(buf) {
+			grown := make([]byte, len(buf), 2*cap(buf))
+			copy(grown, buf)
+			buf = grown
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rerr = err
+			break
+		}
+	}
+	var j *Job
+	if rerr == nil {
+		j, rerr = UnmarshalBinary(buf)
+	}
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+	} else {
+		*bp = nil
+	}
+	fileBufPool.Put(bp)
+	return j, rerr
+}
+
+// readBinaryFile decodes one .mosd file through a size-hinted pooled
+// buffer — the corpus (engine Decode stage) fast path.
+func readBinaryFile(f *os.File) (*Job, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size > maxBodyBytes {
+		return nil, fmt.Errorf("darshan: %s: file exceeds %d byte limit", f.Name(), maxBodyBytes)
+	}
+	bp := fileBufPool.Get().(*[]byte)
+	buf := *bp
+	if int64(cap(buf)) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	var j *Job
+	if _, err = io.ReadFull(f, buf); err == nil {
+		j, err = UnmarshalBinary(buf)
+	}
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+	} else {
+		*bp = nil
+	}
+	fileBufPool.Put(bp)
+	return j, err
 }

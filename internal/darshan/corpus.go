@@ -36,7 +36,7 @@ func ReadFile(path string) (*Job, error) {
 	case ExtText:
 		return ReadParserText(f)
 	default:
-		return ReadBinary(f)
+		return readBinaryFile(f)
 	}
 }
 

@@ -1,0 +1,143 @@
+package darshan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for every parser that faces the network (serve ingest
+// sniffs uploads into exactly these three decoders). The contract under
+// test: torn or hostile input must yield an error, never a panic or an
+// unbounded allocation, and anything that decodes must re-encode
+// canonically to a fixed point.
+
+// fuzzSeeds returns representative valid encodings: canonical raw
+// bodies, gzip file bodies, a v1-style body (no DXT lists), and an
+// empty job.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	var seeds [][]byte
+	j := sampleJob()
+	canonical, err := MarshalBinary(j)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, canonical)
+	var gz bytes.Buffer
+	if err := WriteBinary(&gz, j); err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, gz.Bytes())
+	dxt := sampleJob()
+	dxt.Records[0].DXTReads = []DXTEvent{{Start: 1, End: 2, Offset: 0, Length: 4096}}
+	dxt.Records[0].DXTWrites = []DXTEvent{{Start: 3, End: 4, Offset: 4096, Length: 4096}}
+	withDXT, err := MarshalBinary(dxt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, withDXT)
+	empty, err := MarshalBinary(&Job{Runtime: 1, NProcs: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, empty)
+	// A hand-built version-1 header over the same body layout (DXT lists
+	// absent in v1 bodies: drop the two trailing zero-length lists of
+	// the single-record canonical job).
+	v1 := append([]byte{}, canonical...)
+	v1[4], v1[5] = 1, 0
+	seeds = append(seeds, v1[:len(v1)-8])
+	return seeds
+}
+
+func FuzzDecodeBinary(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("MOSD"))
+	f.Add([]byte("MOSD\x02\x00\x00\x00"))
+	f.Add([]byte("not a log"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to a canonical fixed point,
+		// bit-for-bit (floats compared through their encodings, so NaN
+		// timestamps — valid in corrupted traces — round-trip too).
+		enc1, err := MarshalBinary(j)
+		if err != nil {
+			t.Fatalf("re-encoding decoded job: %v", err)
+		}
+		j2, err := UnmarshalBinary(enc1)
+		if err != nil {
+			t.Fatalf("decoding canonical re-encoding: %v", err)
+		}
+		enc2, err := MarshalBinary(j2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+		// DecodeInto over a dirty reused job must agree with a fresh
+		// decode: stale records, DXT lists and metadata must not leak.
+		dirty := sampleJob()
+		dirty.Records[0].DXTReads = []DXTEvent{{Start: 9, End: 9, Length: 9}}
+		dirty.Metadata = map[string]string{"stale": "value"}
+		if err := DecodeInto(dirty, data); err != nil {
+			t.Fatalf("DecodeInto failed where UnmarshalBinary succeeded: %v", err)
+		}
+		enc3, err := MarshalBinary(dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc3) {
+			t.Fatal("DecodeInto into a reused job diverges from a fresh decode")
+		}
+	})
+}
+
+func FuzzReadParserText(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteParserText(&buf, sampleJob()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("# darshan log version: 3.41\n")
+	f.Add("POSIX\t0\t42\tPOSIX_OPENS\t3\t/scratch/x\n")
+	f.Add("nprocs: -1\nrun time: 1e309\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		j, err := ReadParserText(strings.NewReader(text))
+		if err != nil || len(j.Records) == 0 {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteParserText(&out, j); err != nil {
+			t.Fatalf("re-encoding parsed text: %v", err)
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleJob()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"records":[{"module":"POSIX","path":"x","rank":0,"counters":{}}]}`)
+	f.Add(`{"nprocs": 1e99}`)
+	f.Fuzz(func(t *testing.T, text string) {
+		j, err := ReadJSON(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if _, err := MarshalBinary(j); err != nil {
+			// JSON places no length limit on strings; only the binary
+			// string limit may reject here.
+			if !strings.Contains(err.Error(), "string too long") {
+				t.Fatalf("binary encoding of JSON-decoded job: %v", err)
+			}
+		}
+	})
+}

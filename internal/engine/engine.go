@@ -209,6 +209,14 @@ func Run(ctx context.Context, src Source, opts Options) (*Result, error) {
 	// deterministic. Ordering and worker lifecycle come from
 	// parallel.MapOrdered, whose goroutines all exit on ctx cancellation
 	// even when downstream stops reading.
+	//
+	// Buffer pooling happens inside darshan.ReadFile: file bytes,
+	// inflate arenas and gzip readers are sync.Pool-recycled across
+	// decodes (mirroring core's cluster.Scratch pooling downstream).
+	// The contract that makes this safe is that returned Jobs never
+	// alias pooled memory — decoded strings are copied or interned —
+	// because Jobs outlive this stage: the funnel keeps the heaviest
+	// run of each group until the final aggregate.
 	obs.StageStarted(StageDecode)
 	traces := parallel.MapOrdered(ctx, workers, refs, func(r Ref) darshan.CorpusEntry {
 		obs.ItemIn(StageDecode)

@@ -2,6 +2,8 @@
 // incrementally updated analysis service. It exposes an HTTP API —
 //
 //	POST /v1/traces        multipart (or raw-body) trace ingest
+//	POST /v1/traces:batch  batch ingest: multipart or length-prefixed
+//	                       concatenation, one store write + one fsync
 //	GET  /v1/results/{id}  categorization of one trace by content address
 //	GET  /v1/query?q=...   boolean category query over the live index
 //	GET  /v1/stats         store, index, queue and ingest statistics
@@ -144,6 +146,8 @@ type Server struct {
 	// Metrics.
 	reg            *telemetry.Registry
 	ingestRequests *telemetry.Counter
+	batchRequests  *telemetry.Counter
+	batchTraces    *telemetry.Histogram
 	ingestStatus   map[string]*telemetry.Counter
 	cacheHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
@@ -230,6 +234,9 @@ func New(cfg Config) (*Server, error) {
 
 func (s *Server) registerMetrics() {
 	s.ingestRequests = s.reg.Counter("mosaic_serve_ingest_requests_total", "Ingest HTTP requests received.", nil)
+	s.batchRequests = s.reg.Counter("mosaic_serve_batch_requests_total", "Batch ingest HTTP requests received.", nil)
+	s.batchTraces = s.reg.Histogram("mosaic_serve_batch_traces", "Traces per batch ingest request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, nil)
 	s.ingestStatus = make(map[string]*telemetry.Counter)
 	for _, st := range []string{StatusAccepted, StatusCached, StatusPending, StatusRejected, StatusUnreadable} {
 		s.ingestStatus[st] = s.reg.Counter("mosaic_serve_ingested_traces_total",
@@ -266,14 +273,18 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 func (s *Server) backfill() {
 	defer s.backfillWG.Done()
 	queued := 0
-	s.st.EachTraceID(func(id store.TraceID) bool {
+	// EachTraceBlob streams the segment log sequentially (readahead,
+	// no per-trace random read), so a cold start over a large store is
+	// disk-bandwidth-bound. The blob slice is reused by the scanner;
+	// decoding it produces an independent Job.
+	err := s.st.EachTraceBlob(func(id store.TraceID, blob []byte) bool {
 		if s.st.HasResult(id, s.fp) || !s.markPending(id) {
 			return true
 		}
-		j, ok, err := s.st.GetTrace(id)
-		if err != nil || !ok {
+		j, err := darshan.UnmarshalBinary(blob)
+		if err != nil {
 			s.unmarkPending(id)
-			if err != nil && s.log != nil {
+			if s.log != nil {
 				s.log.Warn("backfill: unreadable stored trace", "id", string(id), "err", err)
 			}
 			return true
@@ -288,6 +299,9 @@ func (s *Server) backfill() {
 			return false
 		}
 	})
+	if err != nil && s.log != nil {
+		s.log.Warn("backfill scan failed", "err", err)
+	}
 	if queued > 0 && s.log != nil {
 		s.log.Info("backfill queued", "traces", queued, "fingerprint", s.fp)
 	}
@@ -459,6 +473,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/traces", s.handleIngest)
+	mux.HandleFunc("POST /v1/traces:batch", s.handleIngestBatch)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
@@ -589,6 +604,13 @@ func (s *Server) ingestOne(name string, data []byte, reqID string) IngestItem {
 	if _, _, err := s.st.PutTraceBytes(canonical); err != nil {
 		return IngestItem{Name: name, ID: id, Status: StatusRejected, Error: err.Error()}
 	}
+	return s.queueTrace(name, id, job, reqID)
+}
+
+// queueTrace runs the post-persistence tail of an ingest: cache-hit
+// check, pending dedup, then a non-blocking enqueue (a full queue is
+// the service's backpressure). The trace blob is already durable.
+func (s *Server) queueTrace(name string, id store.TraceID, job *darshan.Job, reqID string) IngestItem {
 	if s.st.HasResult(id, s.fp) {
 		s.cacheHits.Inc()
 		return IngestItem{Name: name, ID: id, Status: StatusCached}
@@ -618,36 +640,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var items []IngestItem
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "multipart/") {
-		mr, err := r.MultipartReader()
+		ups, bad, err := s.readMultipartUploads(r)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		for {
-			part, err := mr.NextPart()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-				return
-			}
-			name := part.FileName()
-			if name == "" {
-				name = part.FormName()
-			}
-			data, err := io.ReadAll(io.LimitReader(part, s.maxUpload+1))
-			part.Close()
-			if err != nil {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-				return
-			}
-			if int64(len(data)) > s.maxUpload {
-				items = append(items, IngestItem{Name: name, Status: StatusUnreadable,
-					Error: fmt.Sprintf("trace exceeds %d byte upload limit", s.maxUpload)})
-				continue
-			}
-			items = append(items, s.ingestOne(name, data, reqID))
+		items = append(items, bad...)
+		for _, up := range ups {
+			items = append(items, s.ingestOne(up.name, up.data, reqID))
 		}
 	} else {
 		data, err := io.ReadAll(io.LimitReader(r.Body, s.maxUpload+1))
@@ -670,7 +670,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no traces in request"})
 		return
 	}
+	s.finishIngest(w, r, items)
+}
 
+// finishIngest tallies per-item status metrics and writes the ingest
+// response, shared by the single and batch endpoints: 200 when all
+// items resolved, 202 when any is queued, 429 (with Retry-After) when
+// the bounded queue rejected any — items already accepted in the same
+// request stay accepted.
+func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, items []IngestItem) {
 	code := http.StatusOK
 	rejected := false
 	for _, it := range items {
@@ -685,8 +693,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if rejected {
-		// Backpressure: the bounded queue is full. Clients retry later;
-		// items already accepted in this request stay accepted.
+		// Backpressure: the bounded queue is full. Clients retry later.
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
 	}

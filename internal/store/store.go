@@ -3,7 +3,7 @@
 // incrementally updated service.
 //
 // Traces are keyed by the SHA-256 of their canonical binary encoding
-// (darshan.WriteBinary is a pure function of the Job value, so the
+// (darshan.MarshalBinary is a pure function of the Job value, so the
 // same trace always hashes the same). Categorization results are
 // keyed by (trace hash, Config fingerprint): re-analyzing an
 // unchanged trace under an unchanged effective configuration is a
@@ -17,9 +17,14 @@
 // recovery and only the torn frame is dropped — every fully written
 // record survives. Hot values are served from a byte-bounded LRU
 // cache so memory stays flat regardless of store size.
+//
+// Durability (Options.Sync) is group-committed: concurrent writers
+// share one fsync, so a burst of appends costs one disk flush, not
+// one per record — see waitDurable for the leader/follower protocol.
 package store
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -99,9 +104,12 @@ type Options struct {
 	// CacheBytes bounds the in-memory value cache (0: 32 MiB; < 0:
 	// cache disabled). The key → location index is always resident.
 	CacheBytes int64
-	// Sync fsyncs after every append. Durability against power loss at
-	// the cost of write latency; without it the log is still
-	// crash-consistent (torn tails are dropped on recovery).
+	// Sync makes every Put durable before it returns: an append is only
+	// acknowledged after an fsync covering it. Syncs are group-committed —
+	// concurrent writers (and every record of a PutTraceBatch) share one
+	// fsync, so durability costs one disk flush per batch, not per
+	// record. Without Sync the log is still crash-consistent (torn tails
+	// are dropped on recovery).
 	Sync bool
 }
 
@@ -135,6 +143,8 @@ type Stats struct {
 	Misses           int64 `json:"misses"` // GetResult found nothing
 	RecoveredFrames  int   `json:"recovered_frames"`
 	DroppedTailBytes int64 `json:"dropped_tail_bytes"`
+	GroupSyncs       int64 `json:"group_syncs"`   // fsyncs issued by group-commit leaders
+	SyncedFrames     int64 `json:"synced_frames"` // frames those fsyncs made durable
 }
 
 // Store is a content-addressed trace/result store backed by an
@@ -148,7 +158,11 @@ type Store struct {
 	readers []*os.File // one read handle per segment, index = segment number - 1
 	active  *os.File   // append handle of the last segment
 	size    int64      // bytes in the active segment
+	seq     int64      // appended-frame watermark (monotonic across segments)
+	wbuf    []byte     // reusable frame staging buffer (guarded by mu)
 	closed  bool
+
+	gc groupCommit // fsync cohort state; locked after mu, never before
 
 	traces   int
 	results  int
@@ -157,8 +171,22 @@ type Store struct {
 	cache *lru
 
 	hits, misses     atomic.Int64
+	groupSyncs       atomic.Int64 // fsyncs issued by group-commit leaders
+	syncedFrames     atomic.Int64 // frames made durable by those fsyncs
 	recoveredFrames  int
 	droppedTailBytes int64
+}
+
+// groupCommit coordinates durability acknowledgments: appenders wait
+// until the durable watermark passes their frame's sequence number, and
+// the first waiter to find no fsync in flight becomes the leader,
+// syncing once on behalf of every frame appended before it started.
+// Writers that append while a sync is in flight form the next cohort.
+type groupCommit struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	syncing bool
+	synced  int64 // durable-frame watermark
 }
 
 // Open opens (creating if necessary) the store rooted at dir and
@@ -176,6 +204,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		index: make(map[string]loc),
 		cache: newLRU(opts.CacheBytes),
 	}
+	s.gc.cond = sync.NewCond(&s.gc.mu)
 	if err := s.recover(); err != nil {
 		s.Close()
 		return nil, err
@@ -235,30 +264,42 @@ func (s *Store) recover() error {
 	return nil
 }
 
+// readaheadBytes sizes the buffered reader used for sequential segment
+// scans (recovery and bulk backfill): large enough that a multi-GiB log
+// is read at disk bandwidth, not at one syscall per frame.
+const readaheadBytes = 1 << 20
+
 // scanSegment walks one segment's frames, indexing each valid record.
 // It returns the offset of the last valid frame end and how many
-// trailing bytes were dropped as torn.
+// trailing bytes were dropped as torn. The scan is a single buffered
+// sequential pass with a reused frame buffer, replacing the three
+// positioned reads per frame that made recovery syscall-bound.
 func (s *Store) scanSegment(seg int, f *os.File) (good int64, dropped int64, err error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, 0, fmt.Errorf("store: stat segment %d: %w", seg, err)
 	}
 	fileSize := info.Size()
+	br := bufio.NewReaderSize(io.NewSectionReader(f, 0, fileSize), readaheadBytes)
 	var off int64
 	var hdr [frameHeaderLen]byte
+	var frame []byte
 	for {
 		if off+frameHeaderLen > fileSize {
 			break // clean end (off == fileSize) or torn length prefix
 		}
-		if _, err := f.ReadAt(hdr[:], off); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return 0, 0, fmt.Errorf("store: reading segment %d at %d: %w", seg, off, err)
 		}
 		n := int64(binary.LittleEndian.Uint32(hdr[:]))
 		if n < framePayloadMin || n > maxFrameLen || off+frameHeaderLen+n+frameCRCLen > fileSize {
 			break // torn or garbage tail
 		}
-		buf := make([]byte, n+frameCRCLen)
-		if _, err := f.ReadAt(buf, off+frameHeaderLen); err != nil {
+		if int64(cap(frame)) < n+frameCRCLen {
+			frame = make([]byte, n+frameCRCLen)
+		}
+		buf := frame[:n+frameCRCLen]
+		if _, err := io.ReadFull(br, buf); err != nil {
 			return 0, 0, fmt.Errorf("store: reading segment %d frame at %d: %w", seg, off, err)
 		}
 		payload := buf[:n]
@@ -300,7 +341,10 @@ func (s *Store) indexPut(key string, l loc) {
 	s.index[key] = l
 }
 
-// openSegment creates segment n and makes it active.
+// openSegment creates segment n and makes it active. When rotating away
+// from a live segment under Options.Sync, the sealed segment is synced
+// first and the durable watermark advanced, so no group-commit leader
+// ever needs a write handle to a sealed segment.
 func (s *Store) openSegment(n int) error {
 	path := s.segPath(n)
 	w, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
@@ -313,6 +357,21 @@ func (s *Store) openSegment(n int) error {
 		return fmt.Errorf("store: opening segment %s: %w", path, err)
 	}
 	if s.active != nil {
+		if s.opts.Sync {
+			if err := s.active.Sync(); err != nil {
+				w.Close()
+				r.Close()
+				return fmt.Errorf("store: syncing sealed segment: %w", err)
+			}
+			s.gc.mu.Lock()
+			if s.seq > s.gc.synced {
+				s.groupSyncs.Add(1)
+				s.syncedFrames.Add(s.seq - s.gc.synced)
+				s.gc.synced = s.seq
+			}
+			s.gc.cond.Broadcast()
+			s.gc.mu.Unlock()
+		}
 		s.active.Close() // seal previous segment; its reader stays open
 	}
 	s.active = w
@@ -321,44 +380,131 @@ func (s *Store) openSegment(n int) error {
 	return nil
 }
 
-// append writes one framed record and indexes it. Callers hold s.mu.
-func (s *Store) append(kind byte, key string, value []byte) error {
-	if s.closed {
-		return fmt.Errorf("store: closed")
-	}
+// maxStagedBuf bounds the frame staging buffer kept across appends; one
+// oversized batch must not pin its buffer for the store's lifetime.
+const maxStagedBuf = 8 << 20
+
+// appendFrame stages one framed record onto dst:
+// [len][kind keyLen key value][crc].
+func appendFrame(dst []byte, kind byte, key string, value []byte) []byte {
+	payloadLen := framePayloadMin + len(key) + len(value)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	payloadStart := len(dst)
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	dst = append(dst, value...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[payloadStart:]))
+}
+
+// checkRecord validates one record's key and payload size.
+func checkRecord(key string, value []byte) error {
 	if len(key) > maxKeyLen {
 		return fmt.Errorf("store: key too long (%d bytes)", len(key))
 	}
-	payloadLen := framePayloadMin + len(key) + len(value)
-	if payloadLen > maxFrameLen {
+	if payloadLen := framePayloadMin + len(key) + len(value); payloadLen > maxFrameLen {
 		return fmt.Errorf("store: record too large (%d bytes)", payloadLen)
 	}
-	frame := make([]byte, frameHeaderLen+payloadLen+frameCRCLen)
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(payloadLen))
-	frame[4] = kind
-	binary.LittleEndian.PutUint16(frame[5:7], uint16(len(key)))
-	copy(frame[7:], key)
-	copy(frame[7+len(key):], value)
-	payload := frame[frameHeaderLen : frameHeaderLen+payloadLen]
-	binary.LittleEndian.PutUint32(frame[frameHeaderLen+payloadLen:], crc32.ChecksumIEEE(payload))
+	return nil
+}
 
-	if _, err := s.active.Write(frame); err != nil {
-		return fmt.Errorf("store: appending record: %w", err)
+// trimWbuf returns the staging buffer for reuse, dropping it past the
+// retention bound.
+func (s *Store) trimWbuf(buf []byte) {
+	if cap(buf) <= maxStagedBuf {
+		s.wbuf = buf[:0]
+	} else {
+		s.wbuf = nil
 	}
-	if s.opts.Sync {
-		if err := s.active.Sync(); err != nil {
-			return fmt.Errorf("store: sync: %w", err)
-		}
+}
+
+// appendLocked stages, writes and indexes one framed record, returning
+// its sequence number. Callers hold s.mu; when Options.Sync is set they
+// must call waitDurable(seq) after releasing it — acknowledgment before
+// durability is the group-commit protocol's only caller obligation.
+func (s *Store) appendLocked(kind byte, key string, value []byte) (int64, error) {
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	if err := checkRecord(key, value); err != nil {
+		return 0, err
+	}
+	frame := appendFrame(s.wbuf[:0], kind, key, value)
+	frameLen := int64(len(frame))
+	_, err := s.active.Write(frame)
+	s.trimWbuf(frame)
+	if err != nil {
+		return 0, fmt.Errorf("store: appending record: %w", err)
 	}
 	s.indexPut(key, loc{
 		seg:    len(s.readers),
 		valOff: s.size + frameHeaderLen + framePayloadMin + int64(len(key)),
 		valLen: len(value),
 	})
-	s.size += int64(len(frame))
+	s.size += frameLen
+	s.seq++
+	seq := s.seq
 	if s.size >= s.opts.MaxSegmentBytes {
 		if err := s.openSegment(len(s.readers) + 1); err != nil {
-			return err
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// waitDurable blocks until the durable watermark covers seq: the heart
+// of group commit. The first waiter to find no fsync in flight becomes
+// the leader and syncs the active segment once for every frame appended
+// before its snapshot; waiters whose frames land during that fsync form
+// the next cohort. One fsync therefore acknowledges a whole group of
+// concurrent appends, while writers keep appending during the flush.
+func (s *Store) waitDurable(seq int64) error {
+	g := &s.gc
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.synced < seq {
+		if g.syncing {
+			g.cond.Wait()
+			continue
+		}
+		g.syncing = true
+		prev := g.synced
+		g.mu.Unlock()
+
+		s.mu.RLock()
+		f, target, closed := s.active, s.seq, s.closed
+		s.mu.RUnlock()
+		var err error
+		if f != nil && !closed {
+			s.groupSyncs.Add(1)
+			if err = f.Sync(); err != nil {
+				// The handle may have been sealed by a segment rotation
+				// or the store closed mid-flight; both sync before
+				// closing, so the watermark (rechecked below) or the
+				// closed flag tells us the cohort is already durable.
+				s.mu.RLock()
+				if s.closed {
+					err = nil
+				}
+				s.mu.RUnlock()
+			}
+		}
+
+		g.mu.Lock()
+		g.syncing = false
+		if err == nil {
+			if target > g.synced {
+				g.synced = target
+			}
+		} else if g.synced >= target {
+			err = nil // rotation made the cohort durable under us
+		}
+		if g.synced > prev {
+			s.syncedFrames.Add(g.synced - prev)
+		}
+		g.cond.Broadcast()
+		if err != nil {
+			return fmt.Errorf("store: sync: %w", err)
 		}
 	}
 	return nil
@@ -395,14 +541,102 @@ func (s *Store) PutTraceBytes(data []byte) (TraceID, bool, error) {
 	id := HashBytes(data)
 	key := traceKeyOf(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.index[key]; ok {
+		s.mu.Unlock()
 		return id, true, nil
 	}
-	if err := s.append(kindTrace, key, data); err != nil {
+	seq, err := s.appendLocked(kindTrace, key, data)
+	s.mu.Unlock()
+	if err != nil {
 		return id, false, err
 	}
+	if s.opts.Sync {
+		if err := s.waitDurable(seq); err != nil {
+			return id, false, err
+		}
+	}
 	return id, false, nil
+}
+
+// PutTraceBatch stores many encoded trace blobs in one staged write
+// and — under Options.Sync — one shared fsync, so the per-record
+// syscall and durability costs amortize across the whole group. It
+// returns each blob's content address and whether it was already
+// present (in the store, or earlier in the same batch). On error,
+// nothing from the batch is acknowledged.
+func (s *Store) PutTraceBatch(blobs [][]byte) ([]TraceID, []bool, error) {
+	ids := make([]TraceID, len(blobs))
+	dup := make([]bool, len(blobs))
+	for i, b := range blobs {
+		ids[i] = HashBytes(b)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ids, dup, fmt.Errorf("store: closed")
+	}
+	buf := s.wbuf[:0]
+	type staged struct {
+		key    string
+		valOff int64
+		valLen int
+	}
+	frames := make([]staged, 0, len(blobs))
+	seen := make(map[TraceID]bool, len(blobs))
+	base := s.size
+	for i, b := range blobs {
+		key := traceKeyOf(ids[i])
+		if _, ok := s.index[key]; ok || seen[ids[i]] {
+			dup[i] = true
+			continue
+		}
+		if err := checkRecord(key, b); err != nil {
+			s.trimWbuf(buf)
+			s.mu.Unlock()
+			return ids, dup, err
+		}
+		seen[ids[i]] = true
+		frameOff := base + int64(len(buf))
+		buf = appendFrame(buf, kindTrace, key, b)
+		frames = append(frames, staged{
+			key:    key,
+			valOff: frameOff + frameHeaderLen + framePayloadMin + int64(len(key)),
+			valLen: len(b),
+		})
+	}
+	if len(frames) == 0 {
+		s.trimWbuf(buf)
+		s.mu.Unlock()
+		return ids, dup, nil
+	}
+	written := int64(len(buf))
+	_, err := s.active.Write(buf)
+	s.trimWbuf(buf)
+	if err != nil {
+		s.mu.Unlock()
+		return ids, dup, fmt.Errorf("store: appending batch: %w", err)
+	}
+	seg := len(s.readers)
+	for _, fr := range frames {
+		s.indexPut(fr.key, loc{seg: seg, valOff: fr.valOff, valLen: fr.valLen})
+	}
+	s.size += written
+	s.seq += int64(len(frames))
+	seq := s.seq
+	var rotateErr error
+	if s.size >= s.opts.MaxSegmentBytes {
+		rotateErr = s.openSegment(len(s.readers) + 1)
+	}
+	s.mu.Unlock()
+	if rotateErr != nil {
+		return ids, dup, rotateErr
+	}
+	if s.opts.Sync {
+		if err := s.waitDurable(seq); err != nil {
+			return ids, dup, err
+		}
+	}
+	return ids, dup, nil
 }
 
 // PutTrace canonically encodes and stores a job.
@@ -459,11 +693,15 @@ func (s *Store) PutResult(id TraceID, fp string, res *core.Result) error {
 	}
 	key := resultKeyOf(id, fp)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.append(kindResult, key, data); err != nil {
+	seq, err := s.appendLocked(kindResult, key, data)
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	s.cache.put(key, data)
+	if s.opts.Sync {
+		return s.waitDurable(seq)
+	}
 	return nil
 }
 
@@ -478,11 +716,17 @@ func (s *Store) PutExplanation(id TraceID, fp string, e *explain.Explanation) (i
 	}
 	key := explainKeyOf(id, fp)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.append(kindExplain, key, data); err != nil {
+	seq, err := s.appendLocked(kindExplain, key, data)
+	s.mu.Unlock()
+	if err != nil {
 		return 0, err
 	}
 	s.cache.put(key, data)
+	if s.opts.Sync {
+		if err := s.waitDurable(seq); err != nil {
+			return 0, err
+		}
+	}
 	return len(data), nil
 }
 
@@ -614,6 +858,77 @@ func (s *Store) EachResult(fp string, fn func(TraceID, *core.Result) bool) error
 	return nil
 }
 
+// EachTraceBlob streams every live trace blob in log order using
+// buffered sequential segment reads: the bulk backfill path, one
+// readahead pass over the log instead of one random read per trace.
+// The blob slice is reused between calls — fn must copy or decode it
+// before returning. Superseded frames (a key later rewritten) are
+// skipped via the index. fn returning false stops early.
+func (s *Store) EachTraceBlob(fn func(TraceID, []byte) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("store: closed")
+	}
+	readers := make([]*os.File, len(s.readers))
+	copy(readers, s.readers)
+	activeSize := s.size
+	s.mu.RUnlock()
+	var frame []byte
+	for si, r := range readers {
+		seg := si + 1
+		// Frames appended after the snapshot sit past these bounds and
+		// are deliberately not visited.
+		limit := activeSize
+		if si != len(readers)-1 {
+			info, err := r.Stat()
+			if err != nil {
+				return fmt.Errorf("store: stat segment %d: %w", seg, err)
+			}
+			limit = info.Size()
+		}
+		br := bufio.NewReaderSize(io.NewSectionReader(r, 0, limit), readaheadBytes)
+		var off int64
+		var hdr [frameHeaderLen]byte
+		for off+frameHeaderLen <= limit {
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return fmt.Errorf("store: reading segment %d at %d: %w", seg, off, err)
+			}
+			n := int64(binary.LittleEndian.Uint32(hdr[:]))
+			if n < framePayloadMin || n > maxFrameLen || off+frameHeaderLen+n+frameCRCLen > limit {
+				break // torn tail; recovery will drop it on next Open
+			}
+			if int64(cap(frame)) < n+frameCRCLen {
+				frame = make([]byte, n+frameCRCLen)
+			}
+			buf := frame[:n+frameCRCLen]
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return fmt.Errorf("store: reading segment %d frame at %d: %w", seg, off, err)
+			}
+			payload := buf[:n]
+			kind := payload[0]
+			keyLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+			if framePayloadMin+int64(keyLen) > n {
+				break
+			}
+			if kind == kindTrace {
+				key := string(payload[3 : 3+keyLen])
+				valOff := off + frameHeaderLen + framePayloadMin + int64(keyLen)
+				s.mu.RLock()
+				l, live := s.index[key]
+				s.mu.RUnlock()
+				if live && l.seg == seg && l.valOff == valOff {
+					if !fn(TraceID(strings.TrimPrefix(key, "t/")), payload[framePayloadMin+keyLen:]) {
+						return nil
+					}
+				}
+			}
+			off += frameHeaderLen + n + frameCRCLen
+		}
+	}
+	return nil
+}
+
 // EachTraceID calls fn for every stored trace blob's content address,
 // in lexicographic order. fn returning false stops early.
 func (s *Store) EachTraceID(fn func(TraceID) bool) {
@@ -655,6 +970,8 @@ func (s *Store) Stats() Stats {
 	st.CacheItems, st.CacheBytes = s.cache.stats()
 	st.Hits = s.hits.Load()
 	st.Misses = s.misses.Load()
+	st.GroupSyncs = s.groupSyncs.Load()
+	st.SyncedFrames = s.syncedFrames.Load()
 	return st
 }
 
@@ -686,6 +1003,15 @@ func (s *Store) Close() error {
 			first = err
 		}
 	}
+	// Wake group-commit waiters: everything appended before Close is
+	// covered by the final sync above.
+	s.gc.mu.Lock()
+	if first == nil && s.seq > s.gc.synced {
+		s.syncedFrames.Add(s.seq - s.gc.synced)
+		s.gc.synced = s.seq
+	}
+	s.gc.cond.Broadcast()
+	s.gc.mu.Unlock()
 	for _, r := range s.readers {
 		if err := r.Close(); err != nil && first == nil {
 			first = err
