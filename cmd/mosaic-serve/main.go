@@ -13,11 +13,22 @@
 //	                       wasn't) assigned (?category= filters rules)
 //	GET  /v1/query?q=...   boolean query, e.g. 'periodic_minute AND write_on_end'
 //	GET  /v1/stats         store, index and queue statistics
-//	GET  /metrics          Prometheus exposition   GET /healthz  liveness
+//	GET  /metrics          Prometheus exposition (OpenMetrics with
+//	                       trace-ID exemplars when Accept asks for it)
+//	GET  /healthz          liveness
+//	GET  /debug/requests   recent requests with per-phase latency
+//	                       (?format=text for a table); /{id} for the
+//	                       full span tree of one request
 //
 // Every request carries a correlation ID: a client-supplied
 // X-Request-Id is kept, otherwise one is generated; the ID is echoed in
 // the response and attached to all ingest/query/explain log lines.
+// Every request is also traced end to end (W3C traceparent accepted and
+// echoed): the span tree covers the HTTP edge, queue wait, engine
+// stages, the group-committed store fsync and the index update, and the
+// flight recorder retains the last -flight-keep completed requests —
+// slow (-slow-dump-ms) or errored ones are dumped to -flight-dir as
+// Chrome trace JSON. -no-request-traces switches all of it off.
 //
 // Results are stored content-addressed under the configuration
 // fingerprint, so re-ingesting a trace (or restarting the server) never
@@ -32,6 +43,7 @@
 //
 //	mosaic-serve -store ./data [-addr :8080] [-debug-addr :8081]
 //	             [-workers N] [-queue 256] [-drain-timeout 30s]
+//	             [-flight-dir ./flight] [-slow-dump-ms 250] [-slo-ms 500]
 //	mosaic-serve -v
 package main
 
@@ -48,6 +60,7 @@ import (
 	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 	"github.com/mosaic-hpc/mosaic/internal/serve"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
@@ -55,7 +68,7 @@ import (
 
 // version is the build version, overridable at link time via
 // -ldflags "-X main.version=...".
-var version = "1.2.0"
+var version = "1.3.0"
 
 func main() {
 	var (
@@ -73,6 +86,12 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
 		showVersion  = flag.Bool("v", false, "print version and exit")
+
+		noTraces   = flag.Bool("no-request-traces", false, "disable per-request tracing and the flight recorder")
+		flightKeep = flag.Int("flight-keep", 64, "completed request traces retained for GET /debug/requests")
+		flightDir  = flag.String("flight-dir", "", "directory receiving Chrome-trace dumps of slow or errored requests (empty: no dumps)")
+		slowDumpMS = flag.Int64("slow-dump-ms", 0, "dump any request slower than this many milliseconds to -flight-dir (0: errors only)")
+		sloMS      = flag.Int64("slo-ms", 0, "per-request latency SLO target in milliseconds; breaches count in mosaic_slo_latency_breaches_total (0: off)")
 
 		sigMB   = flag.Int64("significance-mb", 100, "significance threshold in MB for read/write volumes")
 		chunks  = flag.Int("chunks", 4, "number of temporal chunks")
@@ -124,6 +143,15 @@ func main() {
 	// One telemetry bundle hosts the serve metrics, the engine stage
 	// metrics and the per-ingest spans; -debug-addr exposes all of it.
 	tel := telemetry.New(telemetry.Config{Spans: true, SpanLimit: 4096, Logger: log})
+	var flight *reqtrace.Recorder
+	if !*noTraces {
+		flight = reqtrace.NewRecorder(reqtrace.RecorderConfig{
+			Capacity:      *flightKeep,
+			Dir:           *flightDir,
+			SlowThreshold: time.Duration(*slowDumpMS) * time.Millisecond,
+			Log:           log,
+		})
+	}
 	srv, err := serve.New(serve.Config{
 		Store:          st,
 		Analysis:       cfg,
@@ -134,6 +162,9 @@ func main() {
 		Log:            log,
 		Explain:        *explainOn,
 		ExplainMargin:  *explainM,
+		Flight:         flight,
+		DisableTracing: *noTraces,
+		SLO:            time.Duration(*sloMS) * time.Millisecond,
 	})
 	if err != nil {
 		log.Error("starting service failed", "err", err)
@@ -141,7 +172,17 @@ func main() {
 		os.Exit(1)
 	}
 	if *debugAddr != "" {
-		dbg, err := telemetry.StartServer(*debugAddr, tel.Registry(), tel, log)
+		// The flight recorder rides on the debug server too, next to
+		// /metrics and pprof, so request introspection does not require
+		// the API address.
+		var extra []telemetry.Route
+		if flight != nil {
+			fh := flight.Handler()
+			extra = append(extra,
+				telemetry.Route{Pattern: "GET /debug/requests", Handler: fh},
+				telemetry.Route{Pattern: "GET /debug/requests/{id}", Handler: fh})
+		}
+		dbg, err := telemetry.StartServer(*debugAddr, tel.Registry(), tel, log, extra...)
 		if err != nil {
 			log.Error("debug server failed to start", "addr", *debugAddr, "err", err)
 			st.Close()

@@ -34,13 +34,14 @@ const (
 	MeanShiftFile = "BENCH_meanshift.json"
 	PipelineFile  = "BENCH_pipeline.json"
 	IngestFile    = "BENCH_ingest.json"
+	ServeFile     = "BENCH_serve.json"
 )
 
 // Files lists every baseline file produced by the pinned targets; the
 // bench gate iterates this, so a new baseline file only needs to be
 // added here.
 func Files() []string {
-	return []string{MeanShiftFile, PipelineFile, IngestFile}
+	return []string{MeanShiftFile, PipelineFile, IngestFile, ServeFile}
 }
 
 // Target is one pinned benchmark: its stable name, the baseline file it
@@ -332,6 +333,8 @@ func Targets() []Target {
 		Target{Name: "BenchmarkIngest/decode_gzip", File: IngestFile, Fn: IngestDecodeGzip},
 		Target{Name: "BenchmarkIngest/encode", File: IngestFile, Fn: IngestEncode},
 		Target{Name: "BenchmarkIngest/store_append", File: IngestFile, Fn: IngestStoreAppend},
+		Target{Name: "BenchmarkServe/ingest_warm_untraced", File: ServeFile, Fn: ServeIngestWarm(false)},
+		Target{Name: "BenchmarkServe/ingest_warm_traced", File: ServeFile, Fn: ServeIngestWarm(true)},
 	)
 	return ts
 }

@@ -1,0 +1,80 @@
+package benchsuite
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/serve"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// The serve benchmarks pin the request-tracing overhead budget: the
+// same warm cache-hit ingest is measured with tracing on (root span,
+// decode/commit child spans, flight-recorder retention, latency
+// exemplar) and off. Both land in BENCH_serve.json, so the regression
+// gate catches the traced path drifting away from the untraced one —
+// the tracing layer's contract is <5% on this path.
+
+// The ingest payload is ingestTrace() — the same deterministic 200-record
+// mid-size production-shaped log the decode/encode benchmarks pin — so
+// the overhead ratio reflects what a real request pays, not a toy blob
+// whose handler cost is all framing.
+
+// ServeIngestWarm measures one warm cache-hit ingest per iteration
+// through the full serve handler chain — request-ID middleware, trace
+// middleware (or its identity twin), sniff, decode, content addressing,
+// stored-result lookup, JSON response — with no network and no fsync in
+// the way, so the traced/untraced delta is the tracing layer itself.
+func ServeIngestWarm(traced bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := ingestTrace()
+		blob, err := darshan.MarshalBinary(j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.Config{}.Normalized()
+		res, err := core.Categorize(j, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.PutResult(store.HashBytes(blob), cfg.Fingerprint(), res); err != nil {
+			b.Fatal(err)
+		}
+		s, err := serve.New(serve.Config{
+			Store: st, Workers: 1, QueueDepth: 16,
+			NoBackfill: true, DisableTracing: !traced,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+			st.Close()
+		}()
+		h := s.Handler()
+		rd := bytes.NewReader(nil)
+		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(blob)
+			req := httptest.NewRequest("POST", "/v1/traces", rd)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code >= 300 {
+				b.Fatalf("ingest answered %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+}

@@ -45,6 +45,24 @@ func (s SpatialPattern) String() string {
 // MarshalText makes the pattern JSON-friendly.
 func (s SpatialPattern) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// UnmarshalText is MarshalText's inverse, so stored results holding a
+// spatial verdict round-trip through the store's JSON encoding.
+func (s *SpatialPattern) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "unknown":
+		*s = SpatialUnknown
+	case "sequential":
+		*s = SpatialSequential
+	case "strided":
+		*s = SpatialStrided
+	case "random":
+		*s = SpatialRandom
+	default:
+		return fmt.Errorf("unknown spatial pattern %q", text)
+	}
+	return nil
+}
+
 // spatialThreshold is the fraction of transitions that must agree for a
 // sequential/strided verdict; below it the record is random.
 const spatialThreshold = 0.75

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"testing"
 
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
@@ -98,5 +99,25 @@ func TestCategorizeReportsSpatialOnDXT(t *testing.T) {
 	}
 	if res2.Write.Spatial != SpatialUnknown {
 		t.Fatalf("aggregate spatial = %v", res2.Write.Spatial)
+	}
+}
+
+func TestSpatialPatternJSONRoundTrip(t *testing.T) {
+	for _, p := range []SpatialPattern{SpatialUnknown, SpatialSequential, SpatialStrided, SpatialRandom} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got SpatialPattern
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%v does not round-trip: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip changed %v to %v", p, got)
+		}
+	}
+	var bad SpatialPattern
+	if err := json.Unmarshal([]byte(`"bogus"`), &bad); err == nil {
+		t.Fatal("bogus pattern accepted")
 	}
 }

@@ -12,11 +12,14 @@
 package index
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 )
 
@@ -54,6 +57,19 @@ func (ix *Index) Add(id store.TraceID, cats category.Set) {
 		}
 		posting[id] = struct{}{}
 	}
+}
+
+// AddCtx is Add wrapped in a request-trace span ("index.update") when
+// ctx carries one; untraced contexts pay nothing beyond the nil check.
+func (ix *Index) AddCtx(ctx context.Context, id store.TraceID, cats category.Set) {
+	if _, _, traced := reqtrace.FromContext(ctx); !traced {
+		ix.Add(id, cats)
+		return
+	}
+	start := time.Now()
+	ix.Add(id, cats)
+	reqtrace.AddSpan(ctx, "index.update", start, time.Since(start),
+		reqtrace.Int("categories", int64(len(cats))))
 }
 
 // Remove drops a trace from every posting list.

@@ -1,0 +1,420 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecorderConfig configures a flight recorder.
+type RecorderConfig struct {
+	// Capacity is the ring size: how many completed request traces are
+	// retained for /debug/requests (<= 0: 64). Retained traces are live
+	// heap the GC re-scans every cycle, so capacity trades debugging
+	// depth against collector load on busy servers.
+	Capacity int
+	// SlowThreshold, when > 0, dumps any request whose envelope
+	// duration (root start to last span end, async work included)
+	// exceeds it. The -slow-dump-ms flag lands here.
+	SlowThreshold time.Duration
+	// Dir receives Chrome-trace JSON dumps ("" disables dumping; the
+	// ring keeps working). Created on first dump.
+	Dir string
+	// MaxDumps caps files written over the recorder's lifetime, so a
+	// misbehaving deployment cannot fill a disk (<= 0: 64).
+	MaxDumps int
+	// Log receives dump/IO diagnostics (nil: silent).
+	Log *slog.Logger
+}
+
+// Recorder is the black-box flight recorder: a fixed-size ring of the
+// last N completed request traces, with automatic Chrome-trace dumps
+// for errored or slow requests. Completion is O(1) under one short
+// mutex hold (a pointer store); dumping happens outside the lock.
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	total uint64
+
+	dumps    atomic.Int64 // files successfully written
+	dumpErrs atomic.Int64
+	recorded atomic.Int64
+	dirOnce  sync.Once
+	dirErr   error
+}
+
+// NewRecorder builds a flight recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 64
+	}
+	return &Recorder{cfg: cfg, ring: make([]*Trace, cfg.Capacity)}
+}
+
+// Complete records one finalized trace — the Trace.OnDone target. Slow
+// or errored traces are additionally dumped as Chrome-trace JSON.
+func (r *Recorder) Complete(t *Trace) {
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+	r.recorded.Add(1)
+
+	if r.cfg.Dir == "" {
+		return
+	}
+	slow := r.cfg.SlowThreshold > 0 && t.Duration() > r.cfg.SlowThreshold
+	if !slow && !t.Errored() {
+		return
+	}
+	if r.dumps.Load() >= int64(r.cfg.MaxDumps) {
+		return
+	}
+	path, err := r.dump(t)
+	if err != nil {
+		r.dumpErrs.Add(1)
+		if r.cfg.Log != nil {
+			r.cfg.Log.Warn("flight dump failed", "trace", t.ID().String(), "err", err)
+		}
+		return
+	}
+	r.dumps.Add(1)
+	if r.cfg.Log != nil {
+		r.cfg.Log.Info("flight dump written", "trace", t.ID().String(),
+			"path", path, "slow", slow, "errored", t.Errored(), "dur", t.Duration())
+	}
+}
+
+// Recorded returns how many traces have completed into the ring.
+func (r *Recorder) Recorded() int64 { return r.recorded.Load() }
+
+// Dumps returns how many dump files were written.
+func (r *Recorder) Dumps() int64 { return r.dumps.Load() }
+
+// DumpErrors returns how many dump attempts failed.
+func (r *Recorder) DumpErrors() int64 { return r.dumpErrs.Load() }
+
+// dump writes one trace as Chrome trace-event JSON into Dir.
+func (r *Recorder) dump(t *Trace) (string, error) {
+	r.dirOnce.Do(func() { r.dirErr = os.MkdirAll(r.cfg.Dir, 0o755) })
+	if r.dirErr != nil {
+		return "", r.dirErr
+	}
+	path := filepath.Join(r.cfg.Dir, "req-"+t.ID().String()+".trace.json")
+	data, err := json.MarshalIndent(ChromeTrace(t), "", " ")
+	if err != nil {
+		return "", err
+	}
+	// Write-then-rename so a crash mid-dump never leaves a torn JSON
+	// file for tooling to trip over.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// snapshot returns the retained traces, newest first.
+func (r *Recorder) snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.ring))
+	for i := 1; i <= len(r.ring); i++ {
+		t := r.ring[(r.next-i+len(r.ring))%len(r.ring)]
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// laneOf maps a span name to its Chrome lane: the subsystem prefix
+// before the first '.' or ':' ("store.commit" → "store").
+func laneOf(name string) string {
+	if i := strings.IndexAny(name, ".:"); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// chromeEvent is one Chrome trace-event object.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // µs since the trace start
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace-event JSON document.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders one request trace as a Perfetto-loadable Chrome
+// trace document: one named lane per subsystem, one "X" event per
+// span, span/parent IDs and attributes in args.
+func ChromeTrace(t *Trace) any {
+	spans := t.Spans()
+	lanes := map[string]int{}
+	order := []string{}
+	for _, s := range spans {
+		l := laneOf(s.Name)
+		if _, ok := lanes[l]; !ok {
+			lanes[l] = len(order)
+			order = append(order, l)
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans)+len(order)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "request " + t.ID().String()},
+	})
+	for _, l := range order {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lanes[l],
+			Args: map[string]string{"name": l},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]string{
+			"span_id": s.ID.String(),
+			"parent":  s.Parent.String(),
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if s.Err != "" {
+			args["error"] = s.Err
+		}
+		if s.ID == t.root {
+			args["request_id"] = t.reqID
+			args["trace_id"] = t.id.String()
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: laneOf(s.Name), Ph: "X",
+			Ts:  float64(s.Start.Sub(t.start).Nanoseconds()) / 1e3,
+			Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid: 1, Tid: lanes[laneOf(s.Name)],
+			Args: args,
+		})
+	}
+	return chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"}
+}
+
+// Summary is one /debug/requests row: a completed request with its
+// per-phase latency breakdown.
+type Summary struct {
+	Trace     string             `json:"trace_id"`
+	RequestID string             `json:"request_id,omitempty"`
+	Method    string             `json:"method"`
+	Route     string             `json:"route"`
+	Status    int                `json:"status"`
+	Start     time.Time          `json:"start"`
+	DurMS     float64            `json:"dur_ms"` // envelope: edge to last span end
+	Spans     int                `json:"spans"`
+	Dropped   int                `json:"dropped_spans,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Phases    map[string]float64 `json:"phases_ms,omitempty"` // summed ms by span name
+}
+
+func summarize(t *Trace) Summary {
+	spans := t.Spans()
+	phases := make(map[string]float64, len(spans))
+	for _, s := range spans {
+		if s.ID == t.root {
+			continue // the root is the envelope, not a phase
+		}
+		phases[s.Name] += float64(s.Dur.Nanoseconds()) / 1e6
+	}
+	return Summary{
+		Trace:     t.ID().String(),
+		RequestID: t.RequestID(),
+		Method:    t.method,
+		Route:     t.route,
+		Status:    t.Status(),
+		Start:     t.Start(),
+		DurMS:     float64(t.Duration().Nanoseconds()) / 1e6,
+		Spans:     len(spans),
+		Dropped:   t.Dropped(),
+		Error:     t.Err(),
+		Phases:    phases,
+	}
+}
+
+// SpanJSON is one span in a /debug/requests/{id} document.
+type SpanJSON struct {
+	ID      string  `json:"id"`
+	Parent  string  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	StartUS float64 `json:"start_us"` // offset from trace start
+	DurUS   float64 `json:"dur_us"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// Detail is the full /debug/requests/{id} document: the summary row
+// plus every span with parent links.
+type Detail struct {
+	Summary
+	Traceparent string     `json:"traceparent"`
+	SpanTree    []SpanJSON `json:"span_tree"`
+}
+
+// Recent returns up to n summaries, newest first (n <= 0: all
+// retained).
+func (r *Recorder) Recent(n int) []Summary {
+	traces := r.snapshot()
+	if n > 0 && n < len(traces) {
+		traces = traces[:n]
+	}
+	out := make([]Summary, len(traces))
+	for i, t := range traces {
+		out[i] = summarize(t)
+	}
+	return out
+}
+
+// Get returns the full detail of one retained trace by 32-hex-char ID.
+func (r *Recorder) Get(id string) (Detail, bool) {
+	for _, t := range r.snapshot() {
+		if t.ID().String() != id {
+			continue
+		}
+		d := Detail{Summary: summarize(t), Traceparent: t.Traceparent()}
+		for _, s := range t.Spans() {
+			sj := SpanJSON{
+				ID:      s.ID.String(),
+				Name:    s.Name,
+				StartUS: float64(s.Start.Sub(t.start).Nanoseconds()) / 1e3,
+				DurUS:   float64(s.Dur.Nanoseconds()) / 1e3,
+				Attrs:   s.Attrs,
+				Err:     s.Err,
+			}
+			if !s.Parent.IsZero() {
+				sj.Parent = s.Parent.String()
+			}
+			d.SpanTree = append(d.SpanTree, sj)
+		}
+		return d, true
+	}
+	return Detail{}, false
+}
+
+// RequestsDoc is the /debug/requests JSON document.
+type RequestsDoc struct {
+	Count    int       `json:"count"`
+	Recorded int64     `json:"recorded"`
+	Dumps    int64     `json:"dumps"`
+	Requests []Summary `json:"requests"`
+}
+
+// Handler serves the flight-recorder debug API:
+//
+//	GET /debug/requests        recent requests, per-phase breakdown
+//	                           (?limit=N; ?format=text for a table)
+//	GET /debug/requests/{id}   full span tree of one request (404 when
+//	                           it has rotated out of the ring)
+func (r *Recorder) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/requests", r.handleList)
+	mux.HandleFunc("GET /debug/requests/{id}", r.handleGet)
+	return mux
+}
+
+func (r *Recorder) handleList(w http.ResponseWriter, req *http.Request) {
+	limit := 0
+	if lv := req.URL.Query().Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 0 {
+			writeDebugJSON(w, http.StatusBadRequest, map[string]string{"error": "limit must be a non-negative integer"})
+			return
+		}
+		limit = n
+	}
+	sums := r.Recent(limit)
+	if req.URL.Query().Get("format") == "text" || wantsText(req) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeSummaryTable(w, sums)
+		return
+	}
+	writeDebugJSON(w, http.StatusOK, RequestsDoc{
+		Count: len(sums), Recorded: r.Recorded(), Dumps: r.Dumps(), Requests: sums,
+	})
+}
+
+func (r *Recorder) handleGet(w http.ResponseWriter, req *http.Request) {
+	id := strings.ToLower(req.PathValue("id"))
+	d, ok := r.Get(id)
+	if !ok {
+		writeDebugJSON(w, http.StatusNotFound, map[string]string{"error": "unknown or rotated-out request trace"})
+		return
+	}
+	writeDebugJSON(w, http.StatusOK, d)
+}
+
+// wantsText reports whether the request prefers a human table: an
+// Accept header naming text/plain without application/json.
+func wantsText(req *http.Request) bool {
+	a := req.Header.Get("Accept")
+	return strings.Contains(a, "text/plain") && !strings.Contains(a, "application/json")
+}
+
+func writeDebugJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeSummaryTable renders the recent-request table, one row per
+// request with the dominant phases inline.
+func writeSummaryTable(w http.ResponseWriter, sums []Summary) {
+	fmt.Fprintf(w, "%-32s  %-6s %-22s %6s %10s  %s\n",
+		"trace", "status", "route", "spans", "dur_ms", "phases")
+	for _, s := range sums {
+		names := make([]string, 0, len(s.Phases))
+		for n := range s.Phases {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return s.Phases[names[i]] > s.Phases[names[j]] })
+		var b strings.Builder
+		for i, n := range names {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%.2fms", n, s.Phases[n])
+		}
+		status := strconv.Itoa(s.Status)
+		if s.Error != "" {
+			status += "!"
+		}
+		fmt.Fprintf(w, "%-32s  %-6s %-22s %6d %10.2f  %s\n",
+			s.Trace, status, s.Method+" "+s.Route, s.Spans, s.DurMS, b.String())
+	}
+}

@@ -1,0 +1,248 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// completedTrace builds and finalizes one trace with a small span tree.
+func completedTrace(rec *Recorder, route string, status int, spanDur time.Duration) *Trace {
+	start := time.Now().Add(-spanDur - time.Millisecond)
+	tr := New(StartOptions{Method: "POST", Route: route, Start: start, OnDone: rec.Complete})
+	tr.AddCompleted(tr.Root(), "queue.wait", start, spanDur/2)
+	tr.AddCompleted(tr.Root(), "store.commit", start.Add(spanDur/2), spanDur/2)
+	tr.FinishRoot(status)
+	return tr
+}
+
+func TestRingWraparound(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 4})
+	var traces []*Trace
+	for i := 0; i < 10; i++ {
+		traces = append(traces, completedTrace(rec, fmt.Sprintf("/r%d", i), 200, time.Millisecond))
+	}
+	sums := rec.Recent(0)
+	if len(sums) != 4 {
+		t.Fatalf("retained %d, want ring capacity 4", len(sums))
+	}
+	// Newest first: traces 9, 8, 7, 6.
+	for i, s := range sums {
+		want := traces[9-i].ID().String()
+		if s.Trace != want {
+			t.Fatalf("slot %d = %s, want %s", i, s.Trace, want)
+		}
+	}
+	if rec.Recorded() != 10 {
+		t.Fatalf("recorded = %d, want 10", rec.Recorded())
+	}
+	// Rotated-out traces are gone; retained ones resolvable.
+	if _, ok := rec.Get(traces[0].ID().String()); ok {
+		t.Fatal("rotated-out trace still resolvable")
+	}
+	if _, ok := rec.Get(traces[9].ID().String()); !ok {
+		t.Fatal("retained trace not resolvable")
+	}
+}
+
+func TestRecentLimit(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 8})
+	for i := 0; i < 5; i++ {
+		completedTrace(rec, "/x", 200, time.Millisecond)
+	}
+	if got := len(rec.Recent(2)); got != 2 {
+		t.Fatalf("Recent(2) = %d rows", got)
+	}
+	if got := len(rec.Recent(100)); got != 5 {
+		t.Fatalf("Recent(100) = %d rows", got)
+	}
+}
+
+func TestConcurrentRecordAndDump(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(RecorderConfig{
+		Capacity: 16, Dir: dir, SlowThreshold: time.Nanosecond, MaxDumps: 1000,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				completedTrace(rec, fmt.Sprintf("/g%d", g), 200, time.Millisecond)
+			}
+		}(g)
+	}
+	// Readers race the writers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, s := range rec.Recent(5) {
+					rec.Get(s.Trace)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Recorded() != 160 {
+		t.Fatalf("recorded = %d, want 160", rec.Recorded())
+	}
+	if rec.Dumps() == 0 {
+		t.Fatal("slow threshold of 1ns dumped nothing")
+	}
+	if rec.DumpErrors() != 0 {
+		t.Fatalf("dump errors = %d", rec.DumpErrors())
+	}
+}
+
+// chromeDump is the subset of the Chrome trace-event schema the tests
+// assert on.
+type chromeDump struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Dur  float64           `json:"dur"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestSlowDumpGolden(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(RecorderConfig{Capacity: 4, Dir: dir, SlowThreshold: time.Nanosecond})
+	tr := completedTrace(rec, "/v1/traces", 202, 2*time.Millisecond)
+
+	path := filepath.Join(dir, "req-"+tr.ID().String()+".trace.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("expected dump at %s: %v", path, err)
+	}
+	var doc chromeDump
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	var rootArgs map[string]string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+			if ev.Name == "POST /v1/traces" {
+				rootArgs = ev.Args
+			}
+		}
+	}
+	for _, want := range []string{"POST /v1/traces", "queue.wait", "store.commit"} {
+		if !names[want] {
+			t.Errorf("dump missing span %q (have %v)", want, names)
+		}
+	}
+	if rootArgs["trace_id"] != tr.ID().String() {
+		t.Fatalf("root args missing trace_id: %v", rootArgs)
+	}
+}
+
+func TestErrorDumpAndMaxDumps(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(RecorderConfig{Capacity: 8, Dir: dir, MaxDumps: 2})
+	// Healthy request, no threshold: no dump.
+	completedTrace(rec, "/ok", 200, time.Millisecond)
+	if rec.Dumps() != 0 {
+		t.Fatal("healthy request dumped without a slow threshold")
+	}
+	// Errored requests dump — but only up to MaxDumps.
+	for i := 0; i < 5; i++ {
+		completedTrace(rec, "/boom", 500, time.Millisecond)
+	}
+	if rec.Dumps() != 2 {
+		t.Fatalf("dumps = %d, want MaxDumps cap of 2", rec.Dumps())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("%d files on disk, want 2", len(ents))
+	}
+}
+
+func TestDebugRequestsHandler(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 8})
+	tr := completedTrace(rec, "/v1/traces", 202, time.Millisecond)
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		r, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return r.StatusCode, b.String()
+	}
+
+	code, body := get("/debug/requests")
+	if code != 200 {
+		t.Fatalf("list: status %d", code)
+	}
+	var doc RequestsDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("list is not JSON: %v", err)
+	}
+	if doc.Count != 1 || len(doc.Requests) != 1 {
+		t.Fatalf("list count = %d/%d", doc.Count, len(doc.Requests))
+	}
+	row := doc.Requests[0]
+	if row.Trace != tr.ID().String() || row.Status != 202 || row.Method != "POST" {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Phases["queue.wait"] <= 0 || row.Phases["store.commit"] <= 0 {
+		t.Fatalf("phase breakdown missing: %v", row.Phases)
+	}
+
+	code, body = get("/debug/requests?format=text")
+	if code != 200 || !strings.Contains(body, "queue.wait=") {
+		t.Fatalf("text table: status %d body %q", code, body)
+	}
+
+	code, body = get("/debug/requests/" + tr.ID().String())
+	if code != 200 {
+		t.Fatalf("detail: status %d", code)
+	}
+	var det Detail
+	if err := json.Unmarshal([]byte(body), &det); err != nil {
+		t.Fatalf("detail is not JSON: %v", err)
+	}
+	if len(det.SpanTree) != 3 {
+		t.Fatalf("span tree has %d spans, want 3", len(det.SpanTree))
+	}
+	if _, _, ok := ParseTraceparent(det.Traceparent); !ok {
+		t.Fatalf("detail traceparent invalid: %s", det.Traceparent)
+	}
+
+	if code, _ = get("/debug/requests/" + strings.Repeat("0", 32)); code != 404 {
+		t.Fatalf("unknown id: status %d, want 404", code)
+	}
+	if code, _ = get("/debug/requests?limit=bogus"); code != 400 {
+		t.Fatalf("bad limit: status %d, want 400", code)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 )
 
@@ -178,8 +179,9 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(blobs) > 0 {
 		// Durability before acknowledgment, amortized: one write, one
-		// group-committed fsync for the entire batch.
-		if _, _, err := s.st.PutTraceBatch(blobs); err != nil {
+		// group-committed fsync for the entire batch (traced as one
+		// store.commit span covering every frame).
+		if _, _, err := s.st.PutTraceBatchCtx(r.Context(), blobs); err != nil {
 			for _, d := range jobs {
 				items[d.item].Status = StatusRejected
 				items[d.item].Error = err.Error()
@@ -187,8 +189,16 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			s.finishIngest(w, r, items)
 			return
 		}
+		// One linked per-item span under the batch root: the item's queue
+		// admission happens inside it, so its queued categorization (and
+		// everything the worker later records) parents off this span, not
+		// the shared root — the span tree keeps items distinguishable.
 		for _, d := range jobs {
-			it := s.queueTrace(items[d.item].Name, items[d.item].ID, d.job, reqID)
+			ictx, isp := reqtrace.StartSpan(r.Context(), "item:"+items[d.item].Name,
+				reqtrace.Str("id", string(items[d.item].ID)))
+			it := s.queueTrace(ictx, items[d.item].Name, items[d.item].ID, d.job, reqID)
+			isp.SetAttr(reqtrace.Str("status", it.Status))
+			isp.End()
 			items[d.item] = it
 		}
 	}

@@ -1,0 +1,17 @@
+package serve_test
+
+import (
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/benchsuite"
+)
+
+// BenchmarkServe exposes the pinned serve benchmarks (the tracing
+// overhead budget pair in BENCH_serve.json) to plain `go test -bench`.
+// The bodies live in internal/benchsuite so `mosaic-bench -bench-json`
+// runs the identical code; this file is in the external test package
+// because benchsuite imports serve.
+func BenchmarkServe(b *testing.B) {
+	b.Run("ingest_warm_untraced", benchsuite.ServeIngestWarm(false))
+	b.Run("ingest_warm_traced", benchsuite.ServeIngestWarm(true))
+}

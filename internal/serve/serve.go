@@ -46,6 +46,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/engine"
 	"github.com/mosaic-hpc/mosaic/internal/explain"
 	"github.com/mosaic-hpc/mosaic/internal/index"
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
@@ -88,6 +89,17 @@ type Config struct {
 	// ExplainMargin is the near-miss margin for evidence collection
 	// (<= 0: explain.DefaultMargin).
 	ExplainMargin float64
+	// Flight is the flight recorder receiving completed request traces.
+	// nil gets a default in-memory recorder (ring of 256, no dumps) so
+	// /debug/requests always works while tracing is on.
+	Flight *reqtrace.Recorder
+	// DisableTracing turns request tracing off entirely: no trace
+	// context at the edge, no spans, no flight recording. The zero value
+	// traces — tracing is the default.
+	DisableTracing bool
+	// SLO, when > 0, is the per-request edge latency target; requests
+	// exceeding it increment mosaic_slo_latency_breaches_total{route=}.
+	SLO time.Duration
 }
 
 // Ingest item statuses reported per uploaded trace.
@@ -99,21 +111,32 @@ const (
 	StatusUnreadable = "unreadable" // blob did not decode as a trace
 )
 
-// IngestItem is the per-trace outcome of one ingest request.
+// IngestItem is the per-trace outcome of one ingest request. RequestID
+// echoes the originating request's correlation ID into every per-item
+// status, so a batch response's items remain correlatable after the
+// client has fanned them out.
 type IngestItem struct {
-	Name   string        `json:"name,omitempty"`
-	ID     store.TraceID `json:"id,omitempty"`
-	Status string        `json:"status"`
-	Error  string        `json:"error,omitempty"`
+	Name      string        `json:"name,omitempty"`
+	ID        store.TraceID `json:"id,omitempty"`
+	Status    string        `json:"status"`
+	Error     string        `json:"error,omitempty"`
+	RequestID string        `json:"request_id,omitempty"`
 }
 
 // ingestJob is one queued categorization. reqID names the HTTP request
 // (or synthetic origin, e.g. "backfill") that enqueued it, so worker
-// log lines correlate with the ingest request that caused them.
+// log lines correlate with the ingest request that caused them. When
+// the enqueuing request was traced, t carries its trace (one reference
+// held until the worker finishes) and parent the span to hang the
+// worker's spans under; enq timestamps admission for the queue-wait
+// span and histogram.
 type ingestJob struct {
-	id    store.TraceID
-	job   *darshan.Job
-	reqID string
+	id     store.TraceID
+	job    *darshan.Job
+	reqID  string
+	t      *reqtrace.Trace
+	parent reqtrace.SpanID
+	enq    time.Time
 }
 
 // Server is a running analysis service (HTTP handler + worker pool).
@@ -139,6 +162,11 @@ type Server struct {
 	explainOn bool
 	exOpts    explain.Options
 
+	traceOn     bool
+	flight      *reqtrace.Recorder
+	onTraceDone func(*reqtrace.Trace) // flight.Complete, bound once
+	slo         time.Duration
+
 	mu      sync.Mutex
 	pending map[store.TraceID]struct{} // queued or in-flight
 	failed  map[store.TraceID]string   // categorization/funnel failures
@@ -152,6 +180,8 @@ type Server struct {
 	cacheHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
 	queueDepth     *telemetry.Gauge
+	queueWaitSecs  *telemetry.Histogram
+	routeMetrics   map[string]routeInstruments
 	ingestSecs     *telemetry.Histogram
 	categorizeSecs *telemetry.Histogram
 	querySecs      *telemetry.Histogram
@@ -210,6 +240,15 @@ func New(cfg Config) (*Server, error) {
 		reg:       reg,
 		explainOn: cfg.Explain,
 		exOpts:    explain.Options{Margin: cfg.ExplainMargin}.Normalized(),
+		traceOn:   !cfg.DisableTracing,
+		flight:    cfg.Flight,
+		slo:       cfg.SLO,
+	}
+	if s.traceOn && s.flight == nil {
+		s.flight = reqtrace.NewRecorder(reqtrace.RecorderConfig{Log: cfg.Log})
+	}
+	if s.traceOn {
+		s.onTraceDone = s.flight.Complete
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.registerMetrics()
@@ -247,6 +286,8 @@ func (s *Server) registerMetrics() {
 	s.cacheMisses = s.reg.Counter("mosaic_serve_cache_misses_total",
 		"Categorizations that had to run the detection chain.", nil)
 	s.queueDepth = s.reg.Gauge("mosaic_serve_queue_depth", "Traces waiting in the ingest queue.", nil)
+	s.queueWaitSecs = s.reg.Histogram("mosaic_serve_queue_wait_seconds",
+		"Time a trace spent in the ingest queue before a worker picked it up.", nil, nil)
 	s.ingestSecs = s.reg.Histogram("mosaic_serve_ingest_seconds", "Ingest request latency.", nil, nil)
 	s.categorizeSecs = s.reg.Histogram("mosaic_serve_categorize_seconds", "Per-trace categorization latency in the worker pool.", nil, nil)
 	s.querySecs = s.reg.Histogram("mosaic_serve_query_seconds", "Query request latency.", nil, nil)
@@ -256,7 +297,52 @@ func (s *Server) registerMetrics() {
 	if s.explainOn {
 		s.exMetrics = telemetry.NewExplainMetrics(s.reg)
 	}
+	if s.traceOn {
+		s.registerRouteMetrics()
+	}
+	s.registerStoreGauges()
 }
+
+// registerStoreGauges exports the store's own counters as mosaic_store_*
+// gauges, pulled lazily at scrape time through the registry's OnCollect
+// hook — the figures /v1/stats reports become scrapable without a
+// per-operation metrics write in the store.
+func (s *Server) registerStoreGauges() {
+	g := func(name, help string) *telemetry.Gauge {
+		return s.reg.Gauge("mosaic_store_"+name, help, nil)
+	}
+	var (
+		traces       = g("traces", "Distinct traces in the store.")
+		results      = g("results", "Stored categorization results (all fingerprints).")
+		explanations = g("explanations", "Stored explanations (all fingerprints).")
+		segments     = g("segments", "Segment files backing the store.")
+		diskBytes    = g("disk_bytes", "Bytes on disk across all segments.")
+		cacheItems   = g("cache_items", "Entries in the read cache.")
+		cacheBytes   = g("cache_bytes", "Bytes held by the read cache.")
+		hits         = g("hits_total", "GetResult calls answered from the store.")
+		misses       = g("misses_total", "GetResult calls that found nothing.")
+		groupSyncs   = g("group_syncs_total", "Fsyncs issued by group-commit leaders.")
+		syncedFrames = g("synced_frames_total", "Frames made durable by those fsyncs.")
+	)
+	s.reg.OnCollect("serve_store_stats", func() {
+		st := s.st.Stats()
+		traces.Set(float64(st.Traces))
+		results.Set(float64(st.Results))
+		explanations.Set(float64(st.Explanations))
+		segments.Set(float64(st.Segments))
+		diskBytes.Set(float64(st.DiskBytes))
+		cacheItems.Set(float64(st.CacheItems))
+		cacheBytes.Set(float64(st.CacheBytes))
+		hits.Set(float64(st.Hits))
+		misses.Set(float64(st.Misses))
+		groupSyncs.Set(float64(st.GroupSyncs))
+		syncedFrames.Set(float64(st.SyncedFrames))
+	})
+}
+
+// Flight returns the flight recorder (nil when tracing is disabled and
+// none was configured).
+func (s *Server) Flight() *reqtrace.Recorder { return s.flight }
 
 // Fingerprint returns the server's effective config fingerprint.
 func (s *Server) Fingerprint() string { return s.fp }
@@ -290,7 +376,7 @@ func (s *Server) backfill() {
 			return true
 		}
 		select {
-		case s.queue <- ingestJob{id: id, job: j, reqID: "backfill"}:
+		case s.queue <- ingestJob{id: id, job: j, reqID: "backfill", enq: time.Now()}:
 			s.queueDepth.Inc()
 			queued++
 			return true
@@ -376,8 +462,24 @@ func (s *Server) worker() {
 }
 
 // process categorizes one queued trace through the engine pipeline.
+// For traced jobs it resumes the request's trace across the queue
+// boundary — on the server's run context, never the (long-cancelled)
+// request context — recording the queue wait, a worker span covering
+// the engine run, the engine's per-stage spans, the result's group
+// commit, and the index update, then releases the reference held at
+// enqueue so the trace can finalize into the flight recorder.
 func (s *Server) process(item ingestJob) {
 	defer s.unmarkPending(item.id)
+	wait := time.Since(item.enq)
+	s.queueWaitSecs.Observe(wait.Seconds())
+	ctx := s.runCtx
+	if item.t != nil {
+		defer item.t.Release()
+		item.t.AddCompleted(item.parent, "queue.wait", item.enq, wait)
+		ctx = reqtrace.ContextWithParent(s.runCtx, item.t, item.parent)
+	}
+	ctx, wsp := reqtrace.StartSpan(ctx, "worker.categorize", reqtrace.Str("trace", string(item.id)))
+	defer wsp.End()
 	start := time.Now()
 	opts := engine.Options{
 		Config: s.cfg, Workers: 1, Executor: s.exec,
@@ -386,12 +488,21 @@ func (s *Server) process(item ingestJob) {
 	if s.tel != nil {
 		opts.Observer = s.tel
 	}
-	res, err := engine.Run(s.runCtx, engine.Jobs([]*darshan.Job{item.job}), opts)
+	if item.t != nil {
+		spans := engineSpans{t: item.t, parent: wsp.ID()}
+		if opts.Observer != nil {
+			opts.Observer = engine.MultiObserver(opts.Observer, spans)
+		} else {
+			opts.Observer = spans
+		}
+	}
+	res, err := engine.Run(ctx, engine.Jobs([]*darshan.Job{item.job}), opts)
 	s.categorizeSecs.Observe(time.Since(start).Seconds())
 	switch {
 	case s.runCtx.Err() != nil:
 		return // forced shutdown: trace blob is durable, next startup backfills
 	case err != nil:
+		wsp.SetError(err)
 		s.recordFailure(item.id, err.Error())
 		if s.log != nil {
 			s.log.Warn("categorization failed", "request_id", item.reqID, "id", string(item.id), "err", err)
@@ -405,7 +516,8 @@ func (s *Server) process(item ingestJob) {
 		return
 	}
 	result := res.Apps[0].Result
-	if err := s.st.PutResult(item.id, s.fp, result); err != nil {
+	if err := s.st.PutResultCtx(ctx, item.id, s.fp, result); err != nil {
+		wsp.SetError(err)
 		s.recordFailure(item.id, err.Error())
 		if s.log != nil {
 			s.log.Error("persisting result failed", "request_id", item.reqID, "id", string(item.id), "err", err)
@@ -425,7 +537,7 @@ func (s *Server) process(item ingestJob) {
 		}
 	}
 	s.cacheMisses.Inc()
-	s.ix.Add(item.id, result.Categories)
+	s.ix.AddCtx(ctx, item.id, result.Categories)
 	if s.log != nil {
 		s.log.Debug("trace categorized", "request_id", item.reqID, "id", string(item.id),
 			"categories", len(result.Categories), "dur", time.Since(start))
@@ -468,8 +580,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // ---- HTTP layer ----
 
 // Handler returns the service's HTTP API, wrapped in the request-ID
-// middleware: every response echoes (or is assigned) an X-Request-Id,
-// and ingest/query/explain log lines carry it.
+// middleware (every response echoes or is assigned an X-Request-Id)
+// and — unless tracing is disabled — the request-trace middleware:
+// every response carries a traceparent header, every request becomes a
+// span tree in the flight recorder, and GET /debug/requests{,/{id}}
+// serve the recent-request table and full span trees.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/traces", s.handleIngest)
@@ -482,11 +597,13 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.reg.WritePrometheus(w)
-	})
-	return RequestIDMiddleware(mux)
+	mux.Handle("GET /metrics", telemetry.MetricsHandler(s.reg))
+	if s.flight != nil {
+		fh := s.flight.Handler()
+		mux.Handle("GET /debug/requests", fh)
+		mux.Handle("GET /debug/requests/{id}", fh)
+	}
+	return RequestIDMiddleware(s.traceMiddleware(mux))
 }
 
 // reqLog returns the server logger bound to the request's ID, or nil
@@ -589,8 +706,11 @@ func decodeBlob(data []byte) (*darshan.Job, error) {
 }
 
 // ingestOne persists and enqueues a single decoded upload. reqID is
-// the originating request's ID, carried to the worker's log lines.
-func (s *Server) ingestOne(name string, data []byte, reqID string) IngestItem {
+// the originating request's ID, carried to the worker's log lines; ctx
+// carries the request trace (when tracing is on) so the store commit
+// and the queued categorization hang off the right spans.
+func (s *Server) ingestOne(ctx context.Context, name string, data []byte, reqID string) IngestItem {
+	dstart := time.Now()
 	job, err := decodeBlob(data)
 	if err != nil {
 		return IngestItem{Name: name, Status: StatusUnreadable, Error: err.Error()}
@@ -599,18 +719,23 @@ func (s *Server) ingestOne(name string, data []byte, reqID string) IngestItem {
 	if err != nil {
 		return IngestItem{Name: name, Status: StatusUnreadable, Error: err.Error()}
 	}
+	reqtrace.AddSpan(ctx, "ingest.decode", dstart, time.Since(dstart),
+		reqtrace.Int("bytes", int64(len(data))))
 	// Durability before acknowledgment: once the blob is stored, the
 	// trace survives any crash (backfill completes it).
-	if _, _, err := s.st.PutTraceBytes(canonical); err != nil {
+	if _, _, err := s.st.PutTraceBytesCtx(ctx, canonical); err != nil {
 		return IngestItem{Name: name, ID: id, Status: StatusRejected, Error: err.Error()}
 	}
-	return s.queueTrace(name, id, job, reqID)
+	return s.queueTrace(ctx, name, id, job, reqID)
 }
 
 // queueTrace runs the post-persistence tail of an ingest: cache-hit
 // check, pending dedup, then a non-blocking enqueue (a full queue is
-// the service's backpressure). The trace blob is already durable.
-func (s *Server) queueTrace(name string, id store.TraceID, job *darshan.Job, reqID string) IngestItem {
+// the service's backpressure). The trace blob is already durable. A
+// traced request holds one trace reference per accepted job, released
+// by the worker — that is what keeps the trace open (and out of the
+// flight recorder) until its async work lands.
+func (s *Server) queueTrace(ctx context.Context, name string, id store.TraceID, job *darshan.Job, reqID string) IngestItem {
 	if s.st.HasResult(id, s.fp) {
 		s.cacheHits.Inc()
 		return IngestItem{Name: name, ID: id, Status: StatusCached}
@@ -618,11 +743,19 @@ func (s *Server) queueTrace(name string, id store.TraceID, job *darshan.Job, req
 	if !s.markPending(id) {
 		return IngestItem{Name: name, ID: id, Status: StatusPending}
 	}
+	j := ingestJob{id: id, job: job, reqID: reqID, enq: time.Now()}
+	if t, parent, ok := reqtrace.FromContext(ctx); ok {
+		t.Hold()
+		j.t, j.parent = t, parent
+	}
 	select {
-	case s.queue <- ingestJob{id: id, job: job, reqID: reqID}:
+	case s.queue <- j:
 		s.queueDepth.Inc()
 		return IngestItem{Name: name, ID: id, Status: StatusAccepted}
 	default:
+		if j.t != nil {
+			j.t.Release()
+		}
 		s.unmarkPending(id)
 		return IngestItem{Name: name, ID: id, Status: StatusRejected, Error: "ingest queue full"}
 	}
@@ -647,7 +780,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		items = append(items, bad...)
 		for _, up := range ups {
-			items = append(items, s.ingestOne(up.name, up.data, reqID))
+			items = append(items, s.ingestOne(r.Context(), up.name, up.data, reqID))
 		}
 	} else {
 		data, err := io.ReadAll(io.LimitReader(r.Body, s.maxUpload+1))
@@ -664,7 +797,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request body"})
 			return
 		}
-		items = append(items, s.ingestOne("", data, reqID))
+		items = append(items, s.ingestOne(r.Context(), "", data, reqID))
 	}
 	if len(items) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no traces in request"})
@@ -681,7 +814,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, items []IngestItem) {
 	code := http.StatusOK
 	rejected := false
-	for _, it := range items {
+	reqID := RequestIDFrom(r.Context())
+	for i, it := range items {
+		items[i].RequestID = reqID
 		s.ingestStatus[it.Status].Inc()
 		switch it.Status {
 		case StatusRejected:

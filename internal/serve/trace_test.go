@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// waitRecorded polls the flight recorder until n traces have completed.
+func waitRecorded(t *testing.T, rec *reqtrace.Recorder, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if rec.Recorded() >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("recorder stuck at %d traces, want %d", rec.Recorded(), n)
+}
+
+func TestTraceparentEchoAndPropagation(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, NoBackfill: true})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// No incoming header: a fresh valid traceparent is minted.
+	resp, _ := getBody(t, ts.URL+"/healthz")
+	tp := resp.Header.Get("Traceparent")
+	if _, _, ok := reqtrace.ParseTraceparent(tp); !ok {
+		t.Fatalf("minted traceparent invalid: %q", tp)
+	}
+
+	// Incoming W3C header: the trace ID is adopted, the span ID is ours.
+	in := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("traceparent", in)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	out := r2.Header.Get("Traceparent")
+	tid, sid, ok := reqtrace.ParseTraceparent(out)
+	if !ok {
+		t.Fatalf("echoed traceparent invalid: %q", out)
+	}
+	if tid.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace id not adopted: %s", out)
+	}
+	if sid.String() == "b7ad6b7169203331" {
+		t.Fatal("span id should be the server's root, not the caller's")
+	}
+}
+
+func TestSlowIngestProducesFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	flightDir := filepath.Join(dir, "flight")
+	st, err := store.Open(filepath.Join(dir, "store"), store.Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// The forced-slow hook: a 1ns threshold makes every request "slow",
+	// so the ingest's span tree is dumped the moment it finalizes.
+	rec := reqtrace.NewRecorder(reqtrace.RecorderConfig{
+		Capacity: 16, Dir: flightDir, SlowThreshold: time.Nanosecond,
+	})
+	s, _ := newTestServer(t, Config{
+		Store: st, Workers: 1, NoBackfill: true, Flight: rec,
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	blob := encodeJob(t, testJob(41))
+	resp, body := postBlob(t, ts.URL, blob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d body %s", resp.StatusCode, body)
+	}
+	reqTP := resp.Header.Get("Traceparent")
+	tid, _, ok := reqtrace.ParseTraceparent(reqTP)
+	if !ok {
+		t.Fatalf("ingest traceparent invalid: %q", reqTP)
+	}
+	id, _, err := store.TraceKey(testJob(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitResult(t, ts.URL, id)
+	waitRecorded(t, rec, 1)
+
+	// The ingest trace finalized after its async work; its dump must
+	// contain the full path edge → queue wait → engine → commit → index.
+	path := filepath.Join(flightDir, "req-"+tid.String()+".trace.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		ents, _ := os.ReadDir(flightDir)
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("expected dump at %s (dir has %v): %v", path, names, err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump is not Chrome trace JSON: %v", err)
+	}
+	spanByID := map[string]int{}
+	names := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		names[ev.Name] = true
+		spanByID[ev.Args["span_id"]] = i
+	}
+	for _, want := range []string{
+		"POST /v1/traces", "ingest.decode", "store.commit",
+		"queue.wait", "worker.categorize", "engine:categorize", "index.update",
+	} {
+		if !names[want] {
+			t.Errorf("span tree missing %q (have %v)", want, names)
+		}
+	}
+	// Parent/child consistency: every X event's parent resolves to
+	// another span in the tree (the root's parent is zero), and no child
+	// starts before the request arrived (ts offsets are non-negative).
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		parent := ev.Args["parent"]
+		if parent != strings.Repeat("0", 16) {
+			if _, ok := spanByID[parent]; !ok {
+				t.Errorf("span %q parent %s not in tree", ev.Name, parent)
+			}
+		}
+		if ev.Ts < 0 {
+			t.Errorf("span %q starts before the request (ts=%f)", ev.Name, ev.Ts)
+		}
+	}
+	// The group commit recorded its durability mode and cohort size.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "store.commit" && ev.Args["kind"] == "traces" {
+			if ev.Args["durability"] != "fsync" {
+				t.Errorf("sync store commit durability = %q", ev.Args["durability"])
+			}
+			if ev.Args["group_syncs"] == "" {
+				t.Error("store.commit missing group_syncs attr")
+			}
+		}
+	}
+
+	// The same trace is queryable through the debug endpoint.
+	r, body2 := getBody(t, ts.URL+"/debug/requests/"+tid.String())
+	if r.StatusCode != 200 {
+		t.Fatalf("/debug/requests/{id}: status %d body %s", r.StatusCode, body2)
+	}
+	var det reqtrace.Detail
+	if err := json.Unmarshal([]byte(body2), &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Status != http.StatusAccepted || len(det.SpanTree) < 5 {
+		t.Fatalf("detail = status %d, %d spans", det.Status, len(det.SpanTree))
+	}
+	if det.Phases["queue.wait"] < 0 || det.Phases["worker.categorize"] <= 0 {
+		t.Fatalf("phase breakdown missing worker time: %v", det.Phases)
+	}
+}
+
+func TestBatchIngestItemSpansAndRequestID(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.RecorderConfig{Capacity: 16})
+	s, _ := newTestServer(t, Config{Workers: 2, NoBackfill: true, Flight: rec})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var payload []byte
+	payload = AppendBatchFrame(payload, encodeJob(t, testJob(51)))
+	payload = AppendBatchFrame(payload, encodeJob(t, testJob(52)))
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/traces:batch", bytes.NewReader(payload))
+	req.Header.Set("Content-Type", BatchContentType)
+	req.Header.Set("X-Request-Id", "batch-req-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, body)
+	}
+	tid, _, _ := reqtrace.ParseTraceparent(resp.Header.Get("Traceparent"))
+
+	// Satellite: per-item statuses carry the originating request ID.
+	var out struct {
+		Results []IngestItem `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	for i, it := range out.Results {
+		if it.RequestID != "batch-req-7" {
+			t.Errorf("item %d request_id = %q, want batch-req-7", i, it.RequestID)
+		}
+	}
+
+	for _, seed := range []int{51, 52} {
+		id, _, err := store.TraceKey(testJob(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitResult(t, ts.URL, id)
+	}
+	waitRecorded(t, rec, 1)
+
+	det, ok := rec.Get(tid.String())
+	if !ok {
+		t.Fatalf("batch trace %s not in recorder", tid)
+	}
+	items, workers := 0, 0
+	for _, sp := range det.SpanTree {
+		if strings.HasPrefix(sp.Name, "item:") {
+			items++
+		}
+		if sp.Name == "worker.categorize" {
+			workers++
+		}
+	}
+	if items != 2 {
+		t.Fatalf("batch trace has %d item spans, want 2", items)
+	}
+	if workers != 2 {
+		t.Fatalf("batch trace has %d worker spans, want 2 (one per item)", workers)
+	}
+}
+
+func TestDisableTracing(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, NoBackfill: true, DisableTracing: true})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := getBody(t, ts.URL+"/healthz")
+	if tp := resp.Header.Get("Traceparent"); tp != "" {
+		t.Fatalf("tracing disabled but traceparent echoed: %q", tp)
+	}
+	if s.Flight() != nil {
+		t.Fatal("tracing disabled but a flight recorder exists")
+	}
+	r, _ := getBody(t, ts.URL+"/debug/requests")
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/requests with tracing off: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestStoreGaugesAndOpenMetrics(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, NoBackfill: true})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	blob := encodeJob(t, testJob(61))
+	postBlob(t, ts.URL, blob)
+	id, _, err := store.TraceKey(testJob(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitResult(t, ts.URL, id)
+
+	// Satellite: store.Stats surfaces as mosaic_store_* gauges.
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"mosaic_store_traces 1", "mosaic_store_results 1",
+		"mosaic_store_segments", "mosaic_store_group_syncs_total",
+		"mosaic_serve_queue_wait_seconds_count",
+		"mosaic_http_request_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// OpenMetrics negotiation: exemplars link buckets to trace IDs.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := readAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := string(om)
+	if !strings.HasSuffix(strings.TrimRight(text, "\n")+"\n", "# EOF\n") {
+		t.Fatal("OpenMetrics exposition does not end with # EOF")
+	}
+	if !strings.Contains(text, `# {trace_id="`) {
+		t.Fatal("OpenMetrics exposition has no trace-ID exemplars")
+	}
+}
+
+func TestSLOBreachCounter(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, NoBackfill: true, SLO: time.Nanosecond})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getBody(t, ts.URL+"/healthz")
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `mosaic_slo_latency_breaches_total{route="/healthz"} 1`) {
+		t.Fatalf("SLO breach not counted:\n%s", grepLines(metrics, "slo"))
+	}
+	if !strings.Contains(metrics, "mosaic_slo_target_seconds") {
+		t.Fatal("SLO target gauge missing")
+	}
+}
+
+// readAll drains a reader (io.ReadAll without importing io here twice).
+func readAll(r interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(r)
+	return buf.Bytes(), err
+}
+
+// grepLines returns the lines of s containing substr, for failure output.
+func grepLines(s, substr string) string {
+	var b strings.Builder
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -25,6 +25,7 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -43,6 +44,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/explain"
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 )
 
 // TraceID is the content address of one trace: the lowercase hex
@@ -538,6 +540,14 @@ func explainKeyOf(id TraceID, fp string) string { return "e/" + string(id) + "/"
 // address. It returns the address and whether the blob was already
 // present (content addressing makes re-ingest idempotent).
 func (s *Store) PutTraceBytes(data []byte) (TraceID, bool, error) {
+	return s.PutTraceBytesCtx(context.Background(), data)
+}
+
+// PutTraceBytesCtx is PutTraceBytes under a request-trace context:
+// when ctx carries an active reqtrace trace, the commit (group-commit
+// watermark wait + fsync under Options.Sync) is recorded as a
+// "store.commit" span. Untraced contexts pay nothing.
+func (s *Store) PutTraceBytesCtx(ctx context.Context, data []byte) (TraceID, bool, error) {
 	id := HashBytes(data)
 	key := traceKeyOf(id)
 	s.mu.Lock()
@@ -550,12 +560,42 @@ func (s *Store) PutTraceBytes(data []byte) (TraceID, bool, error) {
 	if err != nil {
 		return id, false, err
 	}
-	if s.opts.Sync {
-		if err := s.waitDurable(seq); err != nil {
-			return id, false, err
+	return id, false, s.commitCtx(ctx, seq, "traces", 1, int64(len(data)))
+}
+
+// commitCtx acknowledges one append: under Options.Sync it blocks in
+// waitDurable until the group-commit watermark covers seq. When ctx
+// carries an active request trace the wait is recorded as a
+// "store.commit" span annotated with the record count, payload bytes
+// and how many leader fsyncs the store issued while this commit
+// waited (group_syncs — 0 means the cohort rode someone else's
+// flush). The traced-ness check runs first so untraced callers (the
+// batch engine, backfill, benchmarks) take the exact pre-tracing
+// path: no clock reads, no allocations.
+func (s *Store) commitCtx(ctx context.Context, seq int64, kind string, records, nbytes int64) error {
+	if _, _, traced := reqtrace.FromContext(ctx); !traced {
+		if s.opts.Sync {
+			return s.waitDurable(seq)
 		}
+		return nil
 	}
-	return id, false, nil
+	sp := reqtrace.StartLeaf(ctx, "store.commit",
+		reqtrace.Str("kind", kind),
+		reqtrace.Int("records", records),
+		reqtrace.Int("bytes", nbytes))
+	if !s.opts.Sync {
+		sp.SetAttr(reqtrace.Str("durability", "buffered"))
+		sp.End()
+		return nil
+	}
+	before := s.groupSyncs.Load()
+	err := s.waitDurable(seq)
+	sp.SetAttr(
+		reqtrace.Str("durability", "fsync"),
+		reqtrace.Int("group_syncs", s.groupSyncs.Load()-before))
+	sp.SetError(err)
+	sp.End()
+	return err
 }
 
 // PutTraceBatch stores many encoded trace blobs in one staged write
@@ -565,6 +605,13 @@ func (s *Store) PutTraceBytes(data []byte) (TraceID, bool, error) {
 // present (in the store, or earlier in the same batch). On error,
 // nothing from the batch is acknowledged.
 func (s *Store) PutTraceBatch(blobs [][]byte) ([]TraceID, []bool, error) {
+	return s.PutTraceBatchCtx(context.Background(), blobs)
+}
+
+// PutTraceBatchCtx is PutTraceBatch under a request-trace context: the
+// batch's group commit (one staged write, one shared fsync) is
+// recorded as a "store.commit" span annotated with the batch size.
+func (s *Store) PutTraceBatchCtx(ctx context.Context, blobs [][]byte) ([]TraceID, []bool, error) {
 	ids := make([]TraceID, len(blobs))
 	dup := make([]bool, len(blobs))
 	for i, b := range blobs {
@@ -631,12 +678,7 @@ func (s *Store) PutTraceBatch(blobs [][]byte) ([]TraceID, []bool, error) {
 	if rotateErr != nil {
 		return ids, dup, rotateErr
 	}
-	if s.opts.Sync {
-		if err := s.waitDurable(seq); err != nil {
-			return ids, dup, err
-		}
-	}
-	return ids, dup, nil
+	return ids, dup, s.commitCtx(ctx, seq, "traces", int64(len(frames)), written)
 }
 
 // PutTrace canonically encodes and stores a job.
@@ -687,6 +729,12 @@ func (s *Store) GetTrace(id TraceID) (*darshan.Job, bool, error) {
 // fingerprint). Re-putting the same key appends a new frame and the
 // index moves to it (last write wins, also on recovery replay).
 func (s *Store) PutResult(id TraceID, fp string, res *core.Result) error {
+	return s.PutResultCtx(context.Background(), id, fp, res)
+}
+
+// PutResultCtx is PutResult under a request-trace context: the commit
+// is recorded as a "store.commit" span (kind=result).
+func (s *Store) PutResultCtx(ctx context.Context, id TraceID, fp string, res *core.Result) error {
 	data, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("store: encoding result %s: %w", id, err)
@@ -699,10 +747,7 @@ func (s *Store) PutResult(id TraceID, fp string, res *core.Result) error {
 		return err
 	}
 	s.cache.put(key, data)
-	if s.opts.Sync {
-		return s.waitDurable(seq)
-	}
-	return nil
+	return s.commitCtx(ctx, seq, "result", 1, int64(len(data)))
 }
 
 // PutExplanation stores the decision-provenance record of (trace,

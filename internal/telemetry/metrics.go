@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels is an immutable metric label set. Identity of an instrument in
@@ -99,15 +100,25 @@ func (g *Gauge) Dec() { g.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar links one observed value to the trace that produced it, per
+// the OpenMetrics exemplar model: scraping tooling can jump from a
+// latency bucket straight to the request trace behind it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
+}
+
 // Histogram observes a distribution of values over configurable
 // cumulative buckets, Prometheus-style: bucket i counts observations
 // <= UpperBounds[i], with an implicit +Inf bucket holding everything.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // strictly increasing upper bounds, +Inf implicit
-	counts []int64   // len(bounds)+1; last is the +Inf bucket
-	sum    float64
-	count  int64
+	mu        sync.Mutex
+	bounds    []float64   // strictly increasing upper bounds, +Inf implicit
+	counts    []int64     // len(bounds)+1; last is the +Inf bucket
+	exemplars []*Exemplar // lazily allocated; latest exemplar per bucket
+	sum       float64
+	count     int64
 }
 
 // DefBuckets are the default histogram buckets, in seconds, spanning
@@ -154,10 +165,43 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// ObserveWithExemplar records one value and remembers (traceID, v, now)
+// as the owning bucket's exemplar, replacing any previous one. An empty
+// traceID degrades to a plain Observe. Exemplars surface only in the
+// OpenMetrics exposition (WriteOpenMetrics); the classic Prometheus
+// text format has no legal syntax for them.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	if math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	now := time.Now()
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	if h.exemplars == nil {
+		h.exemplars = make([]*Exemplar, len(h.counts))
+	}
+	if ex := h.exemplars[idx]; ex != nil {
+		// Overwrite in place — Snapshot deep-copies under the same lock,
+		// so the steady-state observe path never allocates.
+		ex.Value, ex.TraceID, ex.Time = v, traceID, now
+	} else {
+		h.exemplars[idx] = &Exemplar{Value: v, TraceID: traceID, Time: now}
+	}
+	h.mu.Unlock()
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
 type HistogramSnapshot struct {
-	UpperBounds []float64 // per-bucket upper bounds (exclusive of +Inf)
-	Counts      []int64   // per-bucket (non-cumulative) counts; last is +Inf
+	UpperBounds []float64   // per-bucket upper bounds (exclusive of +Inf)
+	Counts      []int64     // per-bucket (non-cumulative) counts; last is +Inf
+	Exemplars   []*Exemplar // per-bucket latest exemplar (nil entries when none)
 	Sum         float64
 	Count       int64
 }
@@ -166,9 +210,22 @@ type HistogramSnapshot struct {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// Deep-copy exemplars: ObserveWithExemplar mutates them in place
+	// under h.mu, so handing out the live pointers would race.
+	var exs []*Exemplar
+	if h.exemplars != nil {
+		exs = make([]*Exemplar, len(h.exemplars))
+		for i, ex := range h.exemplars {
+			if ex != nil {
+				cp := *ex
+				exs[i] = &cp
+			}
+		}
+	}
 	return HistogramSnapshot{
 		UpperBounds: append([]float64(nil), h.bounds...),
 		Counts:      append([]int64(nil), h.counts...),
+		Exemplars:   exs,
 		Sum:         h.sum,
 		Count:       h.count,
 	}
@@ -330,18 +387,17 @@ func (r *Registry) runCollectors() {
 	}
 }
 
-// WritePrometheus renders every registered instrument in the Prometheus
-// text exposition format (version 0.0.4), grouped by metric name with
-// one # HELP/# TYPE header per family, families in first-registration
-// order and series within a family in label order.
-func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.runCollectors()
+// family is one exposition group: every series sharing a metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []*metric
+}
+
+// families snapshots the registry grouped by metric name, families in
+// first-registration order and series within a family in label order.
+func (r *Registry) families() []*family {
 	r.mu.Lock()
-	type family struct {
-		name, help string
-		kind       metricKind
-		series     []*metric
-	}
 	var fams []*family
 	byName := make(map[string]*family)
 	for _, key := range r.order {
@@ -355,12 +411,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f.series = append(f.series, m)
 	}
 	r.mu.Unlock()
-
-	var b strings.Builder
 	for _, f := range fams {
 		sort.Slice(f.series, func(i, j int) bool {
 			return f.series[i].labels.key() < f.series[j].labels.key()
 		})
+	}
+	return fams
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), grouped by metric name with
+// one # HELP/# TYPE header per family, families in first-registration
+// order and series within a family in label order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollectors()
+	var b strings.Builder
+	for _, f := range r.families() {
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		}
@@ -385,6 +451,62 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// OpenMetricsContentType is the content type of WriteOpenMetrics output.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the registry in the OpenMetrics 1.0 text
+// format. It differs from WritePrometheus in the ways the spec demands —
+// counter families drop their "_total" suffix in # TYPE lines, the
+// output terminates with "# EOF" — and in the one way that matters:
+// histogram buckets carry trace-ID exemplars ("# {trace_id=...} v ts"),
+// which the classic 0.0.4 format cannot legally express. Serve this
+// when the scrape's Accept header asks for application/openmetrics-text.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.runCollectors()
+	var b strings.Builder
+	for _, f := range r.families() {
+		famName := f.name
+		if f.kind == kindCounter {
+			famName = strings.TrimSuffix(famName, "_total")
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", famName, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", famName, [...]string{"counter", "gauge", "histogram"}[f.kind])
+		for _, m := range f.series {
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s_total%s %d\n", famName, m.labels.key(), m.ctr.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels.key(), formatFloat(m.gauge.Value()))
+			case kindHistogram:
+				s := m.hist.Snapshot()
+				var cum int64
+				for i := range s.Counts {
+					cum += s.Counts[i]
+					le := "+Inf"
+					if i < len(s.UpperBounds) {
+						le = formatFloat(s.UpperBounds[i])
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d", m.name, withLabel(m.labels, "le", le), cum)
+					if i < len(s.Exemplars) && s.Exemplars[i] != nil {
+						ex := s.Exemplars[i]
+						fmt.Fprintf(&b, " # {trace_id=%q} %s %s",
+							escapeLabel(ex.TraceID), formatFloat(ex.Value),
+							formatFloat(float64(ex.Time.UnixNano())/1e9))
+					}
+					b.WriteByte('\n')
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels.key(), formatFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels.key(), s.Count)
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -155,3 +155,86 @@ func TestRegistryConcurrentRegistration(t *testing.T) {
 		t.Fatalf("shared counter = %d, want 400", got)
 	}
 }
+
+func TestObserveWithExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("mosaic_req_seconds", "Req.", []float64{0.1, 1}, nil)
+	h.ObserveWithExemplar(0.05, "aaaa")
+	h.ObserveWithExemplar(0.5, "bbbb")
+	h.ObserveWithExemplar(0.6, "cccc") // replaces bbbb in the same bucket
+	h.ObserveWithExemplar(0.7, "")     // empty trace: counted, no exemplar
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if len(s.Exemplars) != len(s.Counts) {
+		t.Fatalf("exemplar slots = %d, buckets = %d", len(s.Exemplars), len(s.Counts))
+	}
+	if s.Exemplars[0] == nil || s.Exemplars[0].TraceID != "aaaa" {
+		t.Fatalf("bucket 0 exemplar = %+v", s.Exemplars[0])
+	}
+	if s.Exemplars[1] == nil || s.Exemplars[1].TraceID != "cccc" {
+		t.Fatalf("bucket 1 exemplar should be the latest, got %+v", s.Exemplars[1])
+	}
+	if s.Exemplars[2] != nil {
+		t.Fatalf("+Inf bucket has an exemplar: %+v", s.Exemplars[2])
+	}
+
+	// A histogram that never saw an exemplar allocates nothing for them.
+	plain := reg.Histogram("mosaic_plain_seconds", "Plain.", []float64{1}, nil)
+	plain.Observe(0.5)
+	if got := plain.Snapshot().Exemplars; got != nil {
+		t.Fatalf("plain histogram carries exemplar slots: %v", got)
+	}
+}
+
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mosaic_items_total", "Items processed.", Labels{"stage": "decode"}).Add(3)
+	reg.Gauge("mosaic_workers", "Live workers.", nil).Set(4)
+	h := reg.Histogram("mosaic_latency_seconds", "Latency.", []float64{0.1, 1}, nil)
+	h.ObserveWithExemplar(0.05, "0af7651916cd43dd8448eb211c80319c")
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// Counter families drop the _total suffix in metadata but keep it on
+	// the sample line; the exposition must terminate with # EOF.
+	for _, want := range []string{
+		"# TYPE mosaic_items counter\n",
+		"mosaic_items_total{stage=\"decode\"} 3\n",
+		"# TYPE mosaic_workers gauge\n",
+		"# TYPE mosaic_latency_seconds histogram\n",
+		"mosaic_latency_seconds_bucket{le=\"+Inf\"} 2\n",
+		"mosaic_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("OpenMetrics exposition missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.HasSuffix(got, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", got)
+	}
+	if !strings.Contains(got,
+		`mosaic_latency_seconds_bucket{le="0.1"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05 `) {
+		t.Fatalf("bucket exemplar missing or malformed:\n%s", got)
+	}
+	// Buckets without an exemplar stay bare.
+	if strings.Contains(got, `le="1"} 1 #`) {
+		t.Fatalf("empty bucket grew an exemplar:\n%s", got)
+	}
+
+	// The classic Prometheus exposition never includes exemplar syntax.
+	var p strings.Builder
+	if err := reg.WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.String(), "# {") {
+		t.Fatalf("Prometheus 0.0.4 exposition leaked exemplars:\n%s", p.String())
+	}
+}

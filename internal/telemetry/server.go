@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -17,20 +18,42 @@ type EngineState struct {
 	Slow   map[string][]SlowEntry `json:"slow,omitempty"`
 }
 
+// Route is one extra handler mounted on the introspection mux — how
+// subsystems (the serve tier's flight recorder, say) surface their own
+// debug endpoints on the shared debug server.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
+// MetricsHandler serves reg with scrape-format negotiation: an Accept
+// header asking for application/openmetrics-text gets the OpenMetrics
+// exposition (trace-ID exemplars included), anything else the classic
+// Prometheus 0.0.4 text format.
+func MetricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	}
+}
+
 // NewMux builds the introspection handler set:
 //
-//	/metrics       Prometheus text exposition of reg
+//	/metrics       Prometheus/OpenMetrics exposition of reg
 //	/healthz       200 "ok" liveness probe
 //	/debug/engine  live engine stage snapshot + slow-trace log (JSON)
 //	/debug/pprof/  net/http/pprof profiles
 //
-// t may be nil, in which case /debug/engine reports an empty state.
-func NewMux(reg *Registry, t *Telemetry) *http.ServeMux {
+// plus any extra routes. t may be nil, in which case /debug/engine
+// reports an empty state.
+func NewMux(reg *Registry, t *Telemetry, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
-	})
+	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
@@ -53,6 +76,9 @@ func NewMux(reg *Registry, t *Telemetry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
@@ -72,14 +98,15 @@ func (s *Server) Close() error {
 	return s.srv.Shutdown(ctx)
 }
 
-// StartServer binds addr and serves the introspection mux in a
-// background goroutine. A nil log discards serve errors.
-func StartServer(addr string, reg *Registry, t *Telemetry, log *slog.Logger) (*Server, error) {
+// StartServer binds addr and serves the introspection mux (plus any
+// extra routes) in a background goroutine. A nil log discards serve
+// errors.
+func StartServer(addr string, reg *Registry, t *Telemetry, log *slog.Logger, extra ...Route) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg, t), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewMux(reg, t, extra...), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
 			if log != nil {
