@@ -59,12 +59,40 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
 	"github.com/mosaic-hpc/mosaic/internal/serve"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
+
+// parsePeers decodes the -peers flag: comma-separated
+// id=rpcAddr[=httpAddr] entries.
+func parsePeers(s string) ([]ring.Node, error) {
+	var nodes []ring.Node
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, "=")
+		if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("malformed peer %q, want id=rpcAddr[=httpAddr]", entry)
+		}
+		n := ring.Node{ID: parts[0], Addr: parts[1]}
+		if len(parts) == 3 {
+			n.HTTPAddr = parts[2]
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no peers in %q", s)
+	}
+	return nodes, nil
+}
 
 // version is the build version, overridable at link time via
 // -ldflags "-X main.version=...".
@@ -92,6 +120,13 @@ func main() {
 		flightDir  = flag.String("flight-dir", "", "directory receiving Chrome-trace dumps of slow or errored requests (empty: no dumps)")
 		slowDumpMS = flag.Int64("slow-dump-ms", 0, "dump any request slower than this many milliseconds to -flight-dir (0: errors only)")
 		sloMS      = flag.Int64("slo-ms", 0, "per-request latency SLO target in milliseconds; breaches count in mosaic_slo_latency_breaches_total (0: off)")
+
+		nodeID     = flag.String("node", "", "this node's ID; enables cluster mode (must appear in -peers)")
+		rpcAddr    = flag.String("rpc-addr", "", "TCP address for inbound cluster RPCs (required with -node)")
+		peers      = flag.String("peers", "", "static cluster membership: comma-separated id=rpcAddr[=httpAddr] entries, identical on every node")
+		replicas   = flag.Int("replicas", 2, "total copies of each trace, owner included (capped at the node count)")
+		replicaAck = flag.Int("replica-ack", 1, "follower copies that must be durable before an ingest is acked (0: async replication)")
+		vnodes     = flag.Int("vnodes", 128, "virtual nodes per member on the consistent-hash ring")
 
 		sigMB   = flag.Int64("significance-mb", 100, "significance threshold in MB for read/write volumes")
 		chunks  = flag.Int("chunks", 4, "number of temporal chunks")
@@ -152,7 +187,7 @@ func main() {
 			Log:           log,
 		})
 	}
-	srv, err := serve.New(serve.Config{
+	scfg := serve.Config{
 		Store:          st,
 		Analysis:       cfg,
 		Workers:        *workers,
@@ -165,11 +200,49 @@ func main() {
 		Flight:         flight,
 		DisableTracing: *noTraces,
 		SLO:            time.Duration(*sloMS) * time.Millisecond,
-	})
+	}
+	if *nodeID != "" {
+		if *rpcAddr == "" || *peers == "" {
+			log.Error("cluster mode needs -rpc-addr and -peers alongside -node")
+			st.Close()
+			os.Exit(2)
+		}
+		nodes, err := parsePeers(*peers)
+		if err != nil {
+			log.Error("parsing -peers failed", "err", err)
+			st.Close()
+			os.Exit(2)
+		}
+		scfg.Cluster = &ring.Config{
+			Self:         *nodeID,
+			Nodes:        nodes,
+			VirtualNodes: *vnodes,
+			Replication:  *replicas,
+			ReplicaAck:   *replicaAck,
+		}
+	}
+	srv, err := serve.New(scfg)
 	if err != nil {
 		log.Error("starting service failed", "err", err)
 		st.Close()
 		os.Exit(1)
+	}
+	if scfg.Cluster != nil {
+		rl, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			log.Error("cluster RPC listen failed", "addr", *rpcAddr, "err", err)
+			st.Close()
+			os.Exit(1)
+		}
+		info := srv.Cluster().Info()
+		log.Info("cluster mode", "node", *nodeID, "rpc_addr", rl.Addr().String(),
+			"members", len(info.Nodes), "replication", info.Replication,
+			"replica_ack", info.ReplicaAck, "table_version", info.Version)
+		go func() {
+			if err := srv.ServeCluster(rl); err != nil {
+				log.Error("cluster RPC server failed", "err", err)
+			}
+		}()
 	}
 	if *debugAddr != "" {
 		// The flight recorder rides on the debug server too, next to

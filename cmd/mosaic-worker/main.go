@@ -37,6 +37,7 @@ var version = "1.2.0"
 func main() {
 	var (
 		listen       = flag.String("listen", ":7464", "TCP address to listen on")
+		frame        = flag.Bool("frame", false, "speak the cluster's binary frame transport instead of net/rpc (masters dial with DialFrame)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /healthz and pprof on this address (empty: disabled)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
@@ -70,9 +71,20 @@ func main() {
 		os.Exit(1)
 	}
 	// Log the *resolved* address: ":0" style flags resolve to a real port.
-	log.Info("serving", "addr", l.Addr().String(), "version", version)
+	log.Info("serving", "addr", l.Addr().String(), "frame", *frame, "version", version)
 
-	srv := dist.NewServer(log, reg)
+	// Both servers share the Serve/Shutdown shape; -frame selects the
+	// cluster's binary frame transport over classic net/rpc.
+	type worker interface {
+		Serve(net.Listener) error
+		Shutdown(context.Context) error
+	}
+	var srv worker
+	if *frame {
+		srv = dist.NewFrameServer(log, reg)
+	} else {
+		srv = dist.NewServer(log, reg)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 

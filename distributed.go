@@ -2,8 +2,10 @@ package mosaic
 
 import (
 	"net"
+	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/dist"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
 )
 
 // Distributed categorization, re-exported: a master streams traces to
@@ -32,4 +34,34 @@ func DialWorker(addr string) (*WorkerClient, error) { return dist.Dial(addr) }
 // NewMaster wraps worker connections with a pipeline configuration.
 func NewMaster(clients []*WorkerClient, cfg Config) *Master {
 	return dist.NewMaster(clients, cfg)
+}
+
+// Cluster subsystem, re-exported: the consistent-hash routing table and
+// static membership of a sharded, replicated serve tier (see
+// internal/ring and the serve package's cluster mode), plus the frame
+// transport the whole cluster — remote categorization included —
+// speaks.
+type (
+	// ClusterNode is one member of a cluster's static membership.
+	ClusterNode = ring.Node
+	// ClusterTable is the deterministic consistent-hash routing table.
+	ClusterTable = ring.Table
+	// ClusterConfig configures one node of a clustered serve tier.
+	ClusterConfig = ring.Config
+)
+
+// NewClusterTable builds the routing table for a membership. vnodes and
+// rf fall back to ring defaults when <= 0.
+func NewClusterTable(nodes []ClusterNode, vnodes, rf int) (*ClusterTable, error) {
+	return ring.NewTable(nodes, vnodes, rf)
+}
+
+// ServeFrameWorker serves categorization requests over the cluster's
+// binary frame transport until the listener closes. It blocks.
+func ServeFrameWorker(l net.Listener) error { return dist.ServeFrame(l) }
+
+// DialFrameWorker connects to a frame-transport worker (lazily; timeout
+// bounds dial and each call, <= 0 means 10s).
+func DialFrameWorker(addr string, timeout time.Duration) *WorkerClient {
+	return dist.DialFrame(addr, timeout)
 }

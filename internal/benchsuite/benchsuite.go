@@ -35,13 +35,14 @@ const (
 	PipelineFile  = "BENCH_pipeline.json"
 	IngestFile    = "BENCH_ingest.json"
 	ServeFile     = "BENCH_serve.json"
+	ClusterFile   = "BENCH_cluster.json"
 )
 
 // Files lists every baseline file produced by the pinned targets; the
 // bench gate iterates this, so a new baseline file only needs to be
 // added here.
 func Files() []string {
-	return []string{MeanShiftFile, PipelineFile, IngestFile, ServeFile}
+	return []string{MeanShiftFile, PipelineFile, IngestFile, ServeFile, ClusterFile}
 }
 
 // Target is one pinned benchmark: its stable name, the baseline file it
@@ -335,6 +336,10 @@ func Targets() []Target {
 		Target{Name: "BenchmarkIngest/store_append", File: IngestFile, Fn: IngestStoreAppend},
 		Target{Name: "BenchmarkServe/ingest_warm_untraced", File: ServeFile, Fn: ServeIngestWarm(false)},
 		Target{Name: "BenchmarkServe/ingest_warm_traced", File: ServeFile, Fn: ServeIngestWarm(true)},
+		Target{Name: "BenchmarkCluster/ingest_n1", File: ClusterFile, Fn: ClusterIngest(1, 1)},
+		Target{Name: "BenchmarkCluster/ingest_n4_rf1", File: ClusterFile, Fn: ClusterIngest(4, 1)},
+		Target{Name: "BenchmarkCluster/ingest_n4_rf2", File: ClusterFile, Fn: ClusterIngest(4, 2)},
+		Target{Name: "BenchmarkCluster/scatter_query_n4", File: ClusterFile, Fn: ClusterScatterQuery(4)},
 	)
 	return ts
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/parallel"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
@@ -245,9 +246,12 @@ func ListenAndServe(addr string) error {
 	return Serve(l)
 }
 
-// Client is a connection to one worker.
+// Client is a connection to one worker, over one of two transports:
+// net/rpc (Dial) or the cluster's binary frame protocol (DialFrame).
+// Exactly one of c / fc is set; Master treats both kinds alike.
 type Client struct {
-	c    *rpc.Client
+	c    *rpc.Client  // net/rpc transport
+	fc   *ring.Client // frame transport (frame.go)
 	addr string
 }
 
@@ -265,7 +269,12 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Addr() string { return c.addr }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.c.Close() }
+func (c *Client) Close() error {
+	if c.fc != nil {
+		return c.fc.Close()
+	}
+	return c.c.Close()
+}
 
 // Categorize sends one trace to the worker. An invalid trace returns
 // (nil, reason, nil).
@@ -277,6 +286,9 @@ func (c *Client) Categorize(j *darshan.Job, cfg core.Config) (*core.Result, stri
 // before the RPC completes, it returns ctx.Err() without waiting for the
 // reply (the in-flight call is abandoned to net/rpc's bookkeeping).
 func (c *Client) CategorizeContext(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, string, error) {
+	if c.fc != nil {
+		return c.categorizeFrame(ctx, j, cfg)
+	}
 	data, err := darshan.MarshalBinary(j)
 	if err != nil {
 		return nil, "", err

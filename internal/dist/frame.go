@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
+)
+
+// Frame transport: the categorize RPC absorbed onto the cluster's
+// length-prefixed binary frame codec (internal/ring), so a deployment
+// runs ONE wire protocol — ingest forwarding, replication,
+// scatter-gather and remote categorization all speak the same frames,
+// with the same request-ID and traceparent propagation on every hop.
+// The net/rpc path remains for compatibility; Master works with a mix
+// of both client kinds. OpCategorize's body is two length-prefixed
+// blobs: the binary-encoded trace, then the JSON-encoded core.Config.
+
+// NewFrameServer returns a frame-RPC worker server with the categorize
+// op registered. log and reg mirror Server's observability (either may
+// be nil); flightless — pass-through tracing still works because the
+// ring server adopts the propagated traceparent only when recording.
+func NewFrameServer(log *slog.Logger, reg *telemetry.Registry) *ring.Server {
+	svc := &Service{}
+	if reg != nil {
+		svc.rpcSeconds = reg.Histogram("mosaic_dist_worker_rpc_seconds", "Latency of one worker-side Categorize RPC.", nil, nil)
+		svc.rpcTotal = reg.Counter("mosaic_dist_worker_rpc_total", "Categorize RPCs served by this worker.", nil)
+		svc.rpcInvalid = reg.Counter("mosaic_dist_worker_rpc_invalid_total", "Categorize RPCs that carried an invalid trace.", nil)
+	}
+	srv := ring.NewServer(ring.ServerOptions{Log: log})
+	srv.Handle(ring.OpCategorize, "categorize", func(ctx context.Context, f *ring.Frame) ([]byte, error) {
+		blobs, err := ring.SplitBlobs(f.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(blobs) != 2 {
+			return nil, fmt.Errorf("dist: categorize frame carries %d blobs, want trace + config", len(blobs))
+		}
+		var cfg core.Config
+		if err := json.Unmarshal(blobs[1], &cfg); err != nil {
+			return nil, fmt.Errorf("dist: decoding config: %w", err)
+		}
+		args := CategorizeArgs{Trace: blobs[0], Config: cfg}
+		var reply CategorizeReply
+		if err := svc.Categorize(&args, &reply); err != nil {
+			return nil, err
+		}
+		return json.Marshal(reply)
+	})
+	return srv
+}
+
+// ServeFrame serves frame-transport workers on l until it closes. It
+// blocks; a clean shutdown returns nil.
+func ServeFrame(l net.Listener) error {
+	return NewFrameServer(nil, nil).Serve(l)
+}
+
+// ListenAndServeFrame serves frame-transport workers on addr. It blocks.
+func ListenAndServeFrame(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeFrame(l)
+}
+
+// DialFrame returns a client speaking the frame transport to a worker
+// at addr. The connection is opened lazily; timeout bounds dial and
+// each call (<= 0: 10s). Frame clients plug into Master exactly like
+// net/rpc ones.
+func DialFrame(addr string, timeout time.Duration) *Client {
+	return &Client{fc: ring.NewClient(addr, timeout), addr: addr}
+}
+
+// categorizeFrame is CategorizeContext over the frame transport.
+func (c *Client) categorizeFrame(ctx context.Context, j *darshan.Job, cfg core.Config) (*core.Result, string, error) {
+	data, err := darshan.MarshalBinary(j)
+	if err != nil {
+		return nil, "", err
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	body := ring.AppendBlob(nil, data)
+	body = ring.AppendBlob(body, cfgJSON)
+	resp, err := c.fc.Call(ctx, ring.OpCategorize, "categorize", requestIDFromContext(ctx), body)
+	if err != nil {
+		return nil, "", fmt.Errorf("dist: RPC: %w", err)
+	}
+	var reply CategorizeReply
+	if err := json.Unmarshal(resp, &reply); err != nil {
+		return nil, "", fmt.Errorf("dist: decoding reply: %w", err)
+	}
+	if !reply.Valid {
+		return nil, reply.Reason, nil
+	}
+	var res core.Result
+	if err := json.Unmarshal(reply.Result, &res); err != nil {
+		return nil, "", fmt.Errorf("dist: decoding result: %w", err)
+	}
+	res.Categories = category.NewSet()
+	for _, l := range res.Labels {
+		res.Categories.Add(category.Category(l))
+	}
+	return &res, "", nil
+}
+
+// requestIDContextKey carries a request ID into frame-transport
+// categorize calls, so worker-side logs correlate with the originating
+// ingest. The serve tier's context plumbing sets it indirectly via
+// WithRequestID.
+type requestIDContextKey struct{}
+
+// WithRequestID returns a context whose frame-transport RPCs carry the
+// given request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDContextKey{}, id)
+}
+
+func requestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDContextKey{}).(string)
+	return id
+}

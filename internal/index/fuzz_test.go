@@ -1,0 +1,115 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// fuzzIndex builds a small index spanning every category, so term
+// expansion and NOT-against-the-universe both have material to chew on.
+func fuzzIndex() *Index {
+	ix := New()
+	all := category.All()
+	for i, c := range all {
+		id := store.TraceID(strings.Repeat("0", 60) + string(rune('a'+i%26)) + "fff")
+		ix.Add(id, category.NewSet(c, all[(i+7)%len(all)]))
+	}
+	return ix
+}
+
+// FuzzQueryParse hammers the boolean query parser: queries now arrive
+// over the peer RPC as well as the public API, so arbitrary input must
+// never panic or overflow the stack, Parse and Query must agree on
+// validity, and every accepted query must evaluate to a sorted,
+// deduplicated ID list.
+func FuzzQueryParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"read_periodic",
+		"read_periodic AND write_aperiodic",
+		"read_periodic OR write_aperiodic",
+		"NOT metadata_insignificant_load",
+		"read NOT write",
+		"(read OR write) AND NOT metadata",
+		"((read))",
+		"read write",              // juxtaposition = AND
+		"rEaD oR wRiTe",           // case-insensitive keywords
+		"read,write",              // comma separator
+		"read AND",                // dangling operator
+		"AND read",                // leading operator
+		"(read",                   // unclosed paren
+		"read)",                   // stray close
+		"zzz_no_such_category",    // term matching nothing
+		"NOT NOT NOT read",        // stacked negation
+		strings.Repeat("(", 600) + "read" + strings.Repeat(")", 600), // past the depth cap
+		"read\t\nwrite\r",
+		"()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	ix := fuzzIndex()
+	f.Fuzz(func(t *testing.T, q string) {
+		if len(q) > 1<<16 {
+			return // bound tokenizer work, not a parser property
+		}
+		parseErr := Parse(q)
+		ids, queryErr := ix.Query(q)
+		if (parseErr == nil) != (queryErr == nil) {
+			t.Fatalf("Parse err %v but Query err %v for %q", parseErr, queryErr, q)
+		}
+		if queryErr != nil {
+			return
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				t.Fatalf("Query(%q) output unsorted or duplicated at %d: %q >= %q", q, i, ids[i-1], ids[i])
+			}
+		}
+	})
+}
+
+// FuzzMergeSorted checks the scatter-gather reduce step: any partition
+// of ID lists — sorted or not — must merge to the sorted, deduplicated
+// union.
+func FuzzMergeSorted(f *testing.F) {
+	f.Add("a,b,c|b,c,d", "")
+	f.Add("", "a|a|a")
+	f.Add("c,b,a", "x,y")
+	f.Fuzz(func(t *testing.T, one, two string) {
+		split := func(s string) [][]string {
+			var out [][]string
+			for _, part := range strings.Split(s, "|") {
+				if part == "" {
+					out = append(out, nil)
+					continue
+				}
+				out = append(out, strings.Split(part, ","))
+			}
+			return out
+		}
+		lists := append(split(one), split(two)...)
+		got := MergeSorted(lists...)
+		want := map[string]struct{}{}
+		for _, l := range lists {
+			for _, id := range l {
+				want[id] = struct{}{}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("merge of %q|%q lost or duplicated IDs: %d != %d", one, two, len(got), len(want))
+		}
+		if !sort.StringsAreSorted(got) {
+			t.Fatalf("merge of %q|%q is unsorted", one, two)
+		}
+		for _, id := range got {
+			if _, ok := want[id]; !ok {
+				t.Fatalf("merge invented ID %q", id)
+			}
+		}
+	})
+}

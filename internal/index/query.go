@@ -97,7 +97,14 @@ type parser struct {
 	query  string
 	tokens []string
 	pos    int
+	depth  int
 }
+
+// maxParseDepth caps expression nesting. The parser is recursive, and
+// in cluster mode queries arrive over the peer RPC as well as the
+// public API — an adversarial "((((…" must produce a parse error, not
+// a stack overflow.
+const maxParseDepth = 512
 
 func tokenize(q string) []string {
 	var out []string
@@ -187,6 +194,14 @@ func (p *parser) parseUnary() (node, error) {
 	tok, ok := p.peek()
 	if !ok {
 		return nil, p.fail("unexpected end of query")
+	}
+	// NOT and "(" both recurse; everything else is flat.
+	if strings.EqualFold(tok, "NOT") || tok == "(" {
+		p.depth++
+		defer func() { p.depth-- }()
+		if p.depth > maxParseDepth {
+			return nil, p.fail("query too deeply nested")
+		}
 	}
 	switch {
 	case strings.EqualFold(tok, "NOT"):
@@ -283,4 +298,59 @@ func (ix *Index) Query(q string) ([]store.TraceID, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// MergeSorted merges sorted trace-ID lists into one sorted,
+// deduplicated list — the scatter-gather reduce step, where each
+// shard's Query answer is already ordered and a replicated trace
+// appears in more than one shard's answer. Unsorted inputs still
+// produce a correct (sorted, deduplicated) union; sorted inputs merge
+// in linear time.
+func MergeSorted(lists ...[]string) []string {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]string, 0, total)
+	// K-way merge by repeatedly taking the smallest head. K is the node
+	// count — single digits — so a linear scan beats a heap.
+	heads := make([]int, len(lists))
+	for {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[heads[i]] < lists[best][heads[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		id := lists[best][heads[best]]
+		heads[best]++
+		if n := len(out); n == 0 || out[n-1] != id {
+			out = append(out, id)
+		}
+	}
+	if !sort.StringsAreSorted(out) {
+		// An unsorted input slipped through the merge; fall back.
+		sort.Strings(out)
+		out = dedupSorted(out)
+	}
+	return out
+}
+
+func dedupSorted(ids []string) []string {
+	out := ids[:0]
+	for _, id := range ids {
+		if n := len(out); n == 0 || out[n-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
 }

@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Op: OpPing, Status: StatusOK},
+		{Op: OpIngest, Status: StatusOK, RequestID: "req-123", Traceparent: "00-aaaa-bbbb-01", Body: []byte("payload")},
+		{Op: OpQuery, Status: StatusError, RequestID: "r", Body: []byte("boom")},
+		{Op: OpResult, Status: StatusNotFound, Body: nil},
+		{Op: OpCategorize, Status: StatusOK, Body: bytes.Repeat([]byte{0xab}, 1<<16)},
+	}
+	for i, want := range cases {
+		enc := AppendFrame(nil, &want)
+		got, n, err := ParseFrame(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		if got.Op != want.Op || got.Status != want.Status ||
+			got.RequestID != want.RequestID || got.Traceparent != want.Traceparent ||
+			!bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("case %d: round trip mismatch: %+v", i, got)
+		}
+	}
+}
+
+// TestParseFrameIncremental feeds a frame one byte at a time: every
+// prefix must report "need more" (consumed 0, nil error) and only the
+// complete buffer parses.
+func TestParseFrameIncremental(t *testing.T) {
+	enc := AppendFrame(nil, &Frame{Op: OpStats, RequestID: "abc", Traceparent: "00-1-2-01", Body: []byte("hello")})
+	for i := 0; i < len(enc); i++ {
+		_, n, err := ParseFrame(enc[:i])
+		if err != nil {
+			t.Fatalf("prefix %d/%d: unexpected error %v", i, len(enc), err)
+		}
+		if n != 0 {
+			t.Fatalf("prefix %d/%d: parsed a partial frame", i, len(enc))
+		}
+	}
+	if _, n, err := ParseFrame(enc); err != nil || n != len(enc) {
+		t.Fatalf("full buffer: n=%d err=%v", n, err)
+	}
+}
+
+// TestParseFrameBackToBack parses two frames from one buffer, the shape
+// serveConn sees when a peer pipelines.
+func TestParseFrameBackToBack(t *testing.T) {
+	buf := AppendFrame(nil, &Frame{Op: OpPing, Body: []byte("one")})
+	buf = AppendFrame(buf, &Frame{Op: OpStats, Body: []byte("two")})
+	f1, n1, err := ParseFrame(buf)
+	if err != nil || string(f1.Body) != "one" {
+		t.Fatalf("first frame: %v %q", err, f1.Body)
+	}
+	f2, n2, err := ParseFrame(buf[n1:])
+	if err != nil || string(f2.Body) != "two" {
+		t.Fatalf("second frame: %v %q", err, f2.Body)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d of %d", n1+n2, len(buf))
+	}
+}
+
+func TestParseFrameRejectsMalformed(t *testing.T) {
+	// Declared length below the op+status+ridLen+tpLen minimum.
+	short := binary.LittleEndian.AppendUint32(nil, 3)
+	short = append(short, 0, 0, 0)
+	if _, _, err := ParseFrame(short); err == nil {
+		t.Error("undersized frame length accepted")
+	}
+	// Declared length above the cap.
+	huge := binary.LittleEndian.AppendUint32(nil, MaxFrameBytes+1)
+	if _, _, err := ParseFrame(huge); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+	// Request-id length field pointing past the frame end.
+	bad := AppendFrame(nil, &Frame{Op: OpPing, RequestID: "rid", Body: []byte("x")})
+	binary.LittleEndian.PutUint16(bad[6:], 60000)
+	if _, _, err := ParseFrame(bad); err == nil {
+		t.Error("request-id overrun accepted")
+	}
+}
+
+func TestBlobsRoundTrip(t *testing.T) {
+	var body []byte
+	blobs := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma")}
+	for _, b := range blobs {
+		body = AppendBlob(body, b)
+	}
+	got, err := SplitBlobs(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blobs) {
+		t.Fatalf("got %d blobs, want %d", len(got), len(blobs))
+	}
+	for i := range blobs {
+		if !bytes.Equal(got[i], blobs[i]) {
+			t.Errorf("blob %d: %q != %q", i, got[i], blobs[i])
+		}
+	}
+	if _, err := SplitBlobs([]byte{1, 0}); err == nil {
+		t.Error("truncated blob length accepted")
+	}
+	if _, err := SplitBlobs(binary.LittleEndian.AppendUint32(nil, 100)); err == nil {
+		t.Error("blob overrun accepted")
+	}
+}

@@ -1,0 +1,449 @@
+package ring
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
+)
+
+// ErrNotFound is the typed miss: a handler returns it (or wraps it) to
+// answer StatusNotFound, and Client.Call returns it when a peer
+// answered that way — so "the peer doesn't have it" is distinguishable
+// from "the peer failed".
+var ErrNotFound = errors.New("ring: not found")
+
+// RemoteError is a peer's application-level failure (StatusError): the
+// peer was reachable and answered, its handler failed. Callers use the
+// distinction for health tracking — a RemoteError must not mark the
+// peer down, a transport error should.
+type RemoteError struct {
+	Op   string
+	Peer string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("ring: %s: peer %s: %s", e.Op, e.Peer, e.Msg)
+}
+
+// Handler serves one operation. The context carries a request trace
+// (adopted from the frame's traceparent) when the server has a flight
+// recorder; the frame's RequestID names the originating client
+// request. The returned body is the response payload; returning an
+// error that Is(ErrNotFound) answers StatusNotFound, any other error
+// StatusError with the message as body.
+type Handler func(ctx context.Context, req *Frame) ([]byte, error)
+
+// ServerOptions configures a frame-RPC server.
+type ServerOptions struct {
+	// Log receives connection lifecycle events (nil: silent).
+	Log *slog.Logger
+	// Flight, when non-nil, turns on server-side request tracing: each
+	// inbound frame becomes a root span (adopting the propagated
+	// traceparent, so the trace ID matches the originating request) and
+	// the completed trace lands in this recorder.
+	Flight *reqtrace.Recorder
+	// Hello is the OpPing response body ({"ok":true} when empty) —
+	// clusters answer it with their identity and routing-table version.
+	Hello []byte
+}
+
+// Server accepts frame-RPC connections and dispatches frames to
+// registered handlers, one connection per goroutine, frames on a
+// connection served in order. Shutdown drains like dist.Server; Kill
+// is the crash path used by failure tests.
+type Server struct {
+	opts     ServerOptions
+	handlers [256]Handler
+	opNames  [256]string
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closing  bool
+	drained  sync.WaitGroup
+	frames   sync.WaitGroup // in-flight dispatches (drain unit: Shutdown)
+}
+
+// NewServer returns a server with OpPing pre-registered.
+func NewServer(opts ServerOptions) *Server {
+	s := &Server{opts: opts, conns: make(map[net.Conn]struct{})}
+	hello := opts.Hello
+	if len(hello) == 0 {
+		hello = []byte(`{"ok":true}`)
+	}
+	s.Handle(OpPing, "ping", func(context.Context, *Frame) ([]byte, error) {
+		return hello, nil
+	})
+	return s
+}
+
+// Handle registers the handler for one op code. Call before Serve.
+func (s *Server) Handle(op byte, name string, h Handler) {
+	s.handlers[op] = h
+	s.opNames[op] = name
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.drained.Add(1)
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.drained.Done()
+	}
+	s.mu.Unlock()
+}
+
+// Serve accepts connections on l until the listener closes. It blocks;
+// a clean shutdown returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
+		go func(c net.Conn) {
+			defer s.untrack(c)
+			defer c.Close()
+			if err := s.serveConn(c); err != nil && s.opts.Log != nil {
+				s.opts.Log.Debug("ring: connection closed", "remote", c.RemoteAddr().String(), "err", err)
+			}
+		}(conn)
+	}
+}
+
+// serveConn reads frames off one connection and answers each in order.
+// The read buffer grows to the largest frame seen and parses
+// incrementally, so a slow peer trickling a large replication batch
+// costs no re-scans.
+func (s *Server) serveConn(c net.Conn) error {
+	buf := make([]byte, 0, 16<<10)
+	var out []byte
+	for {
+		f, n, err := ParseFrame(buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			if len(buf) == cap(buf) {
+				grown := make([]byte, len(buf), cap(buf)*2)
+				copy(grown, buf)
+				buf = grown
+			}
+			r, err := c.Read(buf[len(buf):cap(buf)])
+			if r > 0 {
+				buf = buf[:len(buf)+r]
+				continue
+			}
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		s.frames.Add(1)
+		out = s.dispatch(out[:0], &f)
+		_, err = c.Write(out)
+		s.frames.Done()
+		if err != nil {
+			return err
+		}
+		buf = append(buf[:0], buf[n:]...)
+	}
+}
+
+// dispatch runs one frame through its handler — opening and finishing
+// a request trace around it when the server records flights — and
+// appends the response frame to out.
+func (s *Server) dispatch(out []byte, f *Frame) []byte {
+	h := s.handlers[f.Op]
+	name := s.opNames[f.Op]
+	if name == "" {
+		name = fmt.Sprintf("op%d", f.Op)
+	}
+	if h == nil {
+		return AppendFrame(out, &Frame{Op: f.Op, Status: StatusError,
+			RequestID: f.RequestID, Body: []byte("ring: unknown op " + name)})
+	}
+	ctx := context.Background()
+	var t *reqtrace.Trace
+	if s.opts.Flight != nil {
+		t = reqtrace.New(reqtrace.StartOptions{
+			Traceparent: f.Traceparent,
+			RequestID:   f.RequestID,
+			Method:      "RPC",
+			Route:       name,
+			OnDone:      s.opts.Flight.Complete,
+		})
+		ctx = reqtrace.NewContext(ctx, t)
+	}
+	body, err := h(ctx, f)
+	resp := Frame{Op: f.Op, RequestID: f.RequestID, Body: body}
+	status := 200
+	switch {
+	case errors.Is(err, ErrNotFound):
+		resp.Status, status = StatusNotFound, 404
+	case err != nil:
+		resp.Status, status = StatusError, 500
+		resp.Body = []byte(err.Error())
+		if t != nil {
+			t.SetError(err.Error())
+		}
+	}
+	if t != nil {
+		t.FinishRoot(status)
+	}
+	return AppendFrame(out, &resp)
+}
+
+// Shutdown stops accepting, waits for in-flight frames to finish (or
+// ctx to expire), then closes every connection. Peers hold pooled
+// persistent connections that never close on their own, so the drain
+// unit is the frame, not the connection.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.frames.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.drained.Wait()
+	return err
+}
+
+// Kill closes the listener and every open connection immediately — the
+// in-process stand-in for SIGKILL in failure tests: in-flight frames
+// die mid-write, exactly what peers must tolerate.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.closing = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Client is a frame-RPC client for one peer address: a lazy pool of
+// connections, one checked out per in-flight call, so concurrent
+// scatter-gather calls to the same peer never serialize on a socket.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	c   net.Conn
+	buf []byte
+}
+
+// NewClient returns a client for addr. timeout bounds dial and —
+// absent a context deadline — each call's round trip (<= 0: 10s).
+// Connections are opened on first use.
+func NewClient(addr string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// Addr returns the peer address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) get(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("ring: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("ring: dialing %s: %w", c.addr, err)
+	}
+	return &clientConn{c: conn, buf: make([]byte, 0, 16<<10)}, nil
+}
+
+func (c *Client) put(cc *clientConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < 4 {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.c.Close()
+}
+
+// Close releases all pooled connections; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
+	return nil
+}
+
+// Call performs one round trip: request out, response in. The hop is
+// recorded as an "rpc.<opName>" span when ctx carries a request trace,
+// and the frame propagates the trace context (the span becomes the
+// remote root's parent) plus the request ID — so a flight-recorder
+// dump on either node shows the same trace ID with the cross-node
+// parent/child edge intact. A peer's StatusNotFound surfaces as
+// ErrNotFound, StatusError as an error carrying the peer's message.
+func (c *Client) Call(ctx context.Context, op byte, opName, reqID string, body []byte) ([]byte, error) {
+	sp := reqtrace.StartLeaf(ctx, "rpc."+opName, reqtrace.Str("peer", c.addr))
+	defer sp.End()
+	tp := ""
+	if t, _, ok := reqtrace.FromContext(ctx); ok {
+		tp = reqtrace.FormatTraceparent(t.ID(), sp.ID())
+	}
+	resp, err := c.roundTrip(ctx, &Frame{Op: op, RequestID: reqID, Traceparent: tp, Body: body})
+	if err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Body, nil
+	case StatusNotFound:
+		sp.SetAttr(reqtrace.Str("status", "notfound"))
+		return nil, ErrNotFound
+	default:
+		err := &RemoteError{Op: opName, Peer: c.addr, Msg: string(resp.Body)}
+		sp.SetError(err)
+		return nil, err
+	}
+}
+
+// roundTrip writes one frame and reads one response on a pooled
+// connection. Transport errors close the connection; protocol-level
+// errors (StatusError) keep it pooled.
+func (c *Client) roundTrip(ctx context.Context, req *Frame) (Frame, error) {
+	cc, err := c.get(ctx)
+	if err != nil {
+		return Frame{}, err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := cc.c.SetDeadline(deadline); err != nil {
+		cc.c.Close()
+		return Frame{}, err
+	}
+	out := AppendFrame(cc.buf[:0], req)
+	// Keep the grown storage with the pooled connection: a client that
+	// ships 1 MB ingest batches would otherwise re-grow the frame buffer
+	// from scratch on every call.
+	cc.buf = out[:0]
+	if _, err := cc.c.Write(out); err != nil {
+		cc.c.Close()
+		return Frame{}, fmt.Errorf("ring: writing to %s: %w", c.addr, err)
+	}
+	buf := cc.buf[:0]
+	for {
+		f, n, perr := ParseFrame(buf)
+		if perr != nil {
+			cc.c.Close()
+			return Frame{}, perr
+		}
+		if n != 0 {
+			// Copy the body out of the pooled buffer before the
+			// connection is reused.
+			f.Body = append([]byte(nil), f.Body...)
+			cc.buf = buf[:0]
+			c.put(cc)
+			return f, nil
+		}
+		if len(buf) == cap(buf) {
+			grown := make([]byte, len(buf), cap(buf)*2)
+			copy(grown, buf)
+			buf = grown
+		}
+		r, rerr := cc.c.Read(buf[len(buf):cap(buf)])
+		if r > 0 {
+			buf = buf[:len(buf)+r]
+			continue
+		}
+		cc.c.Close()
+		if rerr == nil || rerr == io.EOF {
+			rerr = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("ring: reading from %s: %w", c.addr, rerr)
+	}
+}

@@ -1,0 +1,193 @@
+package ring
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
+)
+
+// startTestServer serves s on a loopback listener and returns its
+// address. The server is shut down when the test ends.
+func startTestServer(t *testing.T, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	s.Handle(OpQuery, "query", func(_ context.Context, f *Frame) ([]byte, error) {
+		return append([]byte("echo:"), f.Body...), nil
+	})
+	addr := startTestServer(t, s)
+	c := NewClient(addr, time.Second)
+	defer c.Close()
+
+	resp, err := c.Call(context.Background(), OpQuery, "query", "rid-1", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+	// Ping comes pre-registered.
+	if resp, err = c.Call(context.Background(), OpPing, "ping", "", nil); err != nil || string(resp) != `{"ok":true}` {
+		t.Fatalf("ping: %q, %v", resp, err)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	s.Handle(OpResult, "result", func(context.Context, *Frame) ([]byte, error) {
+		return nil, ErrNotFound
+	})
+	s.Handle(OpStats, "stats", func(context.Context, *Frame) ([]byte, error) {
+		return nil, errors.New("disk on fire")
+	})
+	addr := startTestServer(t, s)
+	c := NewClient(addr, time.Second)
+	defer c.Close()
+
+	if _, err := c.Call(context.Background(), OpResult, "result", "", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("miss maps to %v, want ErrNotFound", err)
+	}
+	_, err := c.Call(context.Background(), OpStats, "stats", "", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("handler failure maps to %T %v, want RemoteError", err, err)
+	}
+	if re.Msg != "disk on fire" || re.Op != "stats" {
+		t.Errorf("RemoteError = %+v", re)
+	}
+	// Unknown op is also an application error, not a dropped connection.
+	if _, err := c.Call(context.Background(), 99, "mystery", "", nil); !errors.As(err, &re) {
+		t.Errorf("unknown op maps to %v, want RemoteError", err)
+	}
+}
+
+// TestTracePropagation drives one call with a client-side request trace
+// and a recording server: the server-side root must adopt the client's
+// trace ID and request ID, so a flight-recorder dump on either node
+// shows the same trace.
+func TestTracePropagation(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.RecorderConfig{Capacity: 8})
+	s := NewServer(ServerOptions{Flight: rec})
+	var gotRID, gotTP string
+	s.Handle(OpQuery, "query", func(ctx context.Context, f *Frame) ([]byte, error) {
+		gotRID, gotTP = f.RequestID, f.Traceparent
+		return nil, nil
+	})
+	addr := startTestServer(t, s)
+	c := NewClient(addr, time.Second)
+	defer c.Close()
+
+	ct := reqtrace.New(reqtrace.StartOptions{Method: "GET", Route: "/v1/query", RequestID: "req-42"})
+	ctx := reqtrace.NewContext(context.Background(), ct)
+	if _, err := c.Call(ctx, OpQuery, "query", "req-42", nil); err != nil {
+		t.Fatal(err)
+	}
+	ct.FinishRoot(200)
+
+	if gotRID != "req-42" {
+		t.Errorf("peer saw request ID %q", gotRID)
+	}
+	tid, _, ok := reqtrace.ParseTraceparent(gotTP)
+	if !ok || tid != ct.ID() {
+		t.Errorf("peer saw traceparent %q, want trace %s", gotTP, ct.ID())
+	}
+	recent := rec.Recent(1)
+	if len(recent) != 1 {
+		t.Fatal("server recorded no trace")
+	}
+	if recent[0].Trace != ct.ID().String() || recent[0].RequestID != "req-42" || recent[0].Route != "query" {
+		t.Errorf("server-side trace = %+v, want adopted trace %s", recent[0], ct.ID())
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	s.Handle(OpQuery, "query", func(_ context.Context, f *Frame) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		return f.Body, nil
+	})
+	addr := startTestServer(t, s)
+	c := NewClient(addr, 5*time.Second)
+	defer c.Close()
+
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		go func(i int) {
+			want := fmt.Sprintf("payload-%d", i)
+			resp, err := c.Call(context.Background(), OpQuery, "query", "", []byte(want))
+			if err == nil && string(resp) != want {
+				err = fmt.Errorf("cross-wired response %q for %q", resp, want)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < 32; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKillFailsInFlight(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	block := make(chan struct{})
+	s.Handle(OpQuery, "query", func(context.Context, *Frame) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	c := NewClient(l.Addr().String(), 5*time.Second)
+	defer c.Close()
+	defer close(block)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), OpQuery, "query", "", nil)
+		done <- err
+	}()
+	// Let the call reach the handler, then crash the server under it.
+	time.Sleep(50 * time.Millisecond)
+	s.Kill()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call survived Kill")
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			t.Fatalf("Kill produced a RemoteError (%v), want a transport error", err)
+		}
+		if !strings.Contains(err.Error(), l.Addr().String()) {
+			t.Errorf("transport error does not name the peer: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call hung after Kill")
+	}
+}

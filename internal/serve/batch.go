@@ -150,6 +150,14 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchTraces.Observe(float64(len(ups) + len(bad)))
 
+	if s.cluster != nil {
+		// Clustered: the routed path decodes, partitions by ring owner,
+		// batch-ingests the local group and forwards the rest.
+		items := append(bad, s.cluster.ingestRouted(r.Context(), reqID, ups)...)
+		s.finishIngest(w, r, items)
+		return
+	}
+
 	// Decode everything up front; the canonical encodings of readable
 	// traces form one store batch.
 	type decoded struct {

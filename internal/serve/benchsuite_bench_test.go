@@ -15,3 +15,13 @@ func BenchmarkServe(b *testing.B) {
 	b.Run("ingest_warm_untraced", benchsuite.ServeIngestWarm(false))
 	b.Run("ingest_warm_traced", benchsuite.ServeIngestWarm(true))
 }
+
+// BenchmarkCluster exposes the pinned cluster benchmarks (the n4/n1
+// distribution-overhead contract plus the scatter-gather read path in
+// BENCH_cluster.json).
+func BenchmarkCluster(b *testing.B) {
+	b.Run("ingest_n1", benchsuite.ClusterIngest(1, 1))
+	b.Run("ingest_n4_rf1", benchsuite.ClusterIngest(4, 1))
+	b.Run("ingest_n4_rf2", benchsuite.ClusterIngest(4, 2))
+	b.Run("scatter_query_n4", benchsuite.ClusterScatterQuery(4))
+}

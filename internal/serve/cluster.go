@@ -1,0 +1,545 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// Cluster mode: with Config.Cluster set, the server becomes one node of
+// a sharded, replicated cluster. Each trace's SHA-256 content address
+// places it on a consistent-hash ring (internal/ring); the node an
+// ingest lands on routes every trace to its ring owner, the owner
+// persists it (group-committed fsync), replicates it to its followers
+// — waiting for ReplicaAck durable follower copies before the client
+// is acknowledged — and categorizes it exactly once, pushing the result
+// to the replicas. Queries and stats scatter to every live peer and
+// gather; result reads route to the replica set with hedging. The
+// wiring lives in clusterNode, the serve-side implementation of
+// ring.Backend.
+
+// routedItem is one decoded ingest upload annotated with its position
+// in the response, so routing can fan items out per owner and still
+// answer in request order.
+type routedItem struct {
+	idx  int // position in the items slice
+	name string
+	id   store.TraceID // content address of blob, computed once at the entry node
+	job  *darshan.Job
+	blob []byte // canonical encoding; on the inbound RPC path it aliases the
+	// connection read buffer and is only valid until the handler returns —
+	// anything shipped asynchronously copies it first (see replicate).
+}
+
+// clusterNode binds a Server to its ring.Cluster: it implements
+// ring.Backend for inbound peer RPCs and owns the routing/replication
+// logic of outbound ones, plus the follower repair loop.
+type clusterNode struct {
+	s    *Server
+	ring *ring.Cluster
+
+	mu     sync.Mutex
+	repair map[store.TraceID]time.Time // replicated traces awaiting the owner's result push
+
+	wg sync.WaitGroup
+}
+
+func newClusterNode(s *Server, rcfg ring.Config) (*clusterNode, error) {
+	if rcfg.Log == nil {
+		rcfg.Log = s.log
+	}
+	if rcfg.Registry == nil {
+		rcfg.Registry = s.reg
+	}
+	if rcfg.Flight == nil {
+		rcfg.Flight = s.flight
+	}
+	cn := &clusterNode{s: s, repair: make(map[store.TraceID]time.Time)}
+	c, err := ring.NewCluster(rcfg, cn)
+	if err != nil {
+		return nil, err
+	}
+	cn.ring = c
+	cn.wg.Add(1)
+	go cn.repairLoop()
+	return cn, nil
+}
+
+func (cn *clusterNode) shutdown(ctx context.Context) error {
+	err := cn.ring.Shutdown(ctx)
+	cn.wg.Wait()
+	return err
+}
+
+// ---- ingest routing (outbound) ----
+
+// ingestRouted is the clustered ingest path shared by the single and
+// batch endpoints: decode every upload, group the readable traces by
+// the first live node of their replica set (the owner when it is up),
+// ingest the local group directly and forward the rest — re-routing to
+// the next replica, and finally to this node (sloppy), when an owner
+// fails mid-request.
+func (cn *clusterNode) ingestRouted(ctx context.Context, reqID string, ups []upload) []IngestItem {
+	items := make([]IngestItem, len(ups))
+	var routed []*routedItem
+	for i, up := range ups {
+		job, err := decodeBlob(up.data)
+		if err != nil {
+			items[i] = IngestItem{Name: up.name, Status: StatusUnreadable, Error: err.Error()}
+			continue
+		}
+		id, canonical, err := store.TraceKey(job)
+		if err != nil {
+			items[i] = IngestItem{Name: up.name, Status: StatusUnreadable, Error: err.Error()}
+			continue
+		}
+		routed = append(routed, &routedItem{idx: i, name: up.name, id: id, job: job, blob: canonical})
+	}
+	groups := make(map[string][]*routedItem)
+	var local []*routedItem
+	self := cn.ring.Self().ID
+	for _, it := range routed {
+		switch target := cn.routeTarget(string(it.id), nil); target {
+		case self, "":
+			local = append(local, it)
+		default:
+			groups[target] = append(groups[target], it)
+		}
+	}
+	// Fan out concurrently: each per-owner group writes disjoint items
+	// slots, and every branch chains durable waits (owner persist fsync,
+	// then its sync-replication fsync) that would otherwise serialize
+	// across owners — the batch's ack latency is the slowest branch, not
+	// the sum of all of them.
+	var wg sync.WaitGroup
+	if len(local) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cn.ingestOwned(ctx, reqID, local, items)
+		}()
+	}
+	for pid, group := range groups {
+		wg.Add(1)
+		go func(pid string, group []*routedItem) {
+			defer wg.Done()
+			cn.forwardGroup(ctx, reqID, pid, group, map[string]bool{}, items)
+		}(pid, group)
+	}
+	wg.Wait()
+	return items
+}
+
+// routeTarget picks the node a trace should be ingested on: the first
+// live, untried member of its replica set, "" when every one is down
+// or tried (the caller falls back to a local sloppy write).
+func (cn *clusterNode) routeTarget(key string, tried map[string]bool) string {
+	for _, n := range cn.ring.Table().Replicas(key) {
+		if tried[n.ID] {
+			continue
+		}
+		if n.ID == cn.ring.Self().ID || cn.ring.Healthy(n.ID) {
+			return n.ID
+		}
+	}
+	return ""
+}
+
+// forwardGroup ships one owner's worth of traces to that peer. On
+// failure (which marks the peer down when it was a transport error)
+// each item is re-routed to its next untried replica; a trace with no
+// replicas left is ingested locally — the sloppy write that keeps an
+// ingest succeeding through any single-node failure.
+func (cn *clusterNode) forwardGroup(ctx context.Context, reqID, peerID string, group []*routedItem, tried map[string]bool, items []IngestItem) {
+	ids := make([]string, len(group))
+	blobs := make([][]byte, len(group))
+	for i, it := range group {
+		ids[i] = string(it.id)
+		blobs[i] = it.blob
+	}
+	sts, err := cn.ring.ForwardIngest(ctx, reqID, peerID, ids, blobs)
+	if err == nil {
+		for i, st := range sts {
+			item := IngestItem{Name: group[i].name, ID: store.TraceID(st.ID), Status: st.Status, Error: st.Error}
+			if item.ID == "" {
+				item.ID = group[i].id
+			}
+			items[group[i].idx] = item
+		}
+		return
+	}
+	if log := cn.s.log; log != nil {
+		log.Warn("cluster: ingest forward failed, re-routing",
+			"request_id", reqID, "peer", peerID, "traces", len(group), "err", err)
+	}
+	tried[peerID] = true
+	regroups := make(map[string][]*routedItem)
+	var local []*routedItem
+	self := cn.ring.Self().ID
+	for _, it := range group {
+		switch target := cn.routeTarget(string(it.id), tried); target {
+		case self, "":
+			local = append(local, it)
+		default:
+			regroups[target] = append(regroups[target], it)
+		}
+	}
+	if len(local) > 0 {
+		cn.ingestOwned(ctx, reqID, local, items)
+	}
+	for pid, g := range regroups {
+		cn.forwardGroup(ctx, reqID, pid, g, tried, items)
+	}
+}
+
+// ingestOwned ingests traces this node takes responsibility for:
+// persist the whole group in one batch (one group-committed fsync),
+// queue categorization, then replicate — synchronously to the first
+// ReplicaAck live followers of each trace (their fsync happens before
+// the caller acknowledges), asynchronously to the rest, hints for the
+// down ones.
+func (cn *clusterNode) ingestOwned(ctx context.Context, reqID string, group []*routedItem, items []IngestItem) {
+	s := cn.s
+	ids := make([]store.TraceID, len(group))
+	blobs := make([][]byte, len(group))
+	for i, it := range group {
+		ids[i] = it.id
+		blobs[i] = it.blob
+	}
+	if _, err := s.st.PutTraceBatchKeyedCtx(ctx, ids, blobs); err != nil {
+		for _, it := range group {
+			items[it.idx] = IngestItem{Name: it.name, ID: it.id, Status: StatusRejected, Error: err.Error()}
+		}
+		return
+	}
+	for _, it := range group {
+		items[it.idx] = s.queueTrace(ctx, it.name, it.id, it.job, reqID)
+	}
+	cn.replicate(ctx, reqID, group)
+}
+
+// replicate ships follower copies of a just-persisted group, grouped
+// per peer so each follower pays one RPC and one fsync.
+func (cn *clusterNode) replicate(ctx context.Context, reqID string, group []*routedItem) {
+	type repGroup struct {
+		ids   []string
+		blobs [][]byte
+	}
+	self := cn.ring.Self().ID
+	ackN := cn.ring.ReplicaAck()
+	syncG := make(map[string]*repGroup)
+	asyncG := make(map[string]*repGroup)
+	add := func(m map[string]*repGroup, pid string, it *routedItem) {
+		g := m[pid]
+		if g == nil {
+			g = &repGroup{}
+			m[pid] = g
+		}
+		g.ids = append(g.ids, string(it.id))
+		g.blobs = append(g.blobs, it.blob)
+	}
+	met := cn.ring.Metrics()
+	for _, it := range group {
+		acks := 0
+		for _, n := range cn.ring.Table().Replicas(string(it.id)) {
+			if n.ID == self {
+				continue
+			}
+			switch {
+			case !cn.ring.Healthy(n.ID):
+				cn.ring.Hint(n.ID, []string{string(it.id)})
+			case acks < ackN:
+				add(syncG, n.ID, it)
+				acks++
+			default:
+				add(asyncG, n.ID, it)
+			}
+		}
+		if acks < ackN {
+			met.DegradedAcks.Inc()
+		}
+	}
+	// Sync groups in parallel: each blocks on the follower's fsync, so
+	// waiting them out one peer at a time would stack the durability
+	// latencies.
+	var wg sync.WaitGroup
+	for pid, g := range syncG {
+		wg.Add(1)
+		go func(pid string, g *repGroup) {
+			defer wg.Done()
+			if err := cn.ring.Replicate(ctx, reqID, pid, g.ids, g.blobs); err != nil {
+				// Replicate hinted the IDs; the ack goes out with fewer
+				// durable copies than configured.
+				met.DegradedAcks.Add(int64(len(g.ids)))
+				if log := cn.s.log; log != nil {
+					log.Warn("cluster: sync replication failed, ack degraded",
+						"request_id", reqID, "peer", pid, "traces", len(g.ids), "err", err)
+				}
+			}
+		}(pid, g)
+	}
+	wg.Wait()
+	for pid, g := range asyncG {
+		// Best-effort copies outlive the request: on the inbound RPC path
+		// the blobs alias a connection read buffer that is reused as soon
+		// as the handler returns.
+		blobs := make([][]byte, len(g.blobs))
+		for i, b := range g.blobs {
+			blobs[i] = append([]byte(nil), b...)
+		}
+		go cn.ring.Replicate(context.Background(), reqID, pid, g.ids, blobs) //nolint:errcheck // failure hints for replay
+	}
+}
+
+// pushResult ships a freshly computed result to the trace's other
+// replicas (called by the worker after the result is durable).
+func (cn *clusterNode) pushResult(reqID string, id store.TraceID) {
+	data, ok, err := cn.s.st.GetResultBytes(id, cn.s.fp)
+	if err != nil || !ok {
+		return
+	}
+	var peers []string
+	for _, n := range cn.ring.Table().Replicas(string(id)) {
+		if n.ID != cn.ring.Self().ID {
+			peers = append(peers, n.ID)
+		}
+	}
+	if len(peers) > 0 {
+		cn.ring.PushResult(reqID, string(id), cn.s.fp, data, peers)
+	}
+}
+
+// repairLoop is the replica's safety net against owner death: a
+// replicated trace whose result push has not arrived within
+// RepairAfter is categorized locally through the normal worker queue.
+// Pushes that do arrive clear their entry, so in the healthy case the
+// loop wakes, finds nothing due, and goes back to sleep.
+func (cn *clusterNode) repairLoop() {
+	defer cn.wg.Done()
+	after := cn.ring.RepairAfter()
+	tick := time.NewTicker(max(after/2, 100*time.Millisecond))
+	defer tick.Stop()
+	for {
+		select {
+		case <-cn.s.quit:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-after)
+		var due []store.TraceID
+		cn.mu.Lock()
+		for id, at := range cn.repair {
+			if at.Before(cutoff) {
+				due = append(due, id)
+				delete(cn.repair, id)
+			}
+		}
+		cn.mu.Unlock()
+		for _, id := range due {
+			if cn.s.st.HasResult(id, cn.s.fp) {
+				continue
+			}
+			job, ok, err := cn.s.st.GetTrace(id)
+			if err != nil || !ok {
+				continue
+			}
+			it := cn.s.queueTrace(context.Background(), "", id, job, "repair")
+			if log := cn.s.log; log != nil {
+				log.Info("cluster: repairing replica without result", "id", string(id), "status", it.Status)
+			}
+		}
+	}
+}
+
+// ---- ring.Backend (inbound peer RPCs) ----
+
+// HandleIngest serves a peer-forwarded ingest: this node is (or stands
+// in for) the ring owner of every blob in the group. Protocol
+// invariant: the forwarding node canonicalized each upload and ships
+// the blob with its content address, so nothing is re-encoded or
+// re-hashed here — only decoded for categorization.
+func (cn *clusterNode) HandleIngest(ctx context.Context, reqID string, ids []string, blobs [][]byte) []ring.ItemStatus {
+	items := make([]IngestItem, len(blobs))
+	if cn.s.draining.Load() {
+		for i := range items {
+			items[i] = IngestItem{Status: StatusRejected, Error: "server is draining"}
+		}
+		return toItemStatuses(items)
+	}
+	var group []*routedItem
+	for i, blob := range blobs {
+		id := store.TraceID(ids[i])
+		if !id.Valid() {
+			items[i] = IngestItem{Status: StatusUnreadable, Error: "malformed trace ID"}
+			continue
+		}
+		job, err := decodeBlob(blob)
+		if err != nil {
+			items[i] = IngestItem{Status: StatusUnreadable, Error: err.Error()}
+			continue
+		}
+		group = append(group, &routedItem{idx: i, id: id, job: job, blob: blob})
+	}
+	if len(group) > 0 {
+		cn.ingestOwned(ctx, reqID, group, items)
+	}
+	return toItemStatuses(items)
+}
+
+func toItemStatuses(items []IngestItem) []ring.ItemStatus {
+	out := make([]ring.ItemStatus, len(items))
+	for i, it := range items {
+		out[i] = ring.ItemStatus{Name: it.Name, ID: string(it.ID), Status: it.Status, Error: it.Error}
+	}
+	return out
+}
+
+// HandleReplicate persists follower copies durably — one batch, one
+// group-committed fsync — without categorizing: the owner pushes the
+// result, and the repair loop covers an owner that dies first. The
+// blobs alias the RPC read buffer; the keyed put copies them into the
+// store's staging buffer before this returns, so no copy is needed.
+func (cn *clusterNode) HandleReplicate(ctx context.Context, reqID string, rawIDs []string, blobs [][]byte) error {
+	ids := make([]store.TraceID, len(rawIDs))
+	for i, id := range rawIDs {
+		ids[i] = store.TraceID(id)
+	}
+	if _, err := cn.s.st.PutTraceBatchKeyedCtx(ctx, ids, blobs); err != nil {
+		return err
+	}
+	now := time.Now()
+	cn.mu.Lock()
+	for _, id := range ids {
+		if !cn.s.st.HasResult(id, cn.s.fp) {
+			cn.repair[id] = now
+		}
+	}
+	cn.mu.Unlock()
+	return nil
+}
+
+// HandleResultPush stores an owner-computed result and indexes it,
+// sparing this replica the categorization.
+func (cn *clusterNode) HandleResultPush(ctx context.Context, id, fp string, result []byte) error {
+	tid := store.TraceID(id)
+	if !tid.Valid() {
+		return fmt.Errorf("serve: result push with invalid trace ID %q", id)
+	}
+	res, err := store.DecodeResult(result)
+	if err != nil {
+		return err
+	}
+	// Copy: result aliases the connection read buffer and the store's
+	// read cache retains the value slice.
+	if err := cn.s.st.PutResultBytesCtx(ctx, tid, fp, append([]byte(nil), result...)); err != nil {
+		return err
+	}
+	if fp == cn.s.fp {
+		cn.s.ix.AddCtx(ctx, tid, res.Categories)
+		cn.mu.Lock()
+		delete(cn.repair, tid)
+		cn.mu.Unlock()
+	}
+	return nil
+}
+
+// HandleQuery answers a scatter-gather query over the local shard.
+func (cn *clusterNode) HandleQuery(ctx context.Context, q string) ([]string, error) {
+	ids, err := cn.s.ix.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out, nil
+}
+
+// HandleStats reports this node's shard statistics.
+func (cn *clusterNode) HandleStats(ctx context.Context) ring.NodeStats {
+	return cn.localStats()
+}
+
+func (cn *clusterNode) localStats() ring.NodeStats {
+	s := cn.s
+	s.mu.Lock()
+	pending := len(s.pending)
+	s.mu.Unlock()
+	st := s.st.Stats()
+	return ring.NodeStats{
+		Node:       cn.ring.Self().ID,
+		Up:         true,
+		Indexed:    s.ix.Len(),
+		QueueDepth: len(s.queue),
+		Pending:    pending,
+		Traces:     int64(st.Traces),
+		Results:    int64(st.Results),
+	}
+}
+
+// HandleResult serves a trace's stored result bytes to a peer (routed
+// or hedged read).
+func (cn *clusterNode) HandleResult(ctx context.Context, id string) ([]byte, bool, error) {
+	tid := store.TraceID(id)
+	if !tid.Valid() {
+		return nil, false, fmt.Errorf("serve: result fetch with invalid trace ID %q", id)
+	}
+	return cn.s.st.GetResultBytes(tid, cn.s.fp)
+}
+
+// FetchTrace reads a stored trace blob — the hinted-handoff replay
+// source.
+func (cn *clusterNode) FetchTrace(id string) ([]byte, bool, error) {
+	return cn.s.st.GetTraceBytes(store.TraceID(id))
+}
+
+// ---- public surface on Server ----
+
+// Cluster returns the ring cluster runtime, nil in single-node mode.
+func (s *Server) Cluster() *ring.Cluster {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.ring
+}
+
+// ServeCluster accepts inbound cluster RPCs on l (cluster mode only).
+// It blocks; a clean shutdown returns nil.
+func (s *Server) ServeCluster(l net.Listener) error {
+	if s.cluster == nil {
+		return fmt.Errorf("serve: not in cluster mode")
+	}
+	return s.cluster.ring.Serve(l)
+}
+
+// Kill crashes the server in place — the in-process stand-in for
+// SIGKILL in failure tests: the cluster listener and every inter-node
+// connection close mid-flight, workers stop without draining, nothing
+// is flushed beyond what the store already made durable. A killed
+// node's acked traces survive by construction: their blobs (and, per
+// ReplicaAck, their follower copies) were fsynced before the ack.
+func (s *Server) Kill() {
+	if s.draining.Swap(true) {
+		return
+	}
+	close(s.quit)
+	if s.cluster != nil {
+		s.cluster.ring.Kill()
+	}
+	s.runCancel()
+}
+
+// handleCluster serves the versioned routing table: membership, ring
+// parameters, per-peer health, and the table version clients use to
+// detect disagreeing nodes.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.ring.Info())
+}

@@ -32,6 +32,7 @@ var routePatterns = []struct {
 	{http.MethodGet, "/v1/explain/", "/v1/explain/{id}"},
 	{http.MethodGet, "/v1/query", "/v1/query"},
 	{http.MethodGet, "/v1/stats", "/v1/stats"},
+	{http.MethodGet, "/v1/cluster", "/v1/cluster"},
 	{http.MethodGet, "/debug/requests", "/debug/requests"},
 	{http.MethodGet, "/healthz", "/healthz"},
 	{http.MethodGet, "/metrics", "/metrics"},

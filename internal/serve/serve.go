@@ -35,6 +35,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +48,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/explain"
 	"github.com/mosaic-hpc/mosaic/internal/index"
 	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
@@ -100,6 +102,14 @@ type Config struct {
 	// SLO, when > 0, is the per-request edge latency target; requests
 	// exceeding it increment mosaic_slo_latency_breaches_total{route=}.
 	SLO time.Duration
+	// Cluster, when non-nil, runs this server as one node of a sharded,
+	// replicated cluster (see cluster.go): ingest routes each trace to
+	// its consistent-hash owner, queries and stats scatter-gather, and
+	// GET /v1/cluster serves the routing table. The config's Log,
+	// Registry and Flight fields are filled from the server's own when
+	// unset. The caller still provides the RPC listener via
+	// ServeCluster.
+	Cluster *ring.Config
 }
 
 // Ingest item statuses reported per uploaded trace.
@@ -158,6 +168,8 @@ type Server struct {
 	backfillWG sync.WaitGroup
 	runCtx     context.Context
 	runCancel  context.CancelFunc
+
+	cluster *clusterNode // nil in single-node mode
 
 	explainOn bool
 	exOpts    explain.Options
@@ -259,6 +271,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.log != nil {
 		s.log.Info("index rebuilt", "traces", n, "fingerprint", s.fp)
+	}
+	if cfg.Cluster != nil {
+		cn, err := newClusterNode(s, *cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cn
 	}
 	for w := 0; w < workers; w++ {
 		s.workerWG.Add(1)
@@ -418,6 +437,15 @@ func (s *Server) isPending(id store.TraceID) bool {
 	return ok
 }
 
+// PendingCount reports how many traces are queued or in categorization
+// right now — zero once every acknowledged ingest is fully served. A
+// state-independent convergence signal for benchmarks and tests.
+func (s *Server) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
 // recordFailure remembers why a trace produced no result (bounded:
 // oldest entries are dropped arbitrarily past 4096 — failure detail
 // is diagnostic, the authoritative state is the store).
@@ -538,6 +566,10 @@ func (s *Server) process(item ingestJob) {
 	}
 	s.cacheMisses.Inc()
 	s.ix.AddCtx(ctx, item.id, result.Categories)
+	if s.cluster != nil {
+		// Replicas never re-categorize: ship them the result.
+		s.cluster.pushResult(item.reqID, item.id)
+	}
 	if s.log != nil {
 		s.log.Debug("trace categorized", "request_id", item.reqID, "id", string(item.id),
 			"categories", len(result.Categories), "dur", time.Since(start))
@@ -555,6 +587,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil // already shut down
 	}
 	close(s.quit)
+	if s.cluster != nil {
+		// Stop inbound peer RPCs (and the probe/hint/repair loops)
+		// first: their handlers enqueue into the queue being closed.
+		if err := s.cluster.shutdown(ctx); err != nil && s.log != nil {
+			s.log.Warn("cluster shutdown incomplete", "err", err)
+		}
+	}
 	s.backfillWG.Wait()
 	close(s.queue)
 	done := make(chan struct{})
@@ -593,6 +632,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
@@ -779,8 +821,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		items = append(items, bad...)
-		for _, up := range ups {
-			items = append(items, s.ingestOne(r.Context(), up.name, up.data, reqID))
+		if s.cluster != nil {
+			items = append(items, s.cluster.ingestRouted(r.Context(), reqID, ups)...)
+		} else {
+			for _, up := range ups {
+				items = append(items, s.ingestOne(r.Context(), up.name, up.data, reqID))
+			}
 		}
 	} else {
 		data, err := io.ReadAll(io.LimitReader(r.Body, s.maxUpload+1))
@@ -797,7 +843,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request body"})
 			return
 		}
-		items = append(items, s.ingestOne(r.Context(), "", data, reqID))
+		if s.cluster != nil {
+			items = append(items, s.cluster.ingestRouted(r.Context(), reqID, []upload{{data: data}})...)
+		} else {
+			items = append(items, s.ingestOne(r.Context(), "", data, reqID))
+		}
 	}
 	if len(items) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no traces in request"})
@@ -869,6 +919,18 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}{Status: "failed", Error: reason})
 		return
 	}
+	if s.cluster != nil {
+		// Not here: the trace may live on its replica set. Hedged read —
+		// the preferred replica first, the next when it misses the hedge
+		// deadline.
+		data, ok, err := s.cluster.ring.FetchResult(r.Context(), RequestIDFrom(r.Context()), string(id))
+		if err == nil && ok {
+			if res, derr := store.DecodeResult(data); derr == nil {
+				writeJSON(w, http.StatusOK, res)
+				return
+			}
+		}
+	}
 	writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown trace"})
 }
 
@@ -886,6 +948,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	partial := false
+	if s.cluster != nil {
+		// Scatter-gather: every live peer answers for its shard; the
+		// merge is a sorted-list union, so the combined ordering is as
+		// stable as a single node's. A down peer's shard stays covered
+		// by its surviving replicas; partial flags that some peer could
+		// not answer at all.
+		local := make([]string, len(ids))
+		for i, id := range ids {
+			local[i] = string(id)
+		}
+		remote, errs := s.cluster.ring.ScatterQuery(r.Context(), RequestIDFrom(r.Context()), q)
+		merged := index.MergeSorted(local, remote)
+		ids = make([]store.TraceID, len(merged))
+		for i, id := range merged {
+			ids[i] = store.TraceID(id)
+		}
+		partial = len(errs) > 0
+		if partial {
+			if log := s.reqLog(r); log != nil {
+				for pid, perr := range errs {
+					log.Warn("scatter query: peer failed", "peer", pid, "err", perr)
+				}
+			}
+		}
+	}
 	if log := s.reqLog(r); log != nil {
 		log.Debug("query served", "q", q, "matches", len(ids))
 	}
@@ -901,13 +989,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Query string          `json:"query"`
-		Count int             `json:"count"`
-		IDs   []store.TraceID `json:"ids"`
-	}{Query: q, Count: len(ids), IDs: ids[:limit]})
+		Query   string          `json:"query"`
+		Count   int             `json:"count"`
+		Partial bool            `json:"partial,omitempty"`
+		IDs     []store.TraceID `json:"ids"`
+	}{Query: q, Count: len(ids), Partial: partial, IDs: ids[:limit]})
 }
 
-// StatsResponse is the /v1/stats document.
+// StatsResponse is the /v1/stats document. In cluster mode Node names
+// the answering node and Nodes carries every member's scatter-gathered
+// shard statistics (down peers appear with up=false).
 type StatsResponse struct {
 	Fingerprint string                           `json:"fingerprint"`
 	Store       store.Stats                      `json:"store"`
@@ -917,13 +1008,15 @@ type StatsResponse struct {
 	QueueCap    int                              `json:"queue_capacity"`
 	Pending     int                              `json:"pending"`
 	Failed      int                              `json:"failed"`
+	Node        string                           `json:"node,omitempty"`
+	Nodes       []ring.NodeStats                 `json:"nodes,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	pending, failed := len(s.pending), len(s.failed)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Fingerprint: s.fp,
 		Store:       s.st.Stats(),
 		Indexed:     s.ix.Len(),
@@ -932,5 +1025,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueCap:    s.queueCap,
 		Pending:     pending,
 		Failed:      failed,
-	})
+	}
+	if s.cluster != nil {
+		resp.Node = s.cluster.ring.Self().ID
+		nodes := append([]ring.NodeStats{s.cluster.localStats()},
+			s.cluster.ring.ScatterStats(r.Context(), RequestIDFrom(r.Context()))...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+		resp.Nodes = nodes
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

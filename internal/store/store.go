@@ -613,14 +613,37 @@ func (s *Store) PutTraceBatch(blobs [][]byte) ([]TraceID, []bool, error) {
 // recorded as a "store.commit" span annotated with the batch size.
 func (s *Store) PutTraceBatchCtx(ctx context.Context, blobs [][]byte) ([]TraceID, []bool, error) {
 	ids := make([]TraceID, len(blobs))
-	dup := make([]bool, len(blobs))
 	for i, b := range blobs {
 		ids[i] = HashBytes(b)
 	}
+	dup, err := s.putTraceBatchKeyed(ctx, ids, blobs)
+	return ids, dup, err
+}
+
+// PutTraceBatchKeyedCtx is PutTraceBatchCtx for callers that already
+// hold each blob's content address: the SHA-256 pass over every blob
+// is skipped. The IDs are trusted, not re-derived — the cluster
+// protocol computes them once at the entry node from the canonical
+// encoding it forwards — so this must never be fed IDs from outside
+// that protocol.
+func (s *Store) PutTraceBatchKeyedCtx(ctx context.Context, ids []TraceID, blobs [][]byte) ([]bool, error) {
+	if len(ids) != len(blobs) {
+		return nil, fmt.Errorf("store: keyed batch: %d ids for %d blobs", len(ids), len(blobs))
+	}
+	for _, id := range ids {
+		if !id.Valid() {
+			return nil, fmt.Errorf("store: keyed batch: invalid trace ID %q", string(id))
+		}
+	}
+	return s.putTraceBatchKeyed(ctx, ids, blobs)
+}
+
+func (s *Store) putTraceBatchKeyed(ctx context.Context, ids []TraceID, blobs [][]byte) ([]bool, error) {
+	dup := make([]bool, len(blobs))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ids, dup, fmt.Errorf("store: closed")
+		return dup, fmt.Errorf("store: closed")
 	}
 	buf := s.wbuf[:0]
 	type staged struct {
@@ -640,7 +663,7 @@ func (s *Store) PutTraceBatchCtx(ctx context.Context, blobs [][]byte) ([]TraceID
 		if err := checkRecord(key, b); err != nil {
 			s.trimWbuf(buf)
 			s.mu.Unlock()
-			return ids, dup, err
+			return dup, err
 		}
 		seen[ids[i]] = true
 		frameOff := base + int64(len(buf))
@@ -654,14 +677,14 @@ func (s *Store) PutTraceBatchCtx(ctx context.Context, blobs [][]byte) ([]TraceID
 	if len(frames) == 0 {
 		s.trimWbuf(buf)
 		s.mu.Unlock()
-		return ids, dup, nil
+		return dup, nil
 	}
 	written := int64(len(buf))
 	_, err := s.active.Write(buf)
 	s.trimWbuf(buf)
 	if err != nil {
 		s.mu.Unlock()
-		return ids, dup, fmt.Errorf("store: appending batch: %w", err)
+		return dup, fmt.Errorf("store: appending batch: %w", err)
 	}
 	seg := len(s.readers)
 	for _, fr := range frames {
@@ -676,9 +699,9 @@ func (s *Store) PutTraceBatchCtx(ctx context.Context, blobs [][]byte) ([]TraceID
 	}
 	s.mu.Unlock()
 	if rotateErr != nil {
-		return ids, dup, rotateErr
+		return dup, rotateErr
 	}
-	return ids, dup, s.commitCtx(ctx, seq, "traces", int64(len(frames)), written)
+	return dup, s.commitCtx(ctx, seq, "traces", int64(len(frames)), written)
 }
 
 // PutTrace canonically encodes and stores a job.
@@ -750,6 +773,44 @@ func (s *Store) PutResultCtx(ctx context.Context, id TraceID, fp string, res *co
 	return s.commitCtx(ctx, seq, "result", 1, int64(len(data)))
 }
 
+// PutResultBytesCtx stores an already-serialized result verbatim — the
+// replication path, where a follower persists the owner's result JSON
+// without a decode/re-encode round trip. The bytes must be a result
+// encoding this store could have produced (DecodeResult validates on
+// the way in).
+func (s *Store) PutResultBytesCtx(ctx context.Context, id TraceID, fp string, data []byte) error {
+	if _, err := DecodeResult(data); err != nil {
+		return err
+	}
+	key := resultKeyOf(id, fp)
+	s.mu.Lock()
+	seq, err := s.appendLocked(kindResult, key, data)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.cache.put(key, data)
+	return s.commitCtx(ctx, seq, "result", 1, int64(len(data)))
+}
+
+// GetResultBytes returns the stored result encoding of (trace,
+// fingerprint) without decoding it — the replication read path, where
+// the bytes go straight back onto the wire. No hit/miss accounting.
+func (s *Store) GetResultBytes(id TraceID, fp string) ([]byte, bool, error) {
+	key := resultKeyOf(id, fp)
+	s.mu.RLock()
+	l, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := s.readValue(key, l)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
 // PutExplanation stores the decision-provenance record of (trace,
 // config fingerprint) — the same key scheme as results, under its own
 // record kind, so explanation and result always pair up. It returns
@@ -804,6 +865,15 @@ func (s *Store) HasExplanation(id TraceID, fp string) bool {
 	defer s.mu.RUnlock()
 	_, ok := s.index[explainKeyOf(id, fp)]
 	return ok
+}
+
+// DecodeResult parses a stored result encoding and rehydrates the
+// fields that do not survive JSON (the category set and the temporal
+// kind are serialized as strings). Exported for the cluster tier,
+// which ships result encodings between nodes and must decode them to
+// index categories on replicas.
+func DecodeResult(data []byte) (*core.Result, error) {
+	return decodeResult(data)
 }
 
 // decodeResult parses a stored result and rehydrates the fields that
