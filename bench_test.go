@@ -147,7 +147,7 @@ func BenchmarkPipelineParallel(b *testing.B) {
 			cfg := core.DefaultConfig()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := mosaic.CategorizeAll(ctxTODO(), jobs, mosaic.Options{Config: cfg, Workers: workers}); err != nil {
+				if _, err := mosaic.CategorizeAll(context.Background(), jobs, mosaic.Options{Config: cfg, Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -318,8 +318,6 @@ func itoaB(v int) string {
 	}
 	return string(b[i:])
 }
-
-func ctxTODO() context.Context { return context.Background() }
 
 // BenchmarkDXTExperiment measures the hidden-periodicity experiment: the
 // Section IV-A caveat quantified with and without extended tracing.

@@ -62,6 +62,7 @@ import (
 	"strings"
 
 	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/events"
 	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 	"github.com/mosaic-hpc/mosaic/internal/ring"
 	"github.com/mosaic-hpc/mosaic/internal/serve"
@@ -121,6 +122,11 @@ func main() {
 		slowDumpMS = flag.Int64("slow-dump-ms", 0, "dump any request slower than this many milliseconds to -flight-dir (0: errors only)")
 		sloMS      = flag.Int64("slo-ms", 0, "per-request latency SLO target in milliseconds; breaches count in mosaic_slo_latency_breaches_total (0: off)")
 
+		eventsCap  = flag.Int("events-keep", 1024, "cluster events retained in memory for GET /v1/events")
+		eventsFile = flag.String("events-file", "", "append-only file persisting the event journal across restarts (empty: memory only)")
+		noAlerts   = flag.Bool("no-alerts", false, "disable the SLO burn-rate alert evaluator")
+		diagDir    = flag.String("diag-dir", "", "directory receiving diagnostic bundles (CPU/heap profiles + flight traces) when an alert fires (empty: disabled)")
+
 		nodeID     = flag.String("node", "", "this node's ID; enables cluster mode (must appear in -peers)")
 		rpcAddr    = flag.String("rpc-addr", "", "TCP address for inbound cluster RPCs (required with -node)")
 		peers      = flag.String("peers", "", "static cluster membership: comma-separated id=rpcAddr[=httpAddr] entries, identical on every node")
@@ -143,6 +149,7 @@ func main() {
 		fmt.Printf("mosaic-serve %s\n", version)
 		return
 	}
+	telemetry.SetBuildVersion(version)
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "mosaic-serve: -store is required")
 		flag.Usage()
@@ -187,6 +194,36 @@ func main() {
 			Log:           log,
 		})
 	}
+	// The event journal: an in-memory ring behind GET /v1/events,
+	// optionally persisted through a CRC-framed append-only log whose
+	// surviving records are replayed as backlog on startup — node_down
+	// and friends survive the restart they often explain.
+	var (
+		evSink  events.Sink
+		backlog []events.Event
+	)
+	if *eventsFile != "" {
+		elog, err := store.OpenAppendLog(*eventsFile, *syncWrites)
+		if err != nil {
+			log.Error("opening event journal failed", "path", *eventsFile, "err", err)
+			st.Close()
+			os.Exit(1)
+		}
+		defer elog.Close()
+		var records [][]byte
+		if err := elog.Replay(func(v []byte) bool {
+			records = append(records, append([]byte(nil), v...))
+			return true
+		}); err != nil {
+			log.Warn("event journal replay failed", "err", err)
+		}
+		backlog = events.DecodeBacklog(records, *eventsCap)
+		evSink = elog
+	}
+	evLog := events.NewLog(events.Config{
+		Capacity: *eventsCap, Node: *nodeID, Logger: log, Sink: evSink, Backlog: backlog,
+	})
+
 	scfg := serve.Config{
 		Store:          st,
 		Analysis:       cfg,
@@ -200,6 +237,9 @@ func main() {
 		Flight:         flight,
 		DisableTracing: *noTraces,
 		SLO:            time.Duration(*sloMS) * time.Millisecond,
+		Events:         evLog,
+		DisableAlerts:  *noAlerts,
+		DiagDir:        *diagDir,
 	}
 	if *nodeID != "" {
 		if *rpcAddr == "" || *peers == "" {

@@ -49,6 +49,7 @@ func main() {
 		fmt.Printf("mosaic-worker %s\n", version)
 		return
 	}
+	telemetry.SetBuildVersion(version)
 	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mosaic-worker:", err)

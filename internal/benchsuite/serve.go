@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/events"
 	"github.com/mosaic-hpc/mosaic/internal/serve"
 	"github.com/mosaic-hpc/mosaic/internal/store"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
 
 // The serve benchmarks pin the request-tracing overhead budget: the
@@ -30,6 +33,76 @@ import (
 // middleware (or its identity twin), sniff, decode, content addressing,
 // stored-result lookup, JSON response — with no network and no fsync in
 // the way, so the traced/untraced delta is the tracing layer itself.
+// ServeIngestObserved measures the same warm cache-hit ingest with the
+// full cluster observability plane on versus off. On: the event
+// journal tees every event into a CRC-framed append log, the
+// burn-rate alert evaluator ticks aggressively (100ms, 150× the
+// production rate), and runtime metrics are registered. Off: alerts
+// disabled and the journal left unsunk. Tracing is enabled in both
+// (the production default), so the delta isolates the plane itself.
+// The contract is <5% on this path: events fire on state transitions
+// rather than per request, and the evaluator samples counters on its
+// own ticker, so a healthy request pays nothing.
+func ServeIngestObserved(on bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := ingestTrace()
+		blob, err := darshan.MarshalBinary(j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.Config{}.Normalized()
+		res, err := core.Categorize(j, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.PutResult(store.HashBytes(blob), cfg.Fingerprint(), res); err != nil {
+			b.Fatal(err)
+		}
+		scfg := serve.Config{
+			Store: st, Workers: 1, QueueDepth: 16, NoBackfill: true,
+			DisableAlerts: !on,
+		}
+		var sink *store.AppendLog
+		if on {
+			sink, err = store.OpenAppendLog(filepath.Join(b.TempDir(), "events.log"), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			scfg.Events = events.NewLog(events.Config{Node: "bench", Sink: sink})
+			scfg.AlertOptions = &telemetry.AlertOptions{Interval: 100 * time.Millisecond}
+		}
+		s, err := serve.New(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+			st.Close()
+		}()
+		h := s.Handler()
+		rd := bytes.NewReader(nil)
+		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(blob)
+			req := httptest.NewRequest("POST", "/v1/traces", rd)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code >= 300 {
+				b.Fatalf("ingest answered %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+}
+
 func ServeIngestWarm(traced bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		st, err := store.Open(b.TempDir(), store.Options{})

@@ -1,0 +1,236 @@
+package events
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"testing"
+)
+
+func TestEmitAssignsMonotonicSeqs(t *testing.T) {
+	l := NewLog(Config{Capacity: 8, Node: "n1"})
+	for i := 0; i < 5; i++ {
+		ev := l.Emit(SevInfo, TypeNodeUp, "peer up", "peer", fmt.Sprintf("p%d", i))
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d got seq %d", i, ev.Seq)
+		}
+		if ev.Node != "n1" {
+			t.Fatalf("node not stamped: %+v", ev)
+		}
+	}
+	if l.LastSeq() != 5 {
+		t.Fatalf("LastSeq = %d, want 5", l.LastSeq())
+	}
+}
+
+func TestRingEvictionAndEarliest(t *testing.T) {
+	l := NewLog(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		l.Emit(SevInfo, TypeBackpressure, "x")
+	}
+	p := l.Since(0, SevInfo, 0)
+	if len(p.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(p.Events))
+	}
+	if p.Earliest != 7 || p.Last != 10 {
+		t.Fatalf("earliest/last = %d/%d, want 7/10", p.Earliest, p.Last)
+	}
+	for i, ev := range p.Events {
+		if ev.Seq != uint64(7+i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestSincePaginationAndSeverityFilter(t *testing.T) {
+	l := NewLog(Config{Capacity: 64})
+	for i := 0; i < 9; i++ {
+		sev := Severity(i % 3)
+		l.Emit(sev, TypeDegradedAck, "m")
+	}
+	// Cursor-based pagination walks every event exactly once.
+	var got []uint64
+	cursor := uint64(0)
+	for {
+		p := l.Since(cursor, SevInfo, 2)
+		if len(p.Events) == 0 {
+			break
+		}
+		for _, ev := range p.Events {
+			got = append(got, ev.Seq)
+		}
+		cursor = p.Events[len(p.Events)-1].Seq
+	}
+	if len(got) != 9 {
+		t.Fatalf("paginated %d events, want 9: %v", len(got), got)
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("pagination out of order: %v", got)
+		}
+	}
+
+	warns := l.Since(0, SevWarn, 0)
+	if len(warns.Events) != 6 {
+		t.Fatalf("severity>=warn returned %d, want 6", len(warns.Events))
+	}
+	errs := l.Since(0, SevError, 0)
+	if len(errs.Events) != 3 {
+		t.Fatalf("severity>=error returned %d, want 3", len(errs.Events))
+	}
+}
+
+func TestSlogMirroring(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	l := NewLog(Config{Capacity: 8, Logger: logger})
+	l.Emit(SevInfo, TypeNodeUp, "quiet") // below handler level
+	l.Emit(SevWarn, TypeNodeDown, "peer down", "peer", "b")
+
+	out := buf.String()
+	if bytes.Contains(buf.Bytes(), []byte("quiet")) {
+		t.Fatalf("info event leaked through warn-level handler: %s", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("mirror output not JSON: %v\n%s", err, out)
+	}
+	if rec["event"] != TypeNodeDown || rec["peer"] != "b" || rec["level"] != "WARN" {
+		t.Fatalf("mirror record missing fields: %v", rec)
+	}
+}
+
+type memSink struct {
+	mu   sync.Mutex
+	recs [][]byte
+	fail bool
+}
+
+func (m *memSink) AppendRecord(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail {
+		return errors.New("sink down")
+	}
+	m.recs = append(m.recs, append([]byte(nil), b...))
+	return nil
+}
+
+func TestSinkPersistenceAndBacklogResume(t *testing.T) {
+	sink := &memSink{}
+	l := NewLog(Config{Capacity: 8, Node: "a", Sink: sink})
+	l.Emit(SevWarn, TypeHintDropped, "dropped", "peer", "b")
+	l.Emit(SevInfo, TypeHintReplayed, "replayed", "peer", "b")
+
+	backlog := DecodeBacklog(sink.recs, 8)
+	if len(backlog) != 2 {
+		t.Fatalf("decoded %d backlog events, want 2", len(backlog))
+	}
+	if backlog[0].Type != TypeHintDropped || backlog[0].Severity != SevWarn {
+		t.Fatalf("backlog round-trip mangled event: %+v", backlog[0])
+	}
+
+	// A journal seeded with the backlog resumes numbering after it.
+	l2 := NewLog(Config{Capacity: 8, Backlog: backlog})
+	ev := l2.Emit(SevInfo, TypeNodeUp, "fresh")
+	if ev.Seq != 3 {
+		t.Fatalf("resumed seq = %d, want 3", ev.Seq)
+	}
+	p := l2.Since(0, SevInfo, 0)
+	if len(p.Events) != 3 || p.Events[0].Seq != 1 {
+		t.Fatalf("backlog not retained: %+v", p)
+	}
+}
+
+func TestSinkErrorsCountedNotFatal(t *testing.T) {
+	sink := &memSink{fail: true}
+	l := NewLog(Config{Capacity: 8, Sink: sink})
+	l.Emit(SevInfo, TypeNodeUp, "x")
+	l.Emit(SevInfo, TypeNodeUp, "y")
+	if l.SinkErrors() != 2 {
+		t.Fatalf("SinkErrors = %d, want 2", l.SinkErrors())
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("emission blocked by sink failure")
+	}
+}
+
+func TestDecodeBacklogSkipsGarbageAndTrims(t *testing.T) {
+	recs := [][]byte{
+		[]byte(`{"seq":1,"type":"node_up","severity":"info","message":"a"}`),
+		[]byte(`not json`),
+		[]byte(`{"seq":2,"type":"node_down","severity":"warn","message":"b"}`),
+		[]byte(`{"seq":3,"type":"node_up","severity":"info","message":"c"}`),
+	}
+	got := DecodeBacklog(recs, 2)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("DecodeBacklog = %+v", got)
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarn, SevError} {
+		b, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Fatalf("round-trip %v -> %s -> %v", sev, b, back)
+		}
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"critical"`), &bad); err == nil {
+		t.Fatal("unknown severity should fail to unmarshal")
+	}
+}
+
+func TestConcurrentEmitAndRead(t *testing.T) {
+	l := NewLog(Config{Capacity: 128, Logger: slog.New(slog.NewTextHandler(&bytes.Buffer{}, &slog.HandlerOptions{Level: slog.LevelError + 1}))})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				l.Emit(Severity(i%3), TypeBackpressure, "load", "goroutine", fmt.Sprintf("%d", g))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		<-start
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			p := l.Since(0, SevInfo, 50)
+			for i := 1; i < len(p.Events); i++ {
+				if p.Events[i].Seq <= p.Events[i-1].Seq {
+					t.Error("events out of order under concurrency")
+					return
+				}
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(done)
+	reader.Wait()
+	if got := l.LastSeq(); got != 8*200 {
+		t.Fatalf("LastSeq = %d, want %d", got, 8*200)
+	}
+}

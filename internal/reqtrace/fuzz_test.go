@@ -1,0 +1,55 @@
+package reqtrace
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent throws arbitrary header values at the W3C
+// traceparent parser and checks its invariants: it never panics, an
+// accepted value decodes to non-zero IDs that re-encode to the same
+// hex, and the format→parse round trip is the identity.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01")
+	f.Add("")
+	f.Add("00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x")
+
+	f.Fuzz(func(t *testing.T, h string) {
+		tid, sid, ok := ParseTraceparent(h)
+		if !ok {
+			if !tid.IsZero() || !sid.IsZero() {
+				t.Fatalf("rejected %q but leaked IDs %s/%s", h, tid, sid)
+			}
+			return
+		}
+		// Accepted: the spec's structural invariants must hold.
+		if len(h) < 55 {
+			t.Fatalf("accepted %d-byte value %q", len(h), h)
+		}
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatalf("accepted zero ID from %q", h)
+		}
+		if v := strings.ToLower(h[:2]); v == "ff" {
+			t.Fatalf("accepted reserved version from %q", h)
+		}
+		// The IDs must be exactly the header's hex fields (case-folded).
+		if got := hex.EncodeToString(tid[:]); got != strings.ToLower(h[3:35]) {
+			t.Fatalf("trace ID %s != header field %s", got, h[3:35])
+		}
+		if got := hex.EncodeToString(sid[:]); got != strings.ToLower(h[36:52]) {
+			t.Fatalf("span ID %s != header field %s", got, h[36:52])
+		}
+		// Round trip: formatting the parsed IDs yields a value the
+		// parser accepts and decodes identically.
+		tid2, sid2, ok2 := ParseTraceparent(FormatTraceparent(tid, sid))
+		if !ok2 || tid2 != tid || sid2 != sid {
+			t.Fatalf("format→parse round trip broke: %q → %s/%s ok=%v", h, tid2, sid2, ok2)
+		}
+	})
+}

@@ -133,6 +133,34 @@ func (r *Recorder) dump(t *Trace) (string, error) {
 	return path, nil
 }
 
+// DumpSnapshot writes every retained trace as one merged Chrome-trace
+// JSON document at path — the flight-recorder half of an alert's
+// diagnostic bundle. Each trace renders as its own process, so Perfetto
+// shows the recent requests side by side.
+func (r *Recorder) DumpSnapshot(path string) error {
+	traces := r.snapshot()
+	merged := chromeDoc{DisplayTimeUnit: "ms"}
+	for i, t := range traces {
+		doc := ChromeTrace(t).(chromeDoc)
+		for j := range doc.TraceEvents {
+			doc.TraceEvents[j].Pid = i + 1
+		}
+		merged.TraceEvents = append(merged.TraceEvents, doc.TraceEvents...)
+	}
+	data, err := json.MarshalIndent(merged, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // snapshot returns the retained traces, newest first.
 func (r *Recorder) snapshot() []*Trace {
 	r.mu.Lock()

@@ -63,11 +63,10 @@ func ParseTraceparent(h string) (TraceID, SpanID, bool) {
 	if len(h) > 55 && h[55] != '-' { // future versions may append fields
 		return tid, sid, false
 	}
-	ver := h[:2]
-	if ver == "ff" {
-		return tid, sid, false
-	}
-	if _, err := hex.DecodeString(ver); err != nil {
+	// Version 0xff is reserved; hex decoding is case-insensitive, so the
+	// check must be too ("Ff" is just as reserved as "ff").
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[:2])); err != nil || ver[0] == 0xff {
 		return tid, sid, false
 	}
 	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mosaic-hpc/mosaic/internal/events"
 	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
 	"github.com/mosaic-hpc/mosaic/internal/telemetry"
 )
@@ -55,6 +56,9 @@ type Config struct {
 	// Flight, when non-nil, records inbound RPC traces (cross-node span
 	// trees) into this flight recorder.
 	Flight *reqtrace.Recorder
+	// Events, when non-nil, receives cluster health events (peer
+	// up/down, hinted-handoff activity, routing-version mismatches).
+	Events *events.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +126,12 @@ type Backend interface {
 	// FetchTrace returns the locally stored blob of one trace — the
 	// hinted-handoff replay source.
 	FetchTrace(id string) ([]byte, bool, error)
+	// HandleStatus reports the node's self-assessed health and vitals —
+	// the per-node entry of the fleet health document.
+	HandleStatus(ctx context.Context) StatusSnapshot
+	// HandleMetrics returns the node's full metrics export as
+	// JSON-encoded telemetry family snapshots, for federation.
+	HandleMetrics(ctx context.Context) ([]byte, error)
 }
 
 // peer is one remote member plus its health state. The backoff fields
@@ -149,6 +159,7 @@ type Cluster struct {
 	order   []string         // peer IDs in ring (ID) order
 	met     *telemetry.RingMetrics
 	log     *slog.Logger
+	events  *events.Log // nil: no journal
 
 	hintMu sync.Mutex
 	hints  map[string]map[string]struct{} // peer ID -> trace IDs owed
@@ -191,6 +202,7 @@ func NewCluster(cfg Config, backend Backend) (*Cluster, error) {
 		peers:   make(map[string]*peer),
 		met:     telemetry.NewRingMetrics(reg),
 		log:     cfg.Log,
+		events:  cfg.Events,
 		hints:   make(map[string]map[string]struct{}),
 		quit:    make(chan struct{}),
 	}
@@ -309,6 +321,10 @@ func (c *Cluster) markDown(p *peer, err error) {
 		if c.log != nil {
 			c.log.Warn("ring: peer down", "peer", p.node.ID, "addr", p.node.Addr, "err", err)
 		}
+		if c.events != nil {
+			c.events.Emit(events.SevWarn, events.TypeNodeDown, "peer unreachable",
+				"peer", p.node.ID, "addr", p.node.Addr, "err", err.Error())
+		}
 	}
 }
 
@@ -317,6 +333,10 @@ func (c *Cluster) markUp(p *peer) {
 		c.updatePeersUp()
 		if c.log != nil {
 			c.log.Info("ring: peer up", "peer", p.node.ID, "addr", p.node.Addr)
+		}
+		if c.events != nil {
+			c.events.Emit(events.SevInfo, events.TypeNodeUp, "peer reachable again",
+				"peer", p.node.ID, "addr", p.node.Addr)
 		}
 	}
 }
@@ -468,8 +488,18 @@ func (c *Cluster) Hint(peerID string, ids []string) {
 	c.met.HintsQueued.Add(int64(queued))
 	c.met.HintsDropped.Add(int64(dropped))
 	c.met.HintsPending.Set(float64(total))
-	if dropped > 0 && c.log != nil {
-		c.log.Warn("ring: hint backlog full, dropping", "peer", peerID, "dropped", dropped)
+	if queued > 0 && c.events != nil {
+		c.events.Emit(events.SevWarn, events.TypeHintQueued, "replication owed to peer queued as hints",
+			"peer", peerID, "queued", strconv.Itoa(queued), "pending", strconv.Itoa(total))
+	}
+	if dropped > 0 {
+		if c.log != nil {
+			c.log.Warn("ring: hint backlog full, dropping", "peer", peerID, "dropped", dropped)
+		}
+		if c.events != nil {
+			c.events.Emit(events.SevError, events.TypeHintDropped, "hint backlog full, replication debt dropped",
+				"peer", peerID, "dropped", strconv.Itoa(dropped))
+		}
 	}
 }
 
@@ -747,6 +777,12 @@ func (c *Cluster) registerHandlers() {
 	c.srv.Handle(OpTable, "table", func(ctx context.Context, f *Frame) ([]byte, error) {
 		return json.Marshal(c.Info())
 	})
+	c.srv.Handle(OpStatus, "status", func(ctx context.Context, f *Frame) ([]byte, error) {
+		return json.Marshal(c.backend.HandleStatus(ctx))
+	})
+	c.srv.Handle(OpMetricsSnap, "metrics", func(ctx context.Context, f *Frame) ([]byte, error) {
+		return c.backend.HandleMetrics(ctx)
+	})
 }
 
 // ---- background loops ----
@@ -791,6 +827,12 @@ func (c *Cluster) probeLoop() {
 				if c.log != nil {
 					c.log.Error("ring: routing-table version mismatch",
 						"peer", pid, "peer_version", info.Version, "local_version", c.table.Version())
+				}
+				if c.events != nil {
+					c.events.Emit(events.SevError, events.TypeVersionMismatch, "routing-table version mismatch",
+						"peer", pid,
+						"peer_version", strconv.FormatUint(info.Version, 16),
+						"local_version", strconv.FormatUint(c.table.Version(), 16))
 				}
 			}
 			c.markUp(p)
@@ -842,6 +884,10 @@ func (c *Cluster) hintLoop() {
 				}
 				c.met.HintsReplayed.Add(int64(len(blobs)))
 				c.updateHintsPending()
+				if c.events != nil {
+					c.events.Emit(events.SevInfo, events.TypeHintReplayed, "hinted handoff replayed to recovered peer",
+						"peer", pid, "count", strconv.Itoa(len(blobs)))
+				}
 			}
 		}
 	}

@@ -44,6 +44,13 @@ const (
 	OpTable      = 7
 	OpResultPush = 8
 
+	// OpStatus returns the node's StatusSnapshot — the per-node health
+	// document /v1/cluster/health scatter-gathers.
+	OpStatus = 9
+	// OpMetricsSnap returns the node's full metrics registry export
+	// (JSON-encoded telemetry family snapshots) for federation.
+	OpMetricsSnap = 10
+
 	// OpCategorize is internal/dist's remote categorization, absorbed
 	// onto this transport.
 	OpCategorize = 16
@@ -61,11 +68,11 @@ const frameOverhead = 4 + 1 + 1 + 2 + 2
 
 // Frame is one decoded RPC frame.
 type Frame struct {
-	Op        byte
-	Status    byte
-	RequestID string
+	Op          byte
+	Status      byte
+	RequestID   string
 	Traceparent string
-	Body      []byte
+	Body        []byte
 }
 
 // AppendFrame encodes f onto dst and returns the extended slice.

@@ -6,14 +6,16 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/benchsuite"
 )
 
-// BenchmarkServe exposes the pinned serve benchmarks (the tracing
-// overhead budget pair in BENCH_serve.json) to plain `go test -bench`.
-// The bodies live in internal/benchsuite so `mosaic-bench -bench-json`
-// runs the identical code; this file is in the external test package
-// because benchsuite imports serve.
+// BenchmarkServe exposes the pinned serve benchmarks (the tracing and
+// observability overhead budget pairs in BENCH_serve.json) to plain
+// `go test -bench`. The bodies live in internal/benchsuite so
+// `mosaic-bench -bench-json` runs the identical code; this file is in
+// the external test package because benchsuite imports serve.
 func BenchmarkServe(b *testing.B) {
 	b.Run("ingest_warm_untraced", benchsuite.ServeIngestWarm(false))
 	b.Run("ingest_warm_traced", benchsuite.ServeIngestWarm(true))
+	b.Run("ingest_warm_unobserved", benchsuite.ServeIngestObserved(false))
+	b.Run("ingest_warm_observed", benchsuite.ServeIngestObserved(true))
 }
 
 // BenchmarkCluster exposes the pinned cluster benchmarks (the n4/n1

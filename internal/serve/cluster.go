@@ -2,13 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
+	"github.com/mosaic-hpc/mosaic/internal/events"
 	"github.com/mosaic-hpc/mosaic/internal/ring"
 	"github.com/mosaic-hpc/mosaic/internal/store"
 )
@@ -60,6 +63,9 @@ func newClusterNode(s *Server, rcfg ring.Config) (*clusterNode, error) {
 	}
 	if rcfg.Flight == nil {
 		rcfg.Flight = s.flight
+	}
+	if rcfg.Events == nil {
+		rcfg.Events = s.events
 	}
 	cn := &clusterNode{s: s, repair: make(map[store.TraceID]time.Time)}
 	c, err := ring.NewCluster(rcfg, cn)
@@ -264,6 +270,7 @@ func (cn *clusterNode) replicate(ctx context.Context, reqID string, group []*rou
 		}
 		if acks < ackN {
 			met.DegradedAcks.Inc()
+			cn.emitDegradedAck(reqID, 1, "not enough live followers")
 		}
 	}
 	// Sync groups in parallel: each blocks on the follower's fsync, so
@@ -278,6 +285,7 @@ func (cn *clusterNode) replicate(ctx context.Context, reqID string, group []*rou
 				// Replicate hinted the IDs; the ack goes out with fewer
 				// durable copies than configured.
 				met.DegradedAcks.Add(int64(len(g.ids)))
+				cn.emitDegradedAck(reqID, len(g.ids), "sync replication failed: "+err.Error())
 				if log := cn.s.log; log != nil {
 					log.Warn("cluster: sync replication failed, ack degraded",
 						"request_id", reqID, "peer", pid, "traces", len(g.ids), "err", err)
@@ -485,6 +493,27 @@ func (cn *clusterNode) localStats() ring.NodeStats {
 	}
 }
 
+// HandleStatus reports this node's self-assessed health — the per-node
+// entry a peer's /v1/cluster/health scatter-gathers.
+func (cn *clusterNode) HandleStatus(ctx context.Context) ring.StatusSnapshot {
+	return cn.s.localStatus()
+}
+
+// HandleMetrics serves this node's full metrics registry as JSON family
+// snapshots — the federation payload /v1/cluster/metrics merges.
+func (cn *clusterNode) HandleMetrics(ctx context.Context) ([]byte, error) {
+	return json.Marshal(cn.s.reg.Export())
+}
+
+// emitDegradedAck journals an ingest acknowledged with fewer durable
+// copies than configured.
+func (cn *clusterNode) emitDegradedAck(reqID string, traces int, reason string) {
+	if ev := cn.s.events; ev != nil {
+		ev.Emit(events.SevWarn, events.TypeDegradedAck, "ingest acked with degraded durability",
+			"request_id", reqID, "traces", strconv.Itoa(traces), "reason", reason)
+	}
+}
+
 // HandleResult serves a trace's stored result bytes to a peer (routed
 // or hedged read).
 func (cn *clusterNode) HandleResult(ctx context.Context, id string) ([]byte, bool, error) {
@@ -531,6 +560,9 @@ func (s *Server) Kill() {
 		return
 	}
 	close(s.quit)
+	if s.alerts != nil {
+		s.alerts.Stop()
+	}
 	if s.cluster != nil {
 		s.cluster.ring.Kill()
 	}

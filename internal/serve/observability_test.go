@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mosaic-hpc/mosaic/internal/events"
+	"github.com/mosaic-hpc/mosaic/internal/ring"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+	"github.com/mosaic-hpc/mosaic/internal/telemetry"
+)
+
+func getHealth(t *testing.T, url string) healthResponse {
+	t.Helper()
+	resp, body := getBody(t, url+"/v1/cluster/health")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/cluster/health: status %d: %s", resp.StatusCode, body)
+	}
+	var h healthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func getEvents(t *testing.T, url, params string) eventsResponse {
+	t.Helper()
+	resp, body := getBody(t, url+"/v1/events"+params)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/events: status %d: %s", resp.StatusCode, body)
+	}
+	var er eventsResponse
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatal(err)
+	}
+	return er
+}
+
+func hasEvent(er eventsResponse, typ, peer string) bool {
+	for _, e := range er.Events {
+		if e.Type == typ && (peer == "" || e.Fields["peer"] == peer) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterHealthFailureDrill is the in-process version of the CI
+// drill: a 3-node fleet reports ok from any vantage point, flips the
+// rollup to degraded within the probe interval of a kill -9, journals
+// node_down, and journals node_up when the member returns.
+func TestClusterHealthFailureDrill(t *testing.T) {
+	tc := startTestCluster(t, 3)
+	entry, victim := tc.nodes[0], tc.nodes[2]
+
+	// All three nodes answer a fleet-wide ok from any member.
+	for _, nd := range tc.nodes {
+		h := getHealth(t, nd.http.URL)
+		if h.Status != ring.StatusHealthOK || len(h.Nodes) != 3 {
+			t.Fatalf("initial health on %s: status=%s nodes=%d (%+v)", nd.id, h.Status, len(h.Nodes), h)
+		}
+		if h.Node != nd.id {
+			t.Fatalf("health answered by %q, asked %s", h.Node, nd.id)
+		}
+	}
+
+	victim.srv.Kill()
+	victim.http.Close()
+
+	// The rollup flips once the survivors' probes notice (50ms interval
+	// in this harness); the dead member appears as down, not omitted.
+	deadline := time.Now().Add(10 * time.Second)
+	var h healthResponse
+	for time.Now().Before(deadline) {
+		h = getHealth(t, entry.http.URL)
+		if h.Status == ring.StatusHealthDegraded {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if h.Status != ring.StatusHealthDegraded {
+		t.Fatalf("rollup never flipped to degraded: %+v", h)
+	}
+	foundDown := false
+	for _, n := range h.Nodes {
+		if n.Node == victim.id {
+			foundDown = n.Status == ring.StatusHealthDown
+		}
+	}
+	if !foundDown {
+		t.Fatalf("victim %s not reported down: %+v", victim.id, h.Nodes)
+	}
+
+	// The journal carries the transition.
+	er := getEvents(t, entry.http.URL, "")
+	if !hasEvent(er, events.TypeNodeDown, victim.id) {
+		t.Fatalf("no node_down event for %s in journal: %+v", victim.id, er.Events)
+	}
+	downSeq := er.Last
+
+	// Resurrect the victim: a fresh server with the same identity on the
+	// same RPC address. The survivors' probes mark it up again.
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	members := make([]ring.Node, len(tc.nodes))
+	for i, nd := range tc.nodes {
+		members[i] = ring.Node{ID: nd.id, Addr: nd.rpc.Addr().String()}
+	}
+	l, err := net.Listen("tcp", victim.rpc.Addr().String())
+	if err != nil {
+		t.Fatalf("rebinding victim RPC addr: %v", err)
+	}
+	reborn, err := New(Config{Store: st, Workers: 1, Cluster: &ring.Config{
+		Self: victim.id, Nodes: members, Replication: 2, ReplicaAck: 1,
+		ProbeInterval: 50 * time.Millisecond, RPCTimeout: 2 * time.Second,
+		HintRetry: 100 * time.Millisecond, RepairAfter: 300 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go reborn.ServeCluster(l) //nolint:errcheck
+	t.Cleanup(func() { reborn.Kill() })
+
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// Cursor pagination across the transition: resume after the
+		// node_down page's last sequence.
+		if er := getEvents(t, entry.http.URL, fmt.Sprintf("?since=%d", downSeq)); hasEvent(er, events.TypeNodeUp, victim.id) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	er = getEvents(t, entry.http.URL, fmt.Sprintf("?since=%d", downSeq))
+	if !hasEvent(er, events.TypeNodeUp, victim.id) {
+		t.Fatalf("no node_up event for %s after seq %d: %+v", victim.id, downSeq, er.Events)
+	}
+	// Every member's probe notices the resurrection within its own
+	// interval; poll until the rollup recovers.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if h = getHealth(t, entry.http.URL); h.Status == ring.StatusHealthOK {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("rollup did not recover to ok: %+v", h)
+}
+
+// TestEventsEndpointFilters exercises pagination and severity filtering
+// over a single node's journal.
+func TestEventsEndpointFilters(t *testing.T) {
+	s, _ := newTestServer(t, Config{DisableAlerts: true})
+	defer shutdownServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 10; i++ {
+		sev := events.SevInfo
+		if i%2 == 1 {
+			sev = events.SevError
+		}
+		s.Events().Emit(sev, "test_event", fmt.Sprintf("event %d", i))
+	}
+
+	all := getEvents(t, ts.URL, "")
+	if all.Count != 10 || len(all.Events) != 10 {
+		t.Fatalf("want 10 events, got %d", all.Count)
+	}
+	errsOnly := getEvents(t, ts.URL, "?severity=error")
+	if errsOnly.Count != 5 {
+		t.Fatalf("severity=error: want 5, got %d", errsOnly.Count)
+	}
+	page1 := getEvents(t, ts.URL, "?limit=4")
+	if page1.Count != 4 {
+		t.Fatalf("limit=4: got %d", page1.Count)
+	}
+	page2 := getEvents(t, ts.URL, fmt.Sprintf("?since=%d", page1.Events[3].Seq))
+	if page2.Count != 6 {
+		t.Fatalf("resumed page: want the remaining 6, got %d", page2.Count)
+	}
+	if page2.Events[0].Seq != page1.Events[3].Seq+1 {
+		t.Fatalf("cursor skipped: page1 ends %d, page2 starts %d",
+			page1.Events[3].Seq, page2.Events[0].Seq)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/events?severity=nope"); resp.StatusCode != 400 {
+		t.Fatalf("bad severity: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/events?since=x"); resp.StatusCode != 400 {
+		t.Fatalf("bad since: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSingleNodeHealth: the health document degrades gracefully to a
+// one-node fleet outside cluster mode.
+func TestSingleNodeHealth(t *testing.T) {
+	s, _ := newTestServer(t, Config{DisableAlerts: true})
+	defer shutdownServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	h := getHealth(t, ts.URL)
+	if h.Status != ring.StatusHealthOK || len(h.Nodes) != 1 {
+		t.Fatalf("single-node health: %+v", h)
+	}
+	if h.Nodes[0].GoVersion == "" || h.Nodes[0].Goroutines < 1 {
+		t.Fatalf("vitals missing: %+v", h.Nodes[0])
+	}
+}
+
+// TestAlertFiresAndCapturesDiagBundle forces an SLO burn (every request
+// breaches a 1ns target) and asserts the alert fires at /v1/alerts, is
+// journaled, and leaves a pprof+trace diagnostic bundle on disk.
+func TestAlertFiresAndCapturesDiagBundle(t *testing.T) {
+	diagDir := t.TempDir()
+	s, _ := newTestServer(t, Config{
+		SLO:     time.Nanosecond, // everything breaches
+		DiagDir: diagDir, DiagCPUProfile: 50 * time.Millisecond,
+		AlertOptions: &telemetry.AlertOptions{
+			Interval:   10 * time.Millisecond,
+			FastWindow: 150 * time.Millisecond,
+			SlowWindow: 600 * time.Millisecond,
+		},
+	})
+	defer shutdownServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drive breaching traffic until the burn sustains across both
+	// windows and the evaluator fires.
+	deadline := time.Now().Add(15 * time.Second)
+	fired := false
+	for time.Now().Before(deadline) && !fired {
+		for i := 0; i < 5; i++ {
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		resp, body := getBody(t, ts.URL+"/v1/alerts")
+		if resp.StatusCode != 200 {
+			t.Fatalf("/v1/alerts: %d", resp.StatusCode)
+		}
+		var ar struct {
+			Alerts []telemetry.AlertState `json:"alerts"`
+		}
+		if err := json.Unmarshal([]byte(body), &ar); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range ar.Alerts {
+			if st.Name == "http_slo_burn" && st.Active {
+				fired = true
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !fired {
+		t.Fatal("http_slo_burn never fired under a 1ns SLO")
+	}
+	if er := getEvents(t, ts.URL, "?severity=error"); !hasEvent(er, events.TypeAlertFired, "") {
+		t.Fatalf("alert fire not journaled: %+v", er.Events)
+	}
+
+	// The bundle lands asynchronously (the CPU profile runs 50ms).
+	wantSuffixes := []string{".cpu.pprof", ".heap.pprof", ".trace.json"}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		got := map[string]bool{}
+		entries, _ := os.ReadDir(diagDir)
+		for _, e := range entries {
+			for _, suf := range wantSuffixes {
+				if strings.HasSuffix(e.Name(), suf) && strings.HasPrefix(e.Name(), "alert-http_slo_burn-") {
+					got[suf] = true
+				}
+			}
+		}
+		if len(got) == len(wantSuffixes) {
+			// Sanity: the profiles are non-empty files.
+			for _, e := range entries {
+				info, err := e.Info()
+				if err != nil || info.Size() == 0 {
+					t.Fatalf("empty bundle file %s", e.Name())
+				}
+			}
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	entries, _ := os.ReadDir(diagDir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	t.Fatalf("diag bundle incomplete after 10s: %v", names)
+}
+
+// TestClusterMetricsFederation asserts /v1/cluster/metrics merges every
+// node's registry into one exposition, and ?node=1 keeps them separate
+// under a node label.
+func TestClusterMetricsFederation(t *testing.T) {
+	tc := startTestCluster(t, 3)
+	entry := tc.nodes[0]
+
+	resp, body := getBody(t, entry.http.URL+"/v1/cluster/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/cluster/metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"mosaic_build_info",
+		"mosaic_runtime_goroutines",
+		"mosaic_serve_queue_depth",
+		"mosaic_cluster_metrics_partial 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("federated exposition missing %q:\n%.3000s", want, body)
+		}
+	}
+
+	resp, body = getBody(t, entry.http.URL+"/v1/cluster/metrics?node=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("?node=1: %d", resp.StatusCode)
+	}
+	for _, nd := range tc.nodes {
+		if !strings.Contains(body, fmt.Sprintf(`node=%q`, nd.id)) {
+			t.Fatalf("per-node exposition missing node %s:\n%.3000s", nd.id, body)
+		}
+	}
+}
+
+// TestEventJournalPersistsThroughSink wires an AppendLog sink under the
+// server's journal and asserts emitted events survive a reopen.
+func TestEventJournalPersistsThroughSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	elog, err := store.OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := events.NewLog(events.Config{Sink: elog})
+	s, _ := newTestServer(t, Config{Events: ev, DisableAlerts: true})
+	s.Events().Emit(events.SevWarn, "test_persist", "before restart")
+	shutdownServer(t, s)
+	if err := elog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := store.OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	var records [][]byte
+	if err := reopened.Replay(func(v []byte) bool {
+		records = append(records, append([]byte(nil), v...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	backlog := events.DecodeBacklog(records, 100)
+	found := false
+	for _, e := range backlog {
+		if e.Type == "test_persist" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("persisted journal lost the event: %+v", backlog)
+	}
+}
+
+func shutdownServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"github.com/mosaic-hpc/mosaic/internal/core"
 	"github.com/mosaic-hpc/mosaic/internal/darshan"
 	"github.com/mosaic-hpc/mosaic/internal/engine"
+	"github.com/mosaic-hpc/mosaic/internal/events"
 	"github.com/mosaic-hpc/mosaic/internal/explain"
 	"github.com/mosaic-hpc/mosaic/internal/index"
 	"github.com/mosaic-hpc/mosaic/internal/reqtrace"
@@ -106,10 +107,29 @@ type Config struct {
 	// replicated cluster (see cluster.go): ingest routes each trace to
 	// its consistent-hash owner, queries and stats scatter-gather, and
 	// GET /v1/cluster serves the routing table. The config's Log,
-	// Registry and Flight fields are filled from the server's own when
-	// unset. The caller still provides the RPC listener via
+	// Registry, Flight and Events fields are filled from the server's
+	// own when unset. The caller still provides the RPC listener via
 	// ServeCluster.
 	Cluster *ring.Config
+	// Events is the cluster event journal served on GET /v1/events and
+	// fed by the ring, store and serve layers. nil gets a default
+	// in-memory journal (ring of 1024, no persistence) so the endpoint
+	// always works.
+	Events *events.Log
+	// AlertOptions tunes the SLO burn-rate evaluator (windows, burn
+	// thresholds, cadence). nil selects the multi-window defaults
+	// (5m/1h at 14.4x/6x, evaluated every 15s).
+	AlertOptions *telemetry.AlertOptions
+	// DisableAlerts turns the burn-rate evaluator off entirely. The
+	// zero value evaluates — alerting is the default.
+	DisableAlerts bool
+	// DiagDir, when set, receives a diagnostic bundle (CPU profile,
+	// heap profile, flight-recorder trace dump) every time an alert
+	// fires. "" disables capture.
+	DiagDir string
+	// DiagCPUProfile bounds the CPU profile captured into a diagnostic
+	// bundle (<= 0: 2s).
+	DiagCPUProfile time.Duration
 }
 
 // Ingest item statuses reported per uploaded trace.
@@ -178,6 +198,14 @@ type Server struct {
 	flight      *reqtrace.Recorder
 	onTraceDone func(*reqtrace.Trace) // flight.Complete, bound once
 	slo         time.Duration
+
+	events    *events.Log
+	alerts    *telemetry.AlertEvaluator
+	startedAt time.Time
+	diagDir   string
+	diagCPU   time.Duration
+	diagBusy  atomic.Bool  // one bundle capture at a time
+	lastBP    atomic.Int64 // unix nanos of the last backpressure event (rate limit)
 
 	mu      sync.Mutex
 	pending map[store.TraceID]struct{} // queued or in-flight
@@ -255,6 +283,20 @@ func New(cfg Config) (*Server, error) {
 		traceOn:   !cfg.DisableTracing,
 		flight:    cfg.Flight,
 		slo:       cfg.SLO,
+		events:    cfg.Events,
+		startedAt: time.Now(),
+		diagDir:   cfg.DiagDir,
+		diagCPU:   cfg.DiagCPUProfile,
+	}
+	if s.events == nil {
+		node := ""
+		if cfg.Cluster != nil {
+			node = cfg.Cluster.Self
+		}
+		s.events = events.NewLog(events.Config{Node: node, Logger: cfg.Log})
+	}
+	if s.diagCPU <= 0 {
+		s.diagCPU = 2 * time.Second
 	}
 	if s.traceOn && s.flight == nil {
 		s.flight = reqtrace.NewRecorder(reqtrace.RecorderConfig{Log: cfg.Log})
@@ -264,6 +306,22 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.registerMetrics()
+
+	// Crash-recovery findings surface as journal events: a torn segment
+	// tail truncated during the store's open is exactly the kind of fact
+	// an operator wants in /v1/events after an incident.
+	if st := s.st.Stats(); st.DroppedTailBytes > 0 {
+		s.events.Emit(events.SevWarn, events.TypeRecoveryTruncation,
+			"store recovery truncated a torn segment tail",
+			"dropped_bytes", strconv.FormatInt(st.DroppedTailBytes, 10),
+			"recovered_frames", strconv.Itoa(st.RecoveredFrames))
+	}
+	// The hook runs under the store's locks: hand the emit to a
+	// goroutine so a slow journal sink never stalls the write path.
+	s.st.SetRotateHook(func(segment int) {
+		go s.events.Emit(events.SevInfo, events.TypeSegmentRotation,
+			"segment rotated", "segment", strconv.Itoa(segment))
+	})
 
 	n, err := s.ix.Rebuild(s.st, s.fp)
 	if err != nil {
@@ -279,6 +337,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cluster = cn
 	}
+	if !cfg.DisableAlerts {
+		s.startAlerts(cfg.AlertOptions)
+	}
 	for w := 0; w < workers; w++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -290,7 +351,17 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Events returns the server's event journal.
+func (s *Server) Events() *events.Log { return s.events }
+
+// Alerts returns the burn-rate evaluator, nil when alerting is disabled.
+func (s *Server) Alerts() *telemetry.AlertEvaluator { return s.alerts }
+
 func (s *Server) registerMetrics() {
+	// Every binary serving /metrics reports build info and Go runtime
+	// vitals — the serve handler wires MetricsHandler directly, so the
+	// runtime bridge is registered here rather than through NewMux.
+	telemetry.RegisterRuntimeMetrics(s.reg)
 	s.ingestRequests = s.reg.Counter("mosaic_serve_ingest_requests_total", "Ingest HTTP requests received.", nil)
 	s.batchRequests = s.reg.Counter("mosaic_serve_batch_requests_total", "Batch ingest HTTP requests received.", nil)
 	s.batchTraces = s.reg.Histogram("mosaic_serve_batch_traces", "Traces per batch ingest request.",
@@ -587,6 +658,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil // already shut down
 	}
 	close(s.quit)
+	if s.alerts != nil {
+		s.alerts.Stop()
+	}
 	if s.cluster != nil {
 		// Stop inbound peer RPCs (and the probe/hint/repair loops)
 		// first: their handlers enqueue into the queue being closed.
@@ -632,6 +706,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/cluster/health", s.handleClusterHealth)
+	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	if s.cluster != nil {
 		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	}
@@ -881,6 +959,7 @@ func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, items []In
 		// Backpressure: the bounded queue is full. Clients retry later.
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
+		s.emitBackpressure(reqID)
 	}
 	if log := s.reqLog(r); log != nil {
 		log.Info("ingest handled", "traces", len(items), "status", code)

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// kindEvent frames records in a standalone AppendLog. The kind is
+// deliberately NOT accepted by the store's segment scanner: an event
+// log is its own file with its own lifecycle, never mixed into the
+// content-addressed segment sequence.
+const kindEvent byte = 4
+
+// AppendLog is a minimal CRC-framed append-only log for small records
+// (the cluster event journal). It reuses the store's frame layout —
+// [u32 len][u8 kind][u16 keyLen=0][value][u32 crc] — so the same
+// torn-tail recovery guarantees apply: on open the file is scanned,
+// validated, and truncated to the last intact frame. All methods are
+// safe for concurrent use.
+type AppendLog struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	sync   bool
+	buf    []byte
+	closed bool
+
+	records      int
+	droppedBytes int64
+}
+
+// OpenAppendLog opens (creating if necessary) the log at path. With
+// syncEach set, every Append is fsynced before it returns.
+func OpenAppendLog(path string, syncEach bool) (*AppendLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening append log %s: %w", path, err)
+	}
+	l := &AppendLog{f: f, path: path, sync: syncEach}
+	good, records, dropped, err := scanAppendLog(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if dropped > 0 {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking %s: %w", path, err)
+	}
+	l.size = good
+	l.records = records
+	l.droppedBytes = dropped
+	return l, nil
+}
+
+// scanAppendLog walks f from the start validating frames. It returns
+// the offset after the last intact frame, the intact record count, and
+// how many trailing bytes fail validation. When fn is non-nil it is
+// called with each record's value; returning false stops the replay
+// (validation still continues so the caller gets accurate bookkeeping).
+func scanAppendLog(f *os.File, fn func(value []byte) bool) (good int64, records int, dropped int64, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("store: stat append log: %w", err)
+	}
+	fileSize := info.Size()
+	var (
+		off     int64
+		hdr     [frameHeaderLen]byte
+		frame   []byte
+		deliver = fn != nil
+	)
+	for {
+		if off+frameHeaderLen > fileSize {
+			break
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, 0, 0, fmt.Errorf("store: reading append log header: %w", err)
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[:]))
+		if n < framePayloadMin || n > maxFrameLen || off+frameHeaderLen+n+frameCRCLen > fileSize {
+			break
+		}
+		if int64(cap(frame)) < n+frameCRCLen {
+			frame = make([]byte, n+frameCRCLen)
+		}
+		buf := frame[:n+frameCRCLen]
+		if _, err := f.ReadAt(buf, off+frameHeaderLen); err != nil {
+			return 0, 0, 0, fmt.Errorf("store: reading append log frame: %w", err)
+		}
+		payload := buf[:n]
+		want := binary.LittleEndian.Uint32(buf[n:])
+		if crc32.ChecksumIEEE(payload) != want {
+			break
+		}
+		kind := payload[0]
+		keyLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+		if kind != kindEvent || keyLen != 0 {
+			break
+		}
+		if deliver {
+			if !fn(payload[framePayloadMin:]) {
+				deliver = false
+			}
+		}
+		records++
+		off += frameHeaderLen + n + frameCRCLen
+	}
+	return off, records, fileSize - off, nil
+}
+
+// Append writes one record. The value is framed and CRC-protected;
+// with sync-each enabled it is durable when Append returns.
+func (l *AppendLog) Append(value []byte) error {
+	if payloadLen := framePayloadMin + len(value); payloadLen > maxFrameLen {
+		return fmt.Errorf("store: append log record too large (%d bytes)", payloadLen)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("store: append log %s is closed", l.path)
+	}
+	l.buf = appendFrame(l.buf[:0], kindEvent, "", value)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", l.path, err)
+	}
+	l.size += int64(len(l.buf))
+	l.records++
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing %s: %w", l.path, err)
+		}
+	}
+	return nil
+}
+
+// AppendRecord implements the event journal's sink interface
+// (events.Sink) over Append.
+func (l *AppendLog) AppendRecord(value []byte) error { return l.Append(value) }
+
+// Replay calls fn with every intact record value in append order,
+// stopping early if fn returns false. It opens its own read handle so
+// concurrent Appends are unaffected; frames appended after the replay
+// begins may or may not be delivered.
+func (l *AppendLog) Replay(fn func(value []byte) bool) error {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return fmt.Errorf("store: opening append log for replay: %w", err)
+	}
+	defer f.Close()
+	_, _, _, err = scanAppendLog(f, fn)
+	return err
+}
+
+// Records reports how many intact records the log holds.
+func (l *AppendLog) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Size reports the log's current byte length.
+func (l *AppendLog) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// DroppedTailBytes reports how many torn-tail bytes were discarded
+// when the log was opened.
+func (l *AppendLog) DroppedTailBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.droppedBytes
+}
+
+// Close flushes and closes the log. Further Appends fail.
+func (l *AppendLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}

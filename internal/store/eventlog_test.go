@@ -1,0 +1,239 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestAppendLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte(`{"seq":1}`), []byte(`{"seq":2}`), []byte(``), []byte(`{"seq":4}`)}
+	for _, v := range want {
+		if err := l.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Records() != len(want) {
+		t.Fatalf("Records = %d, want %d", l.Records(), len(want))
+	}
+
+	var got [][]byte
+	if err := l.Replay(func(v []byte) bool {
+		got = append(got, append([]byte(nil), v...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); err == nil {
+		t.Fatal("append after close should fail")
+	}
+}
+
+func TestAppendLogReopenResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l, err := OpenAppendLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Records() != 3 || l2.DroppedTailBytes() != 0 {
+		t.Fatalf("reopen: records=%d dropped=%d", l2.Records(), l2.DroppedTailBytes())
+	}
+	if err := l2.Append([]byte("rec-3")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := l2.Replay(func(v []byte) bool { got = append(got, string(v)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3] != "rec-3" {
+		t.Fatalf("after reopen+append got %v", got)
+	}
+}
+
+func TestAppendLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("intact-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := l.Size()
+	l.Close()
+
+	// Simulate a torn write: a partial frame plus garbage at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, kindEvent, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Records() != 5 {
+		t.Fatalf("recovered %d records, want 5", l2.Records())
+	}
+	if l2.DroppedTailBytes() == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if l2.Size() != goodSize {
+		t.Fatalf("size after recovery = %d, want %d", l2.Size(), goodSize)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != goodSize {
+		t.Fatalf("file not truncated: %d vs %d", info.Size(), goodSize)
+	}
+	// Appends after recovery land on the clean boundary.
+	if err := l2.Append([]byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := l2.Replay(func(v []byte) bool { got = append(got, string(v)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 || got[5] != "post-crash" {
+		t.Fatalf("post-recovery replay = %v", got)
+	}
+}
+
+func TestAppendLogRejectsCorruptedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("first"))
+	l.Append([]byte("second"))
+	l.Close()
+
+	// Flip one payload byte in the second record: CRC validation must
+	// stop the scan there and keep only the first.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-frameCRCLen-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Records() != 1 {
+		t.Fatalf("kept %d records after corruption, want 1", l2.Records())
+	}
+}
+
+func TestAppendLogConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l, err := OpenAppendLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Records() != 800 {
+		t.Fatalf("Records = %d, want 800", l.Records())
+	}
+	n := 0
+	if err := l.Replay(func([]byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 800 {
+		t.Fatalf("replayed %d, want 800", n)
+	}
+	l.Close()
+}
+
+func TestStoreRotateHook(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxSegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var mu sync.Mutex
+	var rotations []int
+	s.SetRotateHook(func(n int) {
+		mu.Lock()
+		rotations = append(rotations, n)
+		mu.Unlock()
+	})
+
+	val := bytes.Repeat([]byte("v"), 600)
+	for i := 0; i < 6; i++ {
+		if _, _, err := s.PutTraceBytes(val); err != nil {
+			t.Fatal(err)
+		}
+		val = append(val, byte(i)) // distinct content hashes
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(rotations) == 0 {
+		t.Fatal("no rotations observed")
+	}
+	for i, n := range rotations {
+		if n < 2 {
+			t.Fatalf("rotation %d reported segment %d", i, n)
+		}
+	}
+}

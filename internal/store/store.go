@@ -177,6 +177,16 @@ type Store struct {
 	syncedFrames     atomic.Int64 // frames made durable by those fsyncs
 	recoveredFrames  int
 	droppedTailBytes int64
+
+	rotateHook atomic.Value // func(segment int); observes segment rotations
+}
+
+// SetRotateHook registers fn to be called with the new segment number
+// each time the store rotates away from a live segment (startup opens
+// and recovery do not count). The hook runs while internal locks are
+// held: it must be fast and must not call back into the store.
+func (s *Store) SetRotateHook(fn func(segment int)) {
+	s.rotateHook.Store(fn)
 }
 
 // groupCommit coordinates durability acknowledgments: appenders wait
@@ -375,6 +385,9 @@ func (s *Store) openSegment(n int) error {
 			s.gc.mu.Unlock()
 		}
 		s.active.Close() // seal previous segment; its reader stays open
+		if fn, ok := s.rotateHook.Load().(func(segment int)); ok && fn != nil {
+			fn(n)
+		}
 	}
 	s.active = w
 	s.readers = append(s.readers, r)

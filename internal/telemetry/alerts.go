@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// AlertRule describes one SLO whose error budget the evaluator
+// watches. Source returns cumulative (good, total) event counts since
+// process start — e.g. requests within SLO vs all requests — from
+// which windowed error ratios are derived by differencing samples.
+type AlertRule struct {
+	// Name identifies the rule in metrics, events, and /v1/alerts.
+	Name string
+	// Objective is the target good/total ratio in (0,1), e.g. 0.99
+	// for a 1% error budget. Out-of-range values default to 0.99.
+	Objective float64
+	// Source samples the cumulative good/total counters.
+	Source func() (good, total float64)
+}
+
+// AlertOptions tunes the evaluator. The zero value selects the
+// standard multi-window multi-burn-rate page configuration: a 5m fast
+// window at 14.4x burn AND a 1h slow window at 6x burn.
+type AlertOptions struct {
+	// Interval between evaluations (<=0: 15s).
+	Interval time.Duration
+	// FastWindow / SlowWindow are the two look-back windows
+	// (<=0: 5m / 1h).
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// FastBurn / SlowBurn are the burn-rate thresholds both windows
+	// must exceed to fire (<=0: 14.4 / 6).
+	FastBurn float64
+	SlowBurn float64
+	// OnTransition, when non-nil, is called after a rule fires or
+	// resolves (outside the evaluator lock).
+	OnTransition func(state AlertState)
+}
+
+func (o AlertOptions) withDefaults() AlertOptions {
+	if o.Interval <= 0 {
+		o.Interval = 15 * time.Second
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5 * time.Minute
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = time.Hour
+	}
+	if o.FastBurn <= 0 {
+		o.FastBurn = 14.4
+	}
+	if o.SlowBurn <= 0 {
+		o.SlowBurn = 6
+	}
+	return o
+}
+
+// AlertState is the externally visible state of one rule.
+type AlertState struct {
+	Name      string    `json:"name"`
+	Active    bool      `json:"active"`
+	Since     time.Time `json:"since,omitempty"`
+	Objective float64   `json:"objective"`
+	FastBurn  float64   `json:"fast_burn"` // current burn over the fast window
+	SlowBurn  float64   `json:"slow_burn"` // current burn over the slow window
+	Fires     int64     `json:"fires"`     // lifetime fire transitions
+	Resolves  int64     `json:"resolves"`  // lifetime resolve transitions
+}
+
+// burnSample is one cumulative observation.
+type burnSample struct {
+	t           time.Time
+	good, total float64
+}
+
+// alertRuleState is the evaluator's per-rule bookkeeping.
+type alertRuleState struct {
+	rule    AlertRule
+	samples []burnSample // time-ordered, pruned to the slow window
+	state   AlertState
+	active  *Gauge
+	fired   *Counter
+	cleared *Counter
+}
+
+// AlertEvaluator runs the multi-window burn-rate rule over its
+// AlertRules on a fixed interval. The burn rate over a window is the
+// window's error ratio divided by the SLO's error budget (1 −
+// objective); a rule fires when BOTH the fast and slow windows exceed
+// their thresholds (fast to react quickly, slow to suppress blips) and
+// resolves when the fast window drops back below its threshold.
+type AlertEvaluator struct {
+	opts  AlertOptions
+	mu    sync.Mutex
+	rules []*alertRuleState
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewAlertEvaluator builds an evaluator over rules, registering
+// mosaic_alert_active and mosaic_alert_transitions_total instruments
+// in reg. Call Start to begin periodic evaluation; tests can drive
+// Tick directly instead.
+func NewAlertEvaluator(reg *Registry, opts AlertOptions, rules ...AlertRule) *AlertEvaluator {
+	e := &AlertEvaluator{opts: opts.withDefaults(), quit: make(chan struct{})}
+	for _, r := range rules {
+		if r.Source == nil || r.Name == "" {
+			continue
+		}
+		if r.Objective <= 0 || r.Objective >= 1 {
+			r.Objective = 0.99
+		}
+		rs := &alertRuleState{
+			rule:  r,
+			state: AlertState{Name: r.Name, Objective: r.Objective},
+		}
+		if reg != nil {
+			rs.active = reg.Gauge("mosaic_alert_active",
+				"Whether the burn-rate alert is currently firing (1) or not (0).",
+				Labels{"alert": r.Name})
+			rs.fired = reg.Counter("mosaic_alert_transitions_total",
+				"Alert state transitions by direction.",
+				Labels{"alert": r.Name, "to": "firing"})
+			rs.cleared = reg.Counter("mosaic_alert_transitions_total",
+				"Alert state transitions by direction.",
+				Labels{"alert": r.Name, "to": "resolved"})
+			rs.active.Set(0)
+		}
+		e.rules = append(e.rules, rs)
+	}
+	return e
+}
+
+// Start launches the evaluation loop.
+func (e *AlertEvaluator) Start() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		ticker := time.NewTicker(e.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-e.quit:
+				return
+			case now := <-ticker.C:
+				e.Tick(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the evaluation loop and waits for it to exit.
+func (e *AlertEvaluator) Stop() {
+	e.stopOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// Tick samples every rule's source and re-evaluates the burn-rate
+// condition at the given instant. It is exported so tests can step the
+// evaluator deterministically.
+func (e *AlertEvaluator) Tick(now time.Time) {
+	var transitions []AlertState
+	e.mu.Lock()
+	for _, rs := range e.rules {
+		good, total := rs.rule.Source()
+		rs.samples = append(rs.samples, burnSample{t: now, good: good, total: total})
+		rs.prune(now, e.opts.SlowWindow)
+
+		budget := 1 - rs.rule.Objective
+		fast := rs.windowBurn(now, e.opts.FastWindow, budget)
+		slow := rs.windowBurn(now, e.opts.SlowWindow, budget)
+		rs.state.FastBurn = fast
+		rs.state.SlowBurn = slow
+
+		switch {
+		case !rs.state.Active && fast >= e.opts.FastBurn && slow >= e.opts.SlowBurn:
+			rs.state.Active = true
+			rs.state.Since = now
+			rs.state.Fires++
+			if rs.active != nil {
+				rs.active.Set(1)
+				rs.fired.Inc()
+			}
+			transitions = append(transitions, rs.state)
+		case rs.state.Active && fast < e.opts.FastBurn:
+			rs.state.Active = false
+			rs.state.Resolves++
+			if rs.active != nil {
+				rs.active.Set(0)
+				rs.cleared.Inc()
+			}
+			transitions = append(transitions, rs.state)
+		}
+	}
+	cb := e.opts.OnTransition
+	e.mu.Unlock()
+
+	if cb != nil {
+		for _, st := range transitions {
+			cb(st)
+		}
+	}
+}
+
+// prune drops samples older than the slow window, always keeping one
+// sample at or before the window edge so window deltas stay anchored.
+func (rs *alertRuleState) prune(now time.Time, slow time.Duration) {
+	edge := now.Add(-slow)
+	// Find the last sample at or before the edge; everything before it
+	// can go.
+	cut := 0
+	for i, s := range rs.samples {
+		if !s.t.After(edge) {
+			cut = i
+		}
+	}
+	if cut > 0 {
+		rs.samples = append(rs.samples[:0], rs.samples[cut:]...)
+	}
+}
+
+// windowBurn computes the burn rate over the window ending at now:
+// the error ratio of events inside the window divided by the error
+// budget. With no traffic in the window the burn is zero.
+func (rs *alertRuleState) windowBurn(now time.Time, window time.Duration, budget float64) float64 {
+	if len(rs.samples) == 0 || budget <= 0 {
+		return 0
+	}
+	edge := now.Add(-window)
+	// Baseline: the newest sample at or before the window edge, or the
+	// oldest sample we still have (partial window during warm-up).
+	i := sort.Search(len(rs.samples), func(i int) bool {
+		return rs.samples[i].t.After(edge)
+	})
+	if i > 0 {
+		i--
+	}
+	base := rs.samples[i]
+	cur := rs.samples[len(rs.samples)-1]
+	dTotal := cur.total - base.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dGood := cur.good - base.good
+	errRatio := (dTotal - dGood) / dTotal
+	if errRatio < 0 {
+		errRatio = 0
+	}
+	return errRatio / budget
+}
+
+// Snapshot returns the current state of every rule, in rule order.
+func (e *AlertEvaluator) Snapshot() []AlertState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertState, len(e.rules))
+	for i, rs := range e.rules {
+		out[i] = rs.state
+	}
+	return out
+}
+
+// ActiveCount reports how many rules are currently firing.
+func (e *AlertEvaluator) ActiveCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, rs := range e.rules {
+		if rs.state.Active {
+			n++
+		}
+	}
+	return n
+}

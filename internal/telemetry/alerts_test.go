@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// burnSource simulates cumulative good/total counters a test can steer.
+type burnSource struct {
+	good, total atomic.Int64
+}
+
+func (s *burnSource) sample() (float64, float64) {
+	return float64(s.good.Load()), float64(s.total.Load())
+}
+
+// serve traffic: n requests of which bad fail.
+func (s *burnSource) serveTraffic(n, bad int64) {
+	s.total.Add(n)
+	s.good.Add(n - bad)
+}
+
+func alertOpts() AlertOptions {
+	return AlertOptions{
+		Interval:   time.Second,
+		FastWindow: 10 * time.Second,
+		SlowWindow: 60 * time.Second,
+		FastBurn:   14.4,
+		SlowBurn:   6,
+	}
+}
+
+func TestAlertFiresOnSustainedBurnAndResolves(t *testing.T) {
+	src := &burnSource{}
+	reg := NewRegistry()
+	e := NewAlertEvaluator(reg, alertOpts(), AlertRule{
+		Name: "http_slo_burn", Objective: 0.99, Source: src.sample,
+	})
+
+	base := time.Unix(0, 0)
+	// Healthy traffic: no fire.
+	now := base
+	for i := 0; i < 70; i++ {
+		src.serveTraffic(100, 0)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	if st := e.Snapshot()[0]; st.Active {
+		t.Fatalf("fired on healthy traffic: %+v", st)
+	}
+
+	// 100% error traffic: burn = 1/0.01 = 100x in both windows.
+	for i := 0; i < 70 && !e.Snapshot()[0].Active; i++ {
+		src.serveTraffic(100, 100)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	st := e.Snapshot()[0]
+	if !st.Active || st.Fires != 1 {
+		t.Fatalf("did not fire under sustained burn: %+v", st)
+	}
+	if st.FastBurn < 14.4 || st.SlowBurn < 6 {
+		t.Fatalf("burn below thresholds at fire time: %+v", st)
+	}
+
+	// Metrics reflect the transition.
+	if v := reg.Gauge("mosaic_alert_active", "", Labels{"alert": "http_slo_burn"}).Value(); v != 1 {
+		t.Fatalf("mosaic_alert_active = %v, want 1", v)
+	}
+
+	// Healthy again: the fast window clears and the alert resolves.
+	for i := 0; i < 70 && e.Snapshot()[0].Active; i++ {
+		src.serveTraffic(100, 0)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	st = e.Snapshot()[0]
+	if st.Active || st.Resolves != 1 {
+		t.Fatalf("did not resolve after recovery: %+v", st)
+	}
+	if v := reg.Gauge("mosaic_alert_active", "", Labels{"alert": "http_slo_burn"}).Value(); v != 0 {
+		t.Fatalf("mosaic_alert_active = %v, want 0", v)
+	}
+	if v := reg.Counter("mosaic_alert_transitions_total", "", Labels{"alert": "http_slo_burn", "to": "firing"}).Value(); v != 1 {
+		t.Fatalf("firing transitions = %d, want 1", v)
+	}
+	if v := reg.Counter("mosaic_alert_transitions_total", "", Labels{"alert": "http_slo_burn", "to": "resolved"}).Value(); v != 1 {
+		t.Fatalf("resolved transitions = %d, want 1", v)
+	}
+}
+
+func TestAlertShortBlipDoesNotFire(t *testing.T) {
+	src := &burnSource{}
+	e := NewAlertEvaluator(nil, alertOpts(), AlertRule{
+		Name: "blip", Objective: 0.99, Source: src.sample,
+	})
+	now := time.Unix(0, 0)
+	// Long healthy baseline filling the slow window.
+	for i := 0; i < 60; i++ {
+		src.serveTraffic(100, 0)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	// A 3-second full-error blip: fast window spikes but the slow
+	// window's burn stays under its threshold, so no page.
+	for i := 0; i < 3; i++ {
+		src.serveTraffic(100, 100)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	if st := e.Snapshot()[0]; st.Active {
+		t.Fatalf("blip paged: %+v", st)
+	}
+}
+
+func TestAlertNoTrafficNoFire(t *testing.T) {
+	src := &burnSource{}
+	e := NewAlertEvaluator(nil, alertOpts(), AlertRule{
+		Name: "idle", Objective: 0.99, Source: src.sample,
+	})
+	now := time.Unix(0, 0)
+	for i := 0; i < 120; i++ {
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	st := e.Snapshot()[0]
+	if st.Active || st.FastBurn != 0 || st.SlowBurn != 0 {
+		t.Fatalf("idle service alerted: %+v", st)
+	}
+}
+
+func TestAlertOnTransitionCallback(t *testing.T) {
+	src := &burnSource{}
+	var fired, resolved atomic.Int64
+	opts := alertOpts()
+	opts.OnTransition = func(st AlertState) {
+		if st.Active {
+			fired.Add(1)
+		} else {
+			resolved.Add(1)
+		}
+	}
+	e := NewAlertEvaluator(nil, opts, AlertRule{Name: "cb", Objective: 0.99, Source: src.sample})
+	now := time.Unix(0, 0)
+	for i := 0; i < 70; i++ {
+		src.serveTraffic(10, 10)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	for i := 0; i < 70; i++ {
+		src.serveTraffic(10, 0)
+		now = now.Add(time.Second)
+		e.Tick(now)
+	}
+	if fired.Load() != 1 || resolved.Load() != 1 {
+		t.Fatalf("callback fired/resolved = %d/%d, want 1/1", fired.Load(), resolved.Load())
+	}
+}
+
+func TestAlertStartStop(t *testing.T) {
+	src := &burnSource{}
+	opts := alertOpts()
+	opts.Interval = time.Millisecond
+	e := NewAlertEvaluator(NewRegistry(), opts, AlertRule{Name: "lifecycle", Objective: 0.99, Source: src.sample})
+	e.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(e.Snapshot()) == 1 && e.Snapshot()[0].Name == "lifecycle" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	e.Stop() // idempotent
+}
+
+func TestAlertEvaluatorSkipsInvalidRules(t *testing.T) {
+	e := NewAlertEvaluator(nil, AlertOptions{},
+		AlertRule{Name: "", Source: func() (float64, float64) { return 0, 0 }},
+		AlertRule{Name: "no-source"},
+	)
+	if len(e.Snapshot()) != 0 {
+		t.Fatalf("invalid rules accepted: %+v", e.Snapshot())
+	}
+}

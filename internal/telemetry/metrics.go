@@ -165,6 +165,21 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// observeBulk records n observations of value v in one lock hold. The
+// runtime-metrics bridge uses it to fold whole bucket deltas from
+// runtime histograms into a registry histogram without n round trips.
+func (h *Histogram) observeBulk(v float64, n int64) {
+	if n <= 0 || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[idx] += n
+	h.sum += v * float64(n)
+	h.count += n
+	h.mu.Unlock()
+}
+
 // ObserveWithExemplar records one value and remembers (traceID, v, now)
 // as the owning bucket's exemplar, replacing any previous one. An empty
 // traceID degrades to a plain Observe. Exemplars surface only in the

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	// Force some runtime activity so gauges are non-trivial.
+	runtime.GC()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"mosaic_runtime_heap_bytes",
+		"mosaic_runtime_goroutines",
+		"mosaic_runtime_gomaxprocs",
+		"mosaic_runtime_gc_cycles_total",
+		"mosaic_runtime_gc_pause_seconds_bucket",
+		"mosaic_runtime_sched_latency_seconds_bucket",
+		"mosaic_build_info",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+
+	// Sanity: goroutines gauge reflects a live process.
+	if g := reg.Gauge("mosaic_runtime_goroutines", "", nil).Value(); g < 1 {
+		t.Errorf("goroutines gauge = %v", g)
+	}
+	if g := reg.Gauge("mosaic_runtime_gomaxprocs", "", nil).Value(); g < 1 {
+		t.Errorf("gomaxprocs gauge = %v", g)
+	}
+}
+
+func TestBuildInfoGaugeCarriesVersion(t *testing.T) {
+	SetBuildVersion("9.9.9-test")
+	defer buildVersion.Store("")
+
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `version="9.9.9-test"`) {
+		t.Fatalf("build info missing version label:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("go=%q", runtime.Version())) {
+		t.Fatalf("build info missing go label:\n%s", out)
+	}
+}
+
+func TestRegisterRuntimeMetricsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE mosaic_runtime_goroutines "); n != 1 {
+		t.Fatalf("duplicate runtime families after double registration (%d)", n)
+	}
+}
+
+// TestNewMuxExposesRuntimeMetrics pins the contract the CI drill
+// asserts: every binary serving /metrics through the shared mux
+// reports build info and runtime series.
+func TestNewMuxExposesRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewMux(reg, nil))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	if !strings.Contains(out, "mosaic_build_info") {
+		t.Fatalf("/metrics missing mosaic_build_info:\n%.2000s", out)
+	}
+	if !strings.Contains(out, "mosaic_runtime_") {
+		t.Fatalf("/metrics missing mosaic_runtime_*:\n%.2000s", out)
+	}
+}
+
+// TestOnCollectConcurrentWithCollect hammers hook registration,
+// instrument registration inside hooks, and expositions from multiple
+// goroutines — the seam the federation path leans on. Run with -race.
+func TestOnCollectConcurrentWithCollect(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var registrars, exporters sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		registrars.Add(1)
+		go func(w int) {
+			defer registrars.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("hook-%d-%d", w, i%10)
+				reg.OnCollect(name, func() {
+					reg.Counter("m_hook_total", "", Labels{"w": fmt.Sprintf("%d", w)}).Inc()
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		exporters.Add(1)
+		go func() {
+			defer exporters.Done()
+			for i := 0; i < 100; i++ {
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.Export()
+			}
+		}()
+	}
+
+	exporters.Wait()
+	close(stop)
+	registrars.Wait()
+
+	if reg.Counter("m_hook_total", "", Labels{"w": "0"}).Value() == 0 {
+		t.Fatal("hooks never ran during concurrent expositions")
+	}
+}

@@ -52,6 +52,7 @@ func MetricsHandler(reg *Registry) http.HandlerFunc {
 // plus any extra routes. t may be nil, in which case /debug/engine
 // reports an empty state.
 func NewMux(reg *Registry, t *Telemetry, extra ...Route) *http.ServeMux {
+	RegisterRuntimeMetrics(reg) // every /metrics surface reports runtime + build info
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SeriesSnapshot is a point-in-time copy of one instrument, detached
+// from the registry. Counter and gauge series carry Value; histogram
+// series carry Bounds/Counts/Sum/Count (Counts is per-bucket,
+// non-cumulative, with the implicit +Inf bucket last, so
+// len(Counts) == len(Bounds)+1).
+type SeriesSnapshot struct {
+	Labels Labels    `json:"labels,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+}
+
+// FamilySnapshot groups every series sharing one metric name, in the
+// shape the cluster metrics federation ships between nodes.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"` // "counter" | "gauge" | "histogram"
+	Series []SeriesSnapshot `json:"series"`
+}
+
+func (k metricKind) String() string {
+	return [...]string{"counter", "gauge", "histogram"}[k]
+}
+
+// Export snapshots every registered instrument, running OnCollect
+// hooks first so lazily-maintained values are current. Families appear
+// in first-registration order, series within a family in label order —
+// the same order WritePrometheus renders.
+func (r *Registry) Export() []FamilySnapshot {
+	r.runCollectors()
+	fams := r.families()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, m := range f.series {
+			ss := SeriesSnapshot{Labels: m.labels}
+			switch m.kind {
+			case kindCounter:
+				ss.Value = float64(m.ctr.Value())
+			case kindGauge:
+				ss.Value = m.gauge.Value()
+			case kindHistogram:
+				hs := m.hist.Snapshot()
+				ss.Bounds = hs.UpperBounds
+				ss.Counts = hs.Counts
+				ss.Sum = hs.Sum
+				ss.Count = hs.Count
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// GaugeMergeRule selects how one gauge family is combined across
+// nodes. Counters always sum and histograms always merge buckets;
+// gauges are the only kind whose aggregate is a modeling choice
+// (queue depths sum, capacities and build flags max, "weakest node"
+// health indicators min).
+type GaugeMergeRule int
+
+const (
+	MergeSum GaugeMergeRule = iota
+	MergeMax
+	MergeMin
+)
+
+// MergeFamilies combines per-node registry exports into one federated
+// view: counters sum, histograms merge bucket-by-bucket (mismatched
+// bucket layouts are remapped onto the union of bounds — exact in the
+// cumulative sense, never a panic), and gauges follow the per-family
+// rule in gaugeRules (default MergeSum). Series identity within a
+// family is the label set. Node names are iterated in sorted order so
+// the result is deterministic; malformed histogram series (bucket and
+// bound lengths out of step) are dropped rather than corrupting the
+// merge.
+func MergeFamilies(perNode map[string][]FamilySnapshot, gaugeRules map[string]GaugeMergeRule) []FamilySnapshot {
+	nodes := make([]string, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var out []FamilySnapshot
+	famIdx := make(map[string]int)
+	for _, node := range nodes {
+		for _, f := range perNode[node] {
+			i, ok := famIdx[f.Name]
+			if !ok {
+				i = len(out)
+				famIdx[f.Name] = i
+				out = append(out, FamilySnapshot{Name: f.Name, Help: f.Help, Kind: f.Kind})
+			}
+			dst := &out[i]
+			if dst.Kind != f.Kind {
+				continue // kind clash across nodes; keep the first seen
+			}
+			rule := MergeSum
+			if f.Kind == "gauge" {
+				if r, ok := gaugeRules[f.Name]; ok {
+					rule = r
+				}
+			}
+			for _, s := range f.Series {
+				mergeSeries(dst, s, rule)
+			}
+		}
+	}
+	for i := range out {
+		sortSeries(out[i].Series)
+	}
+	return out
+}
+
+// mergeSeries folds one node's series into the federated family.
+func mergeSeries(dst *FamilySnapshot, s SeriesSnapshot, rule GaugeMergeRule) {
+	if dst.Kind == "histogram" && len(s.Counts) != len(s.Bounds)+1 {
+		return // malformed shipment; skip rather than guess
+	}
+	key := s.Labels.key()
+	for i := range dst.Series {
+		if dst.Series[i].Labels.key() != key {
+			continue
+		}
+		d := &dst.Series[i]
+		switch dst.Kind {
+		case "counter":
+			d.Value += s.Value
+		case "gauge":
+			switch rule {
+			case MergeMax:
+				d.Value = math.Max(d.Value, s.Value)
+			case MergeMin:
+				d.Value = math.Min(d.Value, s.Value)
+			default:
+				d.Value += s.Value
+			}
+		case "histogram":
+			mergeHistogramInto(d, s)
+		}
+		return
+	}
+	// First occurrence of this label set: copy so later merges never
+	// alias the caller's slices.
+	cp := SeriesSnapshot{
+		Labels: s.Labels,
+		Value:  s.Value,
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: append([]int64(nil), s.Counts...),
+		Sum:    s.Sum,
+		Count:  s.Count,
+	}
+	dst.Series = append(dst.Series, cp)
+}
+
+// mergeHistogramInto adds src's buckets into d. Identical layouts add
+// elementwise; differing layouts are remapped onto the union of both
+// bound sets, which is exact in the cumulative sense because every
+// source bound appears in the union.
+func mergeHistogramInto(d *SeriesSnapshot, src SeriesSnapshot) {
+	if len(d.Counts) != len(d.Bounds)+1 {
+		// The accumulated side is malformed (shouldn't happen — guarded
+		// on entry); replace it with the valid source.
+		d.Bounds = append([]float64(nil), src.Bounds...)
+		d.Counts = append([]int64(nil), src.Counts...)
+		d.Sum = src.Sum
+		d.Count = src.Count
+		return
+	}
+	if equalBounds(d.Bounds, src.Bounds) {
+		for i := range src.Counts {
+			d.Counts[i] += src.Counts[i]
+		}
+	} else {
+		union := unionBounds(d.Bounds, src.Bounds)
+		counts := make([]int64, len(union)+1)
+		remapCounts(counts, union, d.Bounds, d.Counts)
+		remapCounts(counts, union, src.Bounds, src.Counts)
+		d.Bounds = union
+		d.Counts = counts
+	}
+	d.Sum += src.Sum
+	d.Count += src.Count
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unionBounds returns the sorted union of two strictly-increasing
+// bound slices.
+func unionBounds(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// remapCounts adds counts (buckets bounded by bounds, +Inf last) into
+// dst, whose buckets are bounded by union (+Inf last). Every bound in
+// bounds appears in union, so each source bucket lands in the union
+// bucket sharing its upper bound.
+func remapCounts(dst []int64, union, bounds []float64, counts []int64) {
+	for i, b := range bounds {
+		idx := sort.SearchFloat64s(union, b)
+		if idx >= len(union) || union[idx] != b {
+			// Defensive: a bound missing from the union (impossible by
+			// construction) spills into +Inf rather than panicking.
+			idx = len(union)
+		}
+		dst[idx] += counts[i]
+	}
+	dst[len(union)] += counts[len(bounds)]
+}
+
+// LabelFamilies rewrites per-node exports into one family list with a
+// node label added to every series — the "preserve per-node series"
+// federation mode. Nodes are iterated in sorted order.
+func LabelFamilies(perNode map[string][]FamilySnapshot, label string) []FamilySnapshot {
+	if label == "" {
+		label = "node"
+	}
+	nodes := make([]string, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var out []FamilySnapshot
+	famIdx := make(map[string]int)
+	for _, node := range nodes {
+		for _, f := range perNode[node] {
+			i, ok := famIdx[f.Name]
+			if !ok {
+				i = len(out)
+				famIdx[f.Name] = i
+				out = append(out, FamilySnapshot{Name: f.Name, Help: f.Help, Kind: f.Kind})
+			}
+			dst := &out[i]
+			for _, s := range f.Series {
+				labeled := make(Labels, len(s.Labels)+1)
+				for k, v := range s.Labels {
+					labeled[k] = v
+				}
+				labeled[label] = node
+				dst.Series = append(dst.Series, SeriesSnapshot{
+					Labels: labeled,
+					Value:  s.Value,
+					Bounds: append([]float64(nil), s.Bounds...),
+					Counts: append([]int64(nil), s.Counts...),
+					Sum:    s.Sum,
+					Count:  s.Count,
+				})
+			}
+		}
+	}
+	for i := range out {
+		sortSeries(out[i].Series)
+	}
+	return out
+}
+
+func sortSeries(series []SeriesSnapshot) {
+	sort.SliceStable(series, func(i, j int) bool {
+		return series[i].Labels.key() < series[j].Labels.key()
+	})
+}
+
+// WriteFamilies renders family snapshots in the Prometheus text
+// exposition format (version 0.0.4) — the serialization step of the
+// federated /v1/cluster/metrics endpoint.
+func WriteFamilies(w io.Writer, fams []FamilySnapshot) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case "histogram":
+				if len(s.Counts) != len(s.Bounds)+1 {
+					continue
+				}
+				var cum int64
+				for i, bound := range s.Bounds {
+					cum += s.Counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name, withLabel(s.Labels, "le", formatFloat(bound)), cum)
+				}
+				cum += s.Counts[len(s.Counts)-1]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name, withLabel(s.Labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, s.Labels.key(), formatFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, s.Labels.key(), s.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.Name, s.Labels.key(), formatFloat(s.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

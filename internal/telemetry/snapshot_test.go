@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportMatchesRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_requests_total", "Requests.", Labels{"route": "/a"}).Add(3)
+	reg.Gauge("m_queue_depth", "Depth.", nil).Set(7)
+	h := reg.Histogram("m_latency_seconds", "Latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	fams := reg.Export()
+	if len(fams) != 3 {
+		t.Fatalf("exported %d families, want 3", len(fams))
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if c := byName["m_requests_total"]; c.Kind != "counter" || c.Series[0].Value != 3 {
+		t.Fatalf("counter export: %+v", c)
+	}
+	if g := byName["m_queue_depth"]; g.Kind != "gauge" || g.Series[0].Value != 7 {
+		t.Fatalf("gauge export: %+v", g)
+	}
+	hs := byName["m_latency_seconds"]
+	if hs.Kind != "histogram" {
+		t.Fatalf("histogram export: %+v", hs)
+	}
+	s := hs.Series[0]
+	if len(s.Bounds) != 2 || len(s.Counts) != 3 || s.Count != 3 {
+		t.Fatalf("histogram shape: %+v", s)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("histogram counts: %+v", s.Counts)
+	}
+}
+
+func TestExportRunsCollectors(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("m_lazy", "", nil)
+	reg.OnCollect("lazy", func() { g.Set(42) })
+	fams := reg.Export()
+	for _, f := range fams {
+		if f.Name == "m_lazy" && f.Series[0].Value == 42 {
+			return
+		}
+	}
+	t.Fatal("OnCollect hook did not run before export")
+}
+
+func TestMergeCountersAndGaugeRules(t *testing.T) {
+	a := []FamilySnapshot{
+		{Name: "m_total", Kind: "counter", Series: []SeriesSnapshot{{Value: 5}}},
+		{Name: "m_depth", Kind: "gauge", Series: []SeriesSnapshot{{Value: 3}}},
+		{Name: "m_max", Kind: "gauge", Series: []SeriesSnapshot{{Value: 2}}},
+		{Name: "m_min", Kind: "gauge", Series: []SeriesSnapshot{{Value: 2}}},
+	}
+	b := []FamilySnapshot{
+		{Name: "m_total", Kind: "counter", Series: []SeriesSnapshot{{Value: 7}}},
+		{Name: "m_depth", Kind: "gauge", Series: []SeriesSnapshot{{Value: 4}}},
+		{Name: "m_max", Kind: "gauge", Series: []SeriesSnapshot{{Value: 9}}},
+		{Name: "m_min", Kind: "gauge", Series: []SeriesSnapshot{{Value: 9}}},
+	}
+	merged := MergeFamilies(map[string][]FamilySnapshot{"a": a, "b": b},
+		map[string]GaugeMergeRule{"m_max": MergeMax, "m_min": MergeMin})
+
+	want := map[string]float64{"m_total": 12, "m_depth": 7, "m_max": 9, "m_min": 2}
+	for _, f := range merged {
+		if f.Series[0].Value != want[f.Name] {
+			t.Errorf("%s merged to %v, want %v", f.Name, f.Series[0].Value, want[f.Name])
+		}
+	}
+}
+
+func TestMergeKeepsLabelSeriesSeparate(t *testing.T) {
+	a := []FamilySnapshot{{Name: "m", Kind: "counter", Series: []SeriesSnapshot{
+		{Labels: Labels{"route": "/x"}, Value: 1},
+		{Labels: Labels{"route": "/y"}, Value: 2},
+	}}}
+	b := []FamilySnapshot{{Name: "m", Kind: "counter", Series: []SeriesSnapshot{
+		{Labels: Labels{"route": "/x"}, Value: 10},
+	}}}
+	merged := MergeFamilies(map[string][]FamilySnapshot{"a": a, "b": b}, nil)
+	if len(merged) != 1 || len(merged[0].Series) != 2 {
+		t.Fatalf("merged shape: %+v", merged)
+	}
+	got := map[string]float64{}
+	for _, s := range merged[0].Series {
+		got[s.Labels["route"]] = s.Value
+	}
+	if got["/x"] != 11 || got["/y"] != 2 {
+		t.Fatalf("per-label merge: %v", got)
+	}
+}
+
+// TestMergeHistogramsGolden pins the federated exposition for two nodes
+// with identical bucket layouts: counts add bucket-by-bucket and the
+// rendered text is byte-stable.
+func TestMergeHistogramsGolden(t *testing.T) {
+	mk := func(counts []int64, sum float64, count int64) []FamilySnapshot {
+		return []FamilySnapshot{{
+			Name: "m_seconds", Help: "Latency.", Kind: "histogram",
+			Series: []SeriesSnapshot{{
+				Bounds: []float64{0.1, 1},
+				Counts: counts,
+				Sum:    sum,
+				Count:  count,
+			}},
+		}}
+	}
+	merged := MergeFamilies(map[string][]FamilySnapshot{
+		"a": mk([]int64{1, 2, 3}, 10.5, 6),
+		"b": mk([]int64{4, 0, 1}, 2, 5),
+	}, nil)
+
+	var sb strings.Builder
+	if err := WriteFamilies(&sb, merged); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP m_seconds Latency.
+# TYPE m_seconds histogram
+m_seconds_bucket{le="0.1"} 5
+m_seconds_bucket{le="1"} 7
+m_seconds_bucket{le="+Inf"} 11
+m_seconds_sum 12.5
+m_seconds_count 11
+`
+	if sb.String() != golden {
+		t.Fatalf("federated exposition drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
+	}
+}
+
+// TestMergeHistogramsMismatchedBounds pins the union-of-bounds remap:
+// nodes running different build generations may expose different bucket
+// layouts for the same metric, and the merge must stay exact in the
+// cumulative sense instead of panicking.
+func TestMergeHistogramsMismatchedBounds(t *testing.T) {
+	a := []FamilySnapshot{{Name: "m_seconds", Kind: "histogram", Series: []SeriesSnapshot{{
+		Bounds: []float64{0.1, 1},
+		Counts: []int64{1, 2, 3}, // ≤0.1: 1, ≤1: 3, total 6
+		Sum:    5,
+		Count:  6,
+	}}}}
+	b := []FamilySnapshot{{Name: "m_seconds", Kind: "histogram", Series: []SeriesSnapshot{{
+		Bounds: []float64{0.5, 1, 5},
+		Counts: []int64{10, 1, 1, 2}, // ≤0.5: 10, ≤1: 11, ≤5: 12, total 14
+		Sum:    20,
+		Count:  14,
+	}}}}
+	merged := MergeFamilies(map[string][]FamilySnapshot{"a": a, "b": b}, nil)
+	s := merged[0].Series[0]
+
+	wantBounds := []float64{0.1, 0.5, 1, 5}
+	if len(s.Bounds) != len(wantBounds) {
+		t.Fatalf("union bounds = %v", s.Bounds)
+	}
+	for i := range wantBounds {
+		if s.Bounds[i] != wantBounds[i] {
+			t.Fatalf("union bounds = %v, want %v", s.Bounds, wantBounds)
+		}
+	}
+	// Non-cumulative buckets after remap: (0.1]=1, (0.5]=10, (1]=2+1,
+	// (5]=1, +Inf=3+2.
+	wantCounts := []int64{1, 10, 3, 1, 5}
+	for i := range wantCounts {
+		if s.Counts[i] != wantCounts[i] {
+			t.Fatalf("remapped counts = %v, want %v", s.Counts, wantCounts)
+		}
+	}
+	if s.Sum != 25 || s.Count != 20 {
+		t.Fatalf("sum/count = %v/%v", s.Sum, s.Count)
+	}
+}
+
+func TestMergeMalformedHistogramDropped(t *testing.T) {
+	good := []FamilySnapshot{{Name: "m", Kind: "histogram", Series: []SeriesSnapshot{{
+		Bounds: []float64{1}, Counts: []int64{2, 3}, Sum: 4, Count: 5,
+	}}}}
+	// Counts length disagrees with bounds — a corrupt or truncated
+	// shipment must not panic or poison the merge.
+	bad := []FamilySnapshot{{Name: "m", Kind: "histogram", Series: []SeriesSnapshot{{
+		Bounds: []float64{1, 2, 3}, Counts: []int64{1}, Sum: 99, Count: 99,
+	}}}}
+	merged := MergeFamilies(map[string][]FamilySnapshot{"a": good, "b": bad}, nil)
+	s := merged[0].Series[0]
+	if s.Count != 5 || s.Sum != 4 {
+		t.Fatalf("malformed series leaked into merge: %+v", s)
+	}
+
+	// Same, with the malformed node sorting first.
+	merged = MergeFamilies(map[string][]FamilySnapshot{"z": good, "a": bad}, nil)
+	s = merged[0].Series[0]
+	if s.Count != 5 || s.Sum != 4 {
+		t.Fatalf("malformed-first merge: %+v", s)
+	}
+}
+
+func TestLabelFamiliesAddsNodeLabel(t *testing.T) {
+	a := []FamilySnapshot{{Name: "m", Kind: "counter", Series: []SeriesSnapshot{
+		{Labels: Labels{"route": "/x"}, Value: 1},
+	}}}
+	b := []FamilySnapshot{{Name: "m", Kind: "counter", Series: []SeriesSnapshot{
+		{Labels: Labels{"route": "/x"}, Value: 2},
+	}}}
+	out := LabelFamilies(map[string][]FamilySnapshot{"node-a": a, "node-b": b}, "node")
+	if len(out) != 1 || len(out[0].Series) != 2 {
+		t.Fatalf("labeled shape: %+v", out)
+	}
+	seen := map[string]float64{}
+	for _, s := range out[0].Series {
+		if s.Labels["route"] != "/x" {
+			t.Fatalf("original label lost: %+v", s)
+		}
+		seen[s.Labels["node"]] = s.Value
+	}
+	if seen["node-a"] != 1 || seen["node-b"] != 2 {
+		t.Fatalf("node series: %v", seen)
+	}
+}
+
+func TestMergeRoundTripThroughExport(t *testing.T) {
+	// End-to-end: two live registries exported, merged, rendered.
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("m_ingested_total", "", Labels{"status": "accepted"}).Add(10)
+	r2.Counter("m_ingested_total", "", Labels{"status": "accepted"}).Add(5)
+	r1.Histogram("m_lat", "", []float64{1}, nil).Observe(0.5)
+	r2.Histogram("m_lat", "", []float64{1, 2}, nil).Observe(1.5)
+
+	merged := MergeFamilies(map[string][]FamilySnapshot{
+		"a": r1.Export(), "b": r2.Export(),
+	}, nil)
+	var sb strings.Builder
+	if err := WriteFamilies(&sb, merged); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `m_ingested_total{status="accepted"} 15`) {
+		t.Fatalf("counter not summed:\n%s", out)
+	}
+	if !strings.Contains(out, `m_lat_bucket{le="+Inf"} 2`) {
+		t.Fatalf("histogram not merged:\n%s", out)
+	}
+}
