@@ -196,3 +196,25 @@ func TestOptionsPartialConfigNotDiscarded(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryIndexFacade(t *testing.T) {
+	ix := mosaic.NewIndex()
+	ix.Load([]mosaic.IndexEntry{
+		{ID: mosaic.TraceID(strings.Repeat("a", 64)), Cats: mosaic.Set{"write_on_end": {}}},
+		{ID: mosaic.TraceID(strings.Repeat("b", 64)), Cats: mosaic.Set{"read_on_start": {}}},
+	})
+	if err := mosaic.ParseQuery("write_on_end AND ("); err == nil {
+		t.Fatal("unbalanced query accepted")
+	}
+	ids, err := ix.Query("write_on_end NOT read_on_start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != mosaic.TraceID(strings.Repeat("a", 64)) {
+		t.Fatalf("query = %v", ids)
+	}
+	merged := mosaic.MergeSorted([]string{"a", "c"}, []string{"b", "c"})
+	if strings.Join(merged, "") != "abc" {
+		t.Fatalf("merge = %v", merged)
+	}
+}

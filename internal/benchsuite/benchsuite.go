@@ -36,13 +36,14 @@ const (
 	IngestFile    = "BENCH_ingest.json"
 	ServeFile     = "BENCH_serve.json"
 	ClusterFile   = "BENCH_cluster.json"
+	QueryFile     = "BENCH_query.json"
 )
 
 // Files lists every baseline file produced by the pinned targets; the
 // bench gate iterates this, so a new baseline file only needs to be
 // added here.
 func Files() []string {
-	return []string{MeanShiftFile, PipelineFile, IngestFile, ServeFile, ClusterFile}
+	return []string{MeanShiftFile, PipelineFile, IngestFile, ServeFile, ClusterFile, QueryFile}
 }
 
 // Target is one pinned benchmark: its stable name, the baseline file it
@@ -342,6 +343,19 @@ func Targets() []Target {
 		Target{Name: "BenchmarkCluster/ingest_n4_rf1", File: ClusterFile, Fn: ClusterIngest(4, 1)},
 		Target{Name: "BenchmarkCluster/ingest_n4_rf2", File: ClusterFile, Fn: ClusterIngest(4, 2)},
 		Target{Name: "BenchmarkCluster/scatter_query_n4", File: ClusterFile, Fn: ClusterScatterQuery(4)},
+		Target{Name: "BenchmarkQuery/point_1m", File: QueryFile, Fn: QueryBench("point", false)},
+		Target{Name: "BenchmarkQuery/and_heavy_1m", File: QueryFile, Fn: QueryBench("and_heavy", false)},
+		Target{Name: "BenchmarkQuery/not_heavy_1m", File: QueryFile, Fn: QueryBench("not_heavy", false)},
+		Target{Name: "BenchmarkQuery/stats_1m", File: QueryFile, Fn: QueryBench("stats", false)},
+		Target{Name: "BenchmarkQuery/rebuild_20k", File: QueryFile, Fn: QueryRebuild(false)},
+		Target{Name: "BenchmarkQueryOracle/point_1m", File: QueryFile, Fn: QueryBench("point", true)},
+		Target{Name: "BenchmarkQueryOracle/and_heavy_1m", File: QueryFile, Fn: QueryBench("and_heavy", true)},
+		Target{Name: "BenchmarkQueryOracle/not_heavy_1m", File: QueryFile, Fn: QueryBench("not_heavy", true)},
+		Target{Name: "BenchmarkQueryOracle/stats_1m", File: QueryFile, Fn: QueryBench("stats", true)},
+		Target{Name: "BenchmarkQueryOracle/rebuild_20k", File: QueryFile, Fn: QueryRebuild(true)},
+		Target{Name: "BenchmarkMergeSorted/k2", File: QueryFile, Fn: QueryMergeSorted(2)},
+		Target{Name: "BenchmarkMergeSorted/k8", File: QueryFile, Fn: QueryMergeSorted(8)},
+		Target{Name: "BenchmarkMergeSorted/k32", File: QueryFile, Fn: QueryMergeSorted(32)},
 	)
 	return ts
 }

@@ -1,0 +1,50 @@
+package benchsuite
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/benchio"
+)
+
+// TestWriteQueryBaseline regenerates BENCH_query.json alone, without
+// dragging the full pinned suite along:
+//
+//	MOSAIC_WRITE_QUERY_BASELINE=BENCH_query.json \
+//	  go test ./internal/benchsuite -run TestWriteQueryBaseline -timeout 30m
+//
+// It is a no-op (skipped) in normal test runs.
+func TestWriteQueryBaseline(t *testing.T) {
+	path := os.Getenv("MOSAIC_WRITE_QUERY_BASELINE")
+	if path == "" {
+		t.Skip("set MOSAIC_WRITE_QUERY_BASELINE=<path> to regenerate the query baseline")
+	}
+	f := benchio.File{Go: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH}
+	for _, tgt := range Targets() {
+		if tgt.File != QueryFile {
+			continue
+		}
+		var best benchio.Entry
+		const count = 3
+		for c := 0; c < count; c++ {
+			r := testing.Benchmark(tgt.Fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if c == 0 || ns < best.NsPerOp {
+				best = benchio.Entry{
+					Name:        tgt.Name,
+					NsPerOp:     ns,
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					Iterations:  r.N,
+				}
+			}
+		}
+		t.Logf("%-44s %14.0f ns/op %10d B/op %8d allocs/op",
+			best.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
+		f.Entries = append(f.Entries, best)
+	}
+	if err := benchio.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+}

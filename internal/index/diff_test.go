@@ -1,0 +1,244 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/core"
+	"github.com/mosaic-hpc/mosaic/internal/gen"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// Differential tests: the posting-list engine and the map-based
+// Oracle must give byte-identical answers on every query, plus
+// identical Len/Count/Categories/AxisCounts views, across archetype
+// corpora, random corpora with churn, and store rebuilds.
+
+// diffQueries is the query battery: every operator, lazy-NOT shapes,
+// nesting, juxtaposition, substring expansion, and degenerate forms.
+var diffQueries = []string{
+	"write_on_end",
+	"read_on_start",
+	"periodic_minute",
+	"metadata_high_spike",
+	"write_on_end AND metadata_high_spike",
+	"periodic_minute AND write_on_end",
+	"write_on_end OR read_on_start",
+	"write_on_end read_on_start",
+	"write_on_end NOT metadata_high_spike",
+	"NOT write_on_end",
+	"NOT NOT write_on_end",
+	"NOT (write_on_end OR read_on_start)",
+	"(write_on_end OR read_on_start) AND NOT metadata_high_spike",
+	"NOT write_on_end AND NOT read_on_start",
+	"NOT write_on_end OR NOT read_on_start",
+	"write_on_end OR NOT write_on_end",
+	"write_on_end AND NOT write_on_end",
+	"(periodic_minute OR periodic_hour) AND (write_on_end NOT metadata_insignificant_load)",
+	"read_periodic_minute OR (write_periodic_minute NOT write_on_end)",
+	"metadata AND periodic",
+	"busy",
+	"NOT busy",
+	"write AND NOT read",
+	"(NOT (read_on_start AND write_on_end)) OR metadata_high_spike",
+	"steady OR spike NOT single",
+}
+
+// checkAgree asserts every observable view of the two engines matches.
+func checkAgree(t *testing.T, ix *Index, or *Oracle, queries []string) {
+	t.Helper()
+	if got, want := ix.Len(), or.Len(); got != want {
+		t.Fatalf("Len: engine=%d oracle=%d", got, want)
+	}
+	for _, c := range category.All() {
+		if got, want := ix.Count(c), or.Count(c); got != want {
+			t.Fatalf("Count(%s): engine=%d oracle=%d", c, got, want)
+		}
+	}
+	if got, want := ix.AxisCounts(), or.AxisCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AxisCounts:\nengine=%v\noracle=%v", got, want)
+	}
+	for _, q := range queries {
+		got, gerr := ix.Query(q)
+		want, werr := or.Query(q)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("Query(%q): engine err=%v oracle err=%v", q, gerr, werr)
+		}
+		if gerr != nil {
+			continue
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Query(%q): engine %d ids, oracle %d ids\nengine=%.6v\noracle=%.6v",
+				q, len(got), len(want), got, want)
+		}
+	}
+}
+
+// TestDifferentialArchetypes runs real categorization over every
+// default archetype and checks the engines agree on the resulting
+// corpus — the all-archetype acceptance gate.
+func TestDifferentialArchetypes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	ix, or := New(), NewOracle()
+	n := 0
+	for ai, arch := range gen.DefaultArchetypes() {
+		for run := 0; run < 3; run++ {
+			rng := rand.New(rand.NewSource(int64(ai*31 + run)))
+			p := arch.Params(rng)
+			b := gen.NewBuilder(rng, "u", arch.Exe, uint64(n+1), p.Ranks, p.RuntimeBase)
+			arch.Build(b, p)
+			res, err := core.Categorize(b.Job(), cfg)
+			if err != nil {
+				t.Fatalf("categorize %s run %d: %v", arch.Name, run, err)
+			}
+			tid := id(n)
+			ix.Add(tid, res.Categories)
+			or.Add(tid, res.Categories)
+			cats := ix.Categories(tid)
+			if want := or.Categories(tid); !reflect.DeepEqual(cats, want) && (len(cats) != 0 || len(want) != 0) {
+				t.Fatalf("Categories(%s): engine=%v oracle=%v", tid, cats, want)
+			}
+			n++
+		}
+	}
+	checkAgree(t, ix, or, diffQueries)
+}
+
+// randomCorpus drives both engines through a deterministic mutation
+// history: adds with random category sets, plus removes and re-adds
+// of earlier traces so the delta log sees tombstones and overrides.
+func randomCorpus(seed int64, n int, ix *Index, or *Oracle) {
+	rng := rand.New(rand.NewSource(seed))
+	all := category.All()
+	randSet := func() category.Set {
+		s := category.NewSet()
+		for _, c := range all {
+			if rng.Intn(5) == 0 {
+				s.Add(c)
+			}
+		}
+		return s
+	}
+	for i := 0; i < n; i++ {
+		tid := id(i)
+		s := randSet()
+		ix.Add(tid, s)
+		or.Add(tid, s)
+		switch rng.Intn(8) {
+		case 0: // remove an earlier trace
+			victim := id(rng.Intn(i + 1))
+			ix.Remove(victim)
+			or.Remove(victim)
+		case 1: // re-categorize an earlier trace
+			victim := id(rng.Intn(i + 1))
+			s2 := randSet()
+			ix.Add(victim, s2)
+			or.Add(victim, s2)
+		}
+	}
+}
+
+func TestDifferentialRandom(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ix, or := New(), NewOracle()
+			ix.compactMin = 64 // force many background folds mid-history
+			randomCorpus(seed, 3000, ix, or)
+			ix.waitCompact()
+			checkAgree(t, ix, or, diffQueries)
+		})
+	}
+}
+
+// TestDifferentialLarge is the scaled-up agreement check. The oracle's
+// lazy negation is what keeps its side tractable here: no query below
+// materializes a full-universe map.
+func TestDifferentialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential corpus")
+	}
+	ix, or := New(), NewOracle()
+	randomCorpus(99, 200_000, ix, or)
+	ix.waitCompact()
+	checkAgree(t, ix, or, diffQueries)
+}
+
+// TestDifferentialLoad checks the bulk-load path lands in the same
+// state as the incremental path, duplicates resolving latest-wins.
+func TestDifferentialLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	all := category.All()
+	var items []Entry
+	or := NewOracle()
+	for i := 0; i < 2000; i++ {
+		tid := id(rng.Intn(700)) // dense duplicates
+		s := category.NewSet()
+		for _, c := range all {
+			if rng.Intn(4) == 0 {
+				s.Add(c)
+			}
+		}
+		items = append(items, Entry{ID: tid, Cats: s})
+		or.Add(tid, s)
+	}
+	ix := New()
+	if n := ix.Load(items); n != or.Len() {
+		t.Fatalf("Load indexed %d traces, oracle has %d", n, or.Len())
+	}
+	checkAgree(t, ix, or, diffQueries)
+}
+
+// TestDifferentialRebuild compares both engines' store-rebuild paths:
+// the engine streams labels sequentially, the oracle random-reads and
+// fully decodes — same resulting index either way.
+func TestDifferentialRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const fp = "cfg-difftest00000000"
+	rng := rand.New(rand.NewSource(11))
+	all := category.All()
+	for i := 0; i < 300; i++ {
+		var labels []string
+		for _, c := range all {
+			if rng.Intn(4) == 0 {
+				labels = append(labels, string(c))
+			}
+		}
+		if err := s.PutResult(id(i), fp, &core.Result{Labels: labels}); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 { // supersede: latest write wins in both paths
+			if err := s.PutResult(id(i), fp, &core.Result{Labels: labels[:len(labels)/2]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%11 == 0 { // a result under another fingerprint must be invisible
+			if err := s.PutResult(id(i), "cfg-otherfp000000000", &core.Result{Labels: []string{"read_on_start"}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ix, or := New(), NewOracle()
+	n1, err := ix.Rebuild(s, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := or.Rebuild(s, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || n1 != 300 {
+		t.Fatalf("Rebuild counts: engine=%d oracle=%d want 300", n1, n2)
+	}
+	checkAgree(t, ix, or, diffQueries)
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -36,15 +37,15 @@ func FuzzQueryParse(f *testing.F) {
 		"read NOT write",
 		"(read OR write) AND NOT metadata",
 		"((read))",
-		"read write",              // juxtaposition = AND
-		"rEaD oR wRiTe",           // case-insensitive keywords
-		"read,write",              // comma separator
-		"read AND",                // dangling operator
-		"AND read",                // leading operator
-		"(read",                   // unclosed paren
-		"read)",                   // stray close
-		"zzz_no_such_category",    // term matching nothing
-		"NOT NOT NOT read",        // stacked negation
+		"read write",           // juxtaposition = AND
+		"rEaD oR wRiTe",        // case-insensitive keywords
+		"read,write",           // comma separator
+		"read AND",             // dangling operator
+		"AND read",             // leading operator
+		"(read",                // unclosed paren
+		"read)",                // stray close
+		"zzz_no_such_category", // term matching nothing
+		"NOT NOT NOT read",     // stacked negation
 		strings.Repeat("(", 600) + "read" + strings.Repeat(")", 600), // past the depth cap
 		"read\t\nwrite\r",
 		"()",
@@ -68,6 +69,81 @@ func FuzzQueryParse(f *testing.F) {
 		for i := 1; i < len(ids); i++ {
 			if ids[i-1] >= ids[i] {
 				t.Fatalf("Query(%q) output unsorted or duplicated at %d: %q >= %q", q, i, ids[i-1], ids[i])
+			}
+		}
+	})
+}
+
+// FuzzQueryEval is the differential fuzz target: a deterministic
+// random corpus (seeded by the fuzzer, including removes and re-adds
+// so the delta log and compaction both engage) indexed into the
+// posting-list engine and the map-based Oracle, which must agree
+// exactly on every fuzzed query.
+func FuzzQueryEval(f *testing.F) {
+	for _, s := range []struct {
+		seed uint64
+		q    string
+	}{
+		{1, "write_on_end"},
+		{2, "periodic_minute AND write_on_end NOT insignificant_load"},
+		{3, "NOT (read_on_start OR write_on_end)"},
+		{4, "NOT busy AND NOT spike"},
+		{5, "(read OR write) AND NOT metadata"},
+		{6, "write_on_end OR NOT write_on_end"},
+		{7, "steady spike single"},
+		{8, "NOT NOT read_on_start"},
+	} {
+		f.Add(s.seed, s.q)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, q string) {
+		if len(q) > 1<<12 {
+			return
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + rng.Intn(200)
+		ix, or := New(), NewOracle()
+		ix.compactMin = 16 // tiny threshold: folds happen mid-corpus
+		all := category.All()
+		for i := 0; i < n; i++ {
+			s := category.NewSet()
+			for _, c := range all {
+				if rng.Intn(6) == 0 {
+					s.Add(c)
+				}
+			}
+			tid := id(i)
+			ix.Add(tid, s)
+			or.Add(tid, s)
+			if rng.Intn(4) == 0 {
+				victim := id(rng.Intn(i + 1))
+				if rng.Intn(2) == 0 {
+					ix.Remove(victim)
+					or.Remove(victim)
+				} else {
+					s2 := category.NewSet(all[rng.Intn(len(all))])
+					ix.Add(victim, s2)
+					or.Add(victim, s2)
+				}
+			}
+		}
+		ix.waitCompact()
+		if ix.Len() != or.Len() {
+			t.Fatalf("Len: engine=%d oracle=%d", ix.Len(), or.Len())
+		}
+		got, gerr := ix.Query(q)
+		want, werr := or.Query(q)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("Query(%q): engine err=%v oracle err=%v", q, gerr, werr)
+		}
+		if gerr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Query(%q): engine %d ids, oracle %d ids", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Query(%q): mismatch at %d: engine %q oracle %q", q, i, got[i], want[i])
 			}
 		}
 	})

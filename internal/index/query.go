@@ -2,8 +2,10 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/mosaic-hpc/mosaic/internal/category"
 	"github.com/mosaic-hpc/mosaic/internal/store"
@@ -24,10 +26,10 @@ import (
 // metadata_insignificant_load. NOT is evaluated against the universe
 // of indexed traces.
 
-// node is one parsed query expression.
-type node interface {
-	eval(ix *Index, universe map[store.TraceID]struct{}) map[store.TraceID]struct{}
-}
+// node is one parsed query expression. The same AST feeds two
+// evaluators: compile() lowers it to a posting-list plan for Index,
+// and Oracle walks it directly over hash-map sets.
+type node interface{ isNode() }
 
 type termNode struct{ cats []category.Category }
 
@@ -37,50 +39,10 @@ type orNode struct{ l, r node }
 
 type notNode struct{ n node }
 
-func (t termNode) eval(ix *Index, _ map[store.TraceID]struct{}) map[store.TraceID]struct{} {
-	out := make(map[store.TraceID]struct{})
-	ix.mu.RLock()
-	for _, c := range t.cats {
-		for id := range ix.byCat[c] {
-			out[id] = struct{}{}
-		}
-	}
-	ix.mu.RUnlock()
-	return out
-}
-
-func (a andNode) eval(ix *Index, u map[store.TraceID]struct{}) map[store.TraceID]struct{} {
-	l, r := a.l.eval(ix, u), a.r.eval(ix, u)
-	if len(r) < len(l) {
-		l, r = r, l
-	}
-	out := make(map[store.TraceID]struct{}, len(l))
-	for id := range l {
-		if _, ok := r[id]; ok {
-			out[id] = struct{}{}
-		}
-	}
-	return out
-}
-
-func (o orNode) eval(ix *Index, u map[store.TraceID]struct{}) map[store.TraceID]struct{} {
-	out := o.l.eval(ix, u)
-	for id := range o.r.eval(ix, u) {
-		out[id] = struct{}{}
-	}
-	return out
-}
-
-func (n notNode) eval(ix *Index, u map[store.TraceID]struct{}) map[store.TraceID]struct{} {
-	inner := n.n.eval(ix, u)
-	out := make(map[store.TraceID]struct{})
-	for id := range u {
-		if _, ok := inner[id]; !ok {
-			out[id] = struct{}{}
-		}
-	}
-	return out
-}
+func (termNode) isNode() {}
+func (andNode) isNode()  {}
+func (orNode) isNode()   {}
+func (notNode) isNode()  {}
 
 // ParseError describes a malformed query.
 type ParseError struct {
@@ -281,22 +243,90 @@ func parseQuery(q string) (node, error) {
 // Query evaluates a boolean category expression, returning matching
 // trace IDs in lexicographic order.
 func (ix *Index) Query(q string) ([]store.TraceID, error) {
-	root, err := parseQuery(q)
+	ids, err := ix.QueryIDs(q)
 	if err != nil {
 		return nil, err
 	}
-	ix.mu.RLock()
-	universe := make(map[store.TraceID]struct{}, len(ix.byTrace))
-	for id := range ix.byTrace {
-		universe[id] = struct{}{}
+	out := make([]store.TraceID, len(ids))
+	for i, id := range ids {
+		out[i] = store.TraceID(id)
 	}
-	ix.mu.RUnlock()
-	matches := root.eval(ix, universe)
-	out := make([]store.TraceID, 0, len(matches))
-	for id := range matches {
+	return out, nil
+}
+
+// QueryIDs is Query returning plain strings — the serving and
+// scatter-gather shape, skipping one conversion copy. The plan runs
+// against a single snapshot: ordinal set algebra over the generation,
+// then a latest-wins overlay of the unfolded delta, and strings only
+// materialize into the final result slice.
+func (ix *Index) QueryIDs(q string) ([]string, error) {
+	plan, err := compileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	s := ix.snap.Load()
+	sc := getScratch()
+	defer putScratch(sc)
+
+	res := plan.eval(s.gen, sc)
+	if res.neg {
+		pos := evalSet{list: complementInto(sc.get(), res.list, uint32(s.gen.n())), owned: true}
+		sc.release(res)
+		res = pos
+	}
+	base := res.list
+
+	if len(s.ops) == 0 {
+		out := make([]string, len(base))
+		for i, ord := range base {
+			out[i] = string(s.gen.ids[ord])
+		}
+		sc.release(res)
+		return out, nil
+	}
+
+	// Delta overlay: ordinals the delta overrides leave the base
+	// result; delta traces whose latest category set satisfies the
+	// expression merge back in by ID.
+	seen := sc.seenMap()
+	overridden := sc.get()
+	matches := sc.ids[:0]
+	for i := len(s.ops) - 1; i >= 0; i-- {
+		op := s.ops[i]
+		if _, dup := seen[op.id]; dup {
+			continue
+		}
+		seen[op.id] = struct{}{}
+		if ord, ok := s.gen.ordinalOf(op.id); ok {
+			overridden = append(overridden, ord)
+		}
+		if op.cats != nil && plan.matches(op.cats) {
+			matches = append(matches, string(op.id))
+		}
+	}
+	sc.ids = matches
+	slices.Sort(overridden)
+	slices.Sort(matches)
+
+	out := make([]string, 0, len(base)+len(matches))
+	oi, mi := 0, 0
+	for _, ord := range base {
+		for oi < len(overridden) && overridden[oi] < ord {
+			oi++
+		}
+		if oi < len(overridden) && overridden[oi] == ord {
+			continue
+		}
+		id := string(s.gen.ids[ord])
+		for mi < len(matches) && matches[mi] < id {
+			out = append(out, matches[mi])
+			mi++
+		}
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = append(out, matches[mi:]...)
+	sc.release(res)
+	sc.put(overridden)
 	return out, nil
 }
 
@@ -305,7 +335,8 @@ func (ix *Index) Query(q string) ([]store.TraceID, error) {
 // shard's Query answer is already ordered and a replicated trace
 // appears in more than one shard's answer. Unsorted inputs still
 // produce a correct (sorted, deduplicated) union; sorted inputs merge
-// in linear time.
+// in linear time for small K and O(total·log K) through a loser tree
+// above mergeLinearMaxK lists.
 func MergeSorted(lists ...[]string) []string {
 	total := 0
 	for _, l := range lists {
@@ -314,10 +345,36 @@ func MergeSorted(lists ...[]string) []string {
 	if total == 0 {
 		return nil
 	}
-	out := make([]string, 0, total)
-	// K-way merge by repeatedly taking the smallest head. K is the node
-	// count — single digits — so a linear scan beats a heap.
-	heads := make([]int, len(lists))
+	return MergeSortedInto(make([]string, 0, total), lists...)
+}
+
+// mergeLinearMaxK is the list count up to which a linear head scan
+// beats the loser tree's bookkeeping.
+const mergeLinearMaxK = 8
+
+// MergeSortedInto is MergeSorted appending into dst (reset to
+// dst[:0]), so callers on the fan-in hot path can pool the output
+// slice.
+func MergeSortedInto(dst []string, lists ...[]string) []string {
+	dst = dst[:0]
+	if len(lists) <= mergeLinearMaxK {
+		dst = mergeLinear(dst, lists)
+	} else {
+		dst = mergeLoserTree(dst, lists)
+	}
+	if !sort.StringsAreSorted(dst) {
+		// An unsorted input slipped through the merge; fall back.
+		sort.Strings(dst)
+		dst = dedupSorted(dst)
+	}
+	return dst
+}
+
+// mergeLinear repeatedly takes the smallest head by scanning all K
+// lists — optimal when K is single digits.
+func mergeLinear(dst []string, lists [][]string) []string {
+	var headsArr [mergeLinearMaxK]int
+	heads := headsArr[:len(lists)]
 	for {
 		best := -1
 		for i, l := range lists {
@@ -329,20 +386,101 @@ func MergeSorted(lists ...[]string) []string {
 			}
 		}
 		if best < 0 {
-			break
+			return dst
 		}
 		id := lists[best][heads[best]]
 		heads[best]++
-		if n := len(out); n == 0 || out[n-1] != id {
-			out = append(out, id)
+		if n := len(dst); n == 0 || dst[n-1] != id {
+			dst = append(dst, id)
 		}
 	}
-	if !sort.StringsAreSorted(out) {
-		// An unsorted input slipped through the merge; fall back.
-		sort.Strings(out)
-		out = dedupSorted(out)
+}
+
+// loserTree is a tournament tree for K-way merging: node[1..k-1] hold
+// the losers of each internal match, node[0] the overall winner, and
+// replaying one leaf-to-root path (log K comparisons) replaces the
+// winner after each pop. k is padded to a power of two with exhausted
+// virtual lists.
+type loserTree struct {
+	node  []int32
+	heads []int
+	lists [][]string
+}
+
+var loserTreePool = sync.Pool{New: func() any { return &loserTree{} }}
+
+// less reports whether leaf a's head sorts before leaf b's; exhausted
+// leaves lose to everything.
+func (t *loserTree) less(a, b int32) bool {
+	la, lb := t.lists[a], t.lists[b]
+	if t.heads[a] >= len(la) {
+		return false
 	}
-	return out
+	if t.heads[b] >= len(lb) {
+		return true
+	}
+	sa, sb := la[t.heads[a]], lb[t.heads[b]]
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+// build plays the initial tournament under node n, recording losers
+// and returning the winning leaf.
+func (t *loserTree) build(n int32) int32 {
+	k := int32(len(t.lists))
+	if n >= k {
+		return n - k
+	}
+	l, r := t.build(2*n), t.build(2*n+1)
+	if t.less(l, r) {
+		t.node[n] = r
+		return l
+	}
+	t.node[n] = l
+	return r
+}
+
+func mergeLoserTree(dst []string, lists [][]string) []string {
+	k := 1
+	for k < len(lists) {
+		k <<= 1
+	}
+	t := loserTreePool.Get().(*loserTree)
+	defer func() {
+		clear(t.lists) // don't pin caller slices in the pool
+		loserTreePool.Put(t)
+	}()
+	if cap(t.lists) < k {
+		t.node = make([]int32, k)
+		t.heads = make([]int, k)
+		t.lists = make([][]string, k)
+	}
+	t.node, t.heads, t.lists = t.node[:k], t.heads[:k], t.lists[:k]
+	clear(t.lists)
+	clear(t.heads[:k])
+	copy(t.lists, lists)
+
+	t.node[0] = t.build(1)
+	for {
+		w := t.node[0]
+		if t.heads[w] >= len(t.lists[w]) {
+			return dst // winner exhausted ⇒ every list is
+		}
+		id := t.lists[w][t.heads[w]]
+		t.heads[w]++
+		if n := len(dst); n == 0 || dst[n-1] != id {
+			dst = append(dst, id)
+		}
+		winner := w
+		for parent := (w + int32(k)) / 2; parent >= 1; parent /= 2 {
+			if t.less(t.node[parent], winner) {
+				winner, t.node[parent] = t.node[parent], winner
+			}
+		}
+		t.node[0] = winner
+	}
 }
 
 func dedupSorted(ids []string) []string {

@@ -1,0 +1,267 @@
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/mosaic-hpc/mosaic/internal/category"
+	"github.com/mosaic-hpc/mosaic/internal/store"
+)
+
+// The posting-list engine names categories by dense uint16 IDs and
+// traces by dense uint32 ordinals. Category IDs are process-global:
+// the closed canonical set from category.All() occupies [0,32) in a
+// lock-free immutable map, and anything else (possible only through
+// Add with a non-canonical category) is appended to a small locked
+// registry. Trace ordinals are per-generation: a generation assigns
+// ordinal i to the i-th trace ID in lexicographic order, so a sorted
+// ordinal set materializes into a sorted ID list with no comparison
+// work at query time.
+
+// builtinCatID maps every canonical category to its dense ID without
+// locking; query terms only ever expand over category.All(), so the
+// entire query path stays lock-free.
+var builtinCatID = func() map[category.Category]uint16 {
+	all := category.All()
+	m := make(map[category.Category]uint16, len(all))
+	for i, c := range all {
+		m[c] = uint16(i)
+	}
+	return m
+}()
+
+// catReg holds the ID→name table (canonical prefix plus any
+// out-of-vocabulary categories registered by Add).
+var catReg = struct {
+	mu    sync.RWMutex
+	names []category.Category
+	ids   map[category.Category]uint16
+}{}
+
+func init() {
+	all := category.All()
+	catReg.names = append([]category.Category(nil), all...)
+	catReg.ids = make(map[category.Category]uint16, len(all))
+	for i, c := range all {
+		catReg.ids[c] = uint16(i)
+	}
+}
+
+// catIDOf returns the dense ID for a category, registering it on
+// first sight.
+func catIDOf(c category.Category) uint16 {
+	if id, ok := builtinCatID[c]; ok {
+		return id
+	}
+	catReg.mu.Lock()
+	defer catReg.mu.Unlock()
+	if id, ok := catReg.ids[c]; ok {
+		return id
+	}
+	id := uint16(len(catReg.names))
+	catReg.names = append(catReg.names, c)
+	catReg.ids[c] = id
+	return id
+}
+
+// lookupCatID is catIDOf without the registering side effect.
+func lookupCatID(c category.Category) (uint16, bool) {
+	if id, ok := builtinCatID[c]; ok {
+		return id, true
+	}
+	catReg.mu.RLock()
+	defer catReg.mu.RUnlock()
+	id, ok := catReg.ids[c]
+	return id, ok
+}
+
+// catNames returns an immutable view of the ID→name table. The
+// backing array is append-only and the view is length-capped, so the
+// caller may read it without further locking.
+func catNames() []category.Category {
+	catReg.mu.RLock()
+	defer catReg.mu.RUnlock()
+	return catReg.names[:len(catReg.names):len(catReg.names)]
+}
+
+// generation is one immutable posting-list build: the trace-ID
+// dictionary in lexicographic order, per-ordinal category sets in CSR
+// layout, and per-category sorted ordinal postings. Nothing in a
+// generation is ever mutated after buildGeneration returns.
+type generation struct {
+	ids      []store.TraceID // ordinal → ID, lexicographically sorted
+	catOff   []uint32        // len(ids)+1 offsets into catIDs
+	catIDs   []uint16        // concatenated per-ordinal category sets
+	postings [][]uint32      // catID → sorted ordinals
+}
+
+var emptyGen = &generation{catOff: []uint32{0}}
+
+func (g *generation) n() int { return len(g.ids) }
+
+// ordinalOf binary-searches the dictionary.
+func (g *generation) ordinalOf(id store.TraceID) (uint32, bool) {
+	lo, hi := 0, len(g.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.ids) && g.ids[lo] == id {
+		return uint32(lo), true
+	}
+	return 0, false
+}
+
+func (g *generation) catsAt(ord uint32) []uint16 {
+	return g.catIDs[g.catOff[ord]:g.catOff[ord+1]]
+}
+
+// posting returns the ordinal list for a category ID, tolerating IDs
+// registered after this generation was built.
+func (g *generation) posting(cid uint16) []uint32 {
+	if int(cid) < len(g.postings) {
+		return g.postings[cid]
+	}
+	return nil
+}
+
+// entry is one (trace, category set) pair fed to a generation build.
+type entry struct {
+	id   store.TraceID
+	cats []uint16
+}
+
+// buildGeneration constructs a generation from entries already sorted
+// by ID and free of duplicates. Postings share one arena allocation.
+func buildGeneration(entries []entry, ncats int) *generation {
+	total := 0
+	for _, e := range entries {
+		total += len(e.cats)
+	}
+	g := &generation{
+		ids:      make([]store.TraceID, len(entries)),
+		catOff:   make([]uint32, len(entries)+1),
+		catIDs:   make([]uint16, 0, total),
+		postings: make([][]uint32, ncats),
+	}
+	counts := make([]int, ncats)
+	for _, e := range entries {
+		for _, c := range e.cats {
+			counts[c]++
+		}
+	}
+	arena := make([]uint32, total)
+	for cid, cnt := range counts {
+		g.postings[cid] = arena[:0:cnt]
+		arena = arena[cnt:]
+	}
+	for ord, e := range entries {
+		g.ids[ord] = e.id
+		g.catOff[ord] = uint32(len(g.catIDs))
+		g.catIDs = append(g.catIDs, e.cats...)
+		for _, c := range e.cats {
+			g.postings[c] = append(g.postings[c], uint32(ord))
+		}
+	}
+	g.catOff[len(entries)] = uint32(len(g.catIDs))
+	return g
+}
+
+// deltaOp is one batched mutation: a (re-)add with its category set,
+// or a tombstone (cats == nil). An empty non-nil cats slice is a live
+// trace with no categories — it matches NOT queries, as in the map
+// engine.
+type deltaOp struct {
+	id   store.TraceID
+	cats []uint16
+}
+
+// snapshot is the unit of epoch publication: an immutable generation
+// plus a length-capped prefix of the append-only delta log. Queries
+// grab one snapshot pointer and never look back; writers publish a
+// new snapshot after every mutation.
+type snapshot struct {
+	gen  *generation
+	ops  []deltaOp
+	live int
+	cats []category.Category // catID → name view covering every ID in gen/ops
+}
+
+// lookup resolves one trace against delta-then-generation,
+// latest-wins.
+func (s *snapshot) lookup(id store.TraceID) ([]uint16, bool) {
+	for i := len(s.ops) - 1; i >= 0; i-- {
+		if s.ops[i].id == id {
+			if s.ops[i].cats == nil {
+				return nil, false
+			}
+			return s.ops[i].cats, true
+		}
+	}
+	if ord, ok := s.gen.ordinalOf(id); ok {
+		return s.gen.catsAt(ord), true
+	}
+	return nil, false
+}
+
+// mergeGeneration folds a snapshot's delta into its generation,
+// producing the next generation. Runs without any Index lock: every
+// input is immutable.
+func mergeGeneration(s *snapshot, ncats int) *generation {
+	latest := make(map[store.TraceID]int, len(s.ops))
+	for i, op := range s.ops {
+		latest[op.id] = i
+	}
+	dops := make([]entry, 0, len(latest))
+	for id, i := range latest {
+		dops = append(dops, entry{id: id, cats: s.ops[i].cats})
+	}
+	sort.Slice(dops, func(i, j int) bool { return dops[i].id < dops[j].id })
+
+	g := s.gen
+	entries := make([]entry, 0, g.n()+len(dops))
+	i, j := 0, 0
+	for i < g.n() || j < len(dops) {
+		switch {
+		case j == len(dops) || (i < g.n() && g.ids[i] < dops[j].id):
+			entries = append(entries, entry{id: g.ids[i], cats: g.catsAt(uint32(i))})
+			i++
+		case i == g.n() || dops[j].id < g.ids[i]:
+			if dops[j].cats != nil {
+				entries = append(entries, dops[j])
+			}
+			j++
+		default: // same ID: the delta wins
+			if dops[j].cats != nil {
+				entries = append(entries, dops[j])
+			}
+			i++
+			j++
+		}
+	}
+	return buildGeneration(entries, ncats)
+}
+
+// sortCatIDs orders a small category-ID set by category name so CSR
+// rows materialize in the order Categories() promises. Insertion sort:
+// sets are at most a dozen wide.
+func sortCatIDs(ids []uint16, names []category.Category) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && names[ids[j]] < names[ids[j-1]]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func containsCat(cats []uint16, cid uint16) bool {
+	for _, c := range cats {
+		if c == cid {
+			return true
+		}
+	}
+	return false
+}

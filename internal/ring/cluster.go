@@ -561,11 +561,12 @@ type resultPush struct {
 }
 
 // ScatterQuery fans a boolean query out to every live peer and returns
-// the union of their match lists (unordered, may contain duplicates
-// across replicas — the caller merges) plus any per-peer failures.
-// Down peers are skipped and reported in errs; with replication >= 2
-// their shard remains covered by the surviving replicas.
-func (c *Cluster) ScatterQuery(ctx context.Context, reqID, q string) (ids []string, errs map[string]error) {
+// one match list per answering peer, each already sorted by the
+// shard's index (duplicates across replicas land in different lists —
+// the caller runs the K-way merge), plus any per-peer failures. Down
+// peers are skipped and reported in errs; with replication >= 2 their
+// shard remains covered by the surviving replicas.
+func (c *Cluster) ScatterQuery(ctx context.Context, reqID, q string) (lists [][]string, errs map[string]error) {
 	body, _ := json.Marshal(struct {
 		Q string `json:"q"`
 	}{Q: q})
@@ -613,9 +614,11 @@ func (c *Cluster) ScatterQuery(ctx context.Context, reqID, q string) (ids []stri
 			errs[r.peerID] = r.err
 			continue
 		}
-		ids = append(ids, r.ids...)
+		if len(r.ids) > 0 {
+			lists = append(lists, r.ids)
+		}
 	}
-	return ids, errs
+	return lists, errs
 }
 
 // ScatterStats collects every peer's NodeStats (down or failed peers

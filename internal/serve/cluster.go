@@ -459,16 +459,10 @@ func (cn *clusterNode) HandleResultPush(ctx context.Context, id, fp string, resu
 }
 
 // HandleQuery answers a scatter-gather query over the local shard.
+// The index materializes plain strings directly — no per-ID
+// conversion copy on the RPC path.
 func (cn *clusterNode) HandleQuery(ctx context.Context, q string) ([]string, error) {
-	ids, err := cn.s.ix.Query(q)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(ids))
-	for i, id := range ids {
-		out[i] = string(id)
-	}
-	return out, nil
+	return cn.s.ix.QueryIDs(q)
 }
 
 // HandleStats reports this node's shard statistics.

@@ -1022,28 +1022,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
 		return
 	}
-	ids, err := s.ix.Query(q)
+	ids, err := s.ix.QueryIDs(q)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	partial := false
 	if s.cluster != nil {
-		// Scatter-gather: every live peer answers for its shard; the
-		// merge is a sorted-list union, so the combined ordering is as
-		// stable as a single node's. A down peer's shard stays covered
-		// by its surviving replicas; partial flags that some peer could
-		// not answer at all.
-		local := make([]string, len(ids))
-		for i, id := range ids {
-			local[i] = string(id)
-		}
+		// Scatter-gather: every live peer answers for its shard with an
+		// already-sorted list, and the reduce is one K-way merge into a
+		// pooled buffer, so the combined ordering is as stable as a
+		// single node's. A down peer's shard stays covered by its
+		// surviving replicas; partial flags that some peer could not
+		// answer at all.
 		remote, errs := s.cluster.ring.ScatterQuery(r.Context(), RequestIDFrom(r.Context()), q)
-		merged := index.MergeSorted(local, remote)
-		ids = make([]store.TraceID, len(merged))
-		for i, id := range merged {
-			ids[i] = store.TraceID(id)
-		}
+		lists := make([][]string, 0, len(remote)+1)
+		lists = append(lists, ids)
+		lists = append(lists, remote...)
+		bufp := queryMergeBufs.Get().(*[]string)
+		defer func() {
+			// Drop ID references before pooling so merged result
+			// strings don't outlive the response.
+			b := *bufp
+			clear(b[:cap(b)])
+			queryMergeBufs.Put(bufp)
+		}()
+		*bufp = index.MergeSortedInto(*bufp, lists...)
+		ids = *bufp
 		partial = len(errs) > 0
 		if partial {
 			if log := s.reqLog(r); log != nil {
@@ -1068,12 +1073,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Query   string          `json:"query"`
-		Count   int             `json:"count"`
-		Partial bool            `json:"partial,omitempty"`
-		IDs     []store.TraceID `json:"ids"`
+		Query   string   `json:"query"`
+		Count   int      `json:"count"`
+		Partial bool     `json:"partial,omitempty"`
+		IDs     []string `json:"ids"`
 	}{Query: q, Count: len(ids), Partial: partial, IDs: ids[:limit]})
 }
+
+// queryMergeBufs pools the scatter-gather merge output so the fan-in
+// reduce allocates nothing per request beyond what the K-way merge
+// appends past pooled capacity.
+var queryMergeBufs = sync.Pool{New: func() any { return new([]string) }}
 
 // StatsResponse is the /v1/stats document. In cluster mode Node names
 // the answering node and Nodes carries every member's scatter-gathered

@@ -1,0 +1,180 @@
+package store
+
+import "bytes"
+
+// scanCategories extracts the top-level "categories" string array from a
+// JSON result document without decoding anything else: every other value
+// is skipped structurally (strings escape-aware, objects and arrays by
+// bracket depth), so the rebuild scan pays for the one field it keeps
+// rather than the whole document. Labels append to dst.
+//
+// The scanner handles exactly the shape (*Store).PutResult writes —
+// compact encoding/json output. ok is false on anything it does not
+// understand (malformed input, escape sequences in a key or label);
+// the caller falls back to a full encoding/json decode, so the fast
+// path never has to be clever about rare inputs, only honest.
+func scanCategories(doc []byte, dst []string) (_ []string, ok bool) {
+	p := jsonScan{b: doc}
+	p.ws()
+	if !p.eat('{') {
+		return dst, false
+	}
+	p.ws()
+	if p.eat('}') {
+		return dst, true
+	}
+	for {
+		key, esc, ok := p.rawString()
+		if !ok || esc {
+			return dst, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return dst, false
+		}
+		p.ws()
+		if string(key) == "categories" {
+			if dst, ok = p.stringArray(dst); !ok {
+				return dst, false
+			}
+		} else if !p.skipValue() {
+			return dst, false
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat('}') {
+			return dst, true
+		}
+		return dst, false
+	}
+}
+
+// jsonScan is a minimal forward-only JSON cursor.
+type jsonScan struct {
+	b []byte
+	i int
+}
+
+func (p *jsonScan) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonScan) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// rawString scans a JSON string literal, returning the raw bytes between
+// the quotes. esc reports whether an escape sequence was present — the
+// raw bytes are then not the decoded value and callers needing one must
+// fall back.
+func (p *jsonScan) rawString() (raw []byte, esc, ok bool) {
+	if !p.eat('"') {
+		return nil, false, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '\\':
+			esc = true
+			p.i += 2
+		case '"':
+			raw = p.b[start:p.i]
+			p.i++
+			return raw, esc, true
+		default:
+			p.i++
+		}
+	}
+	return nil, false, false
+}
+
+// skipValue advances past one JSON value of any type.
+func (p *jsonScan) skipValue() bool {
+	p.ws()
+	if p.i >= len(p.b) {
+		return false
+	}
+	switch c := p.b[p.i]; c {
+	case '"':
+		_, _, ok := p.rawString()
+		return ok
+	case '{', '[':
+		depth := 0
+		for p.i < len(p.b) {
+			switch p.b[p.i] {
+			case '"':
+				if _, _, ok := p.rawString(); !ok {
+					return false
+				}
+				continue // rawString already advanced past the literal
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					p.i++
+					return true
+				}
+			}
+			p.i++
+		}
+		return false
+	default:
+		// Number, true, false or null: scan to the next delimiter.
+		for p.i < len(p.b) {
+			switch p.b[p.i] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return true
+			}
+			p.i++
+		}
+		return false
+	}
+}
+
+// stringArray decodes a JSON array of plain strings, appending to dst.
+// null (a marshaled nil slice) is accepted as empty.
+func (p *jsonScan) stringArray(dst []string) ([]string, bool) {
+	p.ws()
+	if bytes.HasPrefix(p.b[p.i:], []byte("null")) {
+		p.i += len("null")
+		return dst, true
+	}
+	if !p.eat('[') {
+		return dst, false
+	}
+	p.ws()
+	if p.eat(']') {
+		return dst, true
+	}
+	for {
+		p.ws()
+		raw, esc, ok := p.rawString()
+		if !ok || esc {
+			return dst, false
+		}
+		dst = append(dst, string(raw))
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat(']') {
+			return dst, true
+		}
+		return dst, false
+	}
+}

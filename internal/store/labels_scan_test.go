@@ -1,0 +1,105 @@
+package store
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/mosaic-hpc/mosaic/internal/core"
+)
+
+// TestScanCategories checks the labels fast path against encoding/json:
+// wherever the scanner claims success it must produce exactly the
+// decoded "categories" field, and wherever it bails the caller's
+// fallback must be reachable (the input still decodes, or is junk the
+// full decoder rejects too).
+func TestScanCategories(t *testing.T) {
+	full, err := json.Marshal(&core.Result{
+		JobID: 42, App: "ior", User: "u1", NProcs: 64, Runtime: 100,
+		Labels: []string{"read_on_start", "write_on_end"},
+		Truth:  map[string]string{"categories": "decoy [not] {real}", "k": "v,]}"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		doc    string
+		wantOK bool
+	}{
+		{"full result", string(full), true},
+		{"empty object", `{}`, true},
+		{"missing field", `{"app":"x","read":{"chunks":[1,2,3]}}`, true},
+		{"null labels", `{"categories":null,"app":"x"}`, true},
+		{"empty labels", `{"categories":[],"app":"x"}`, true},
+		{"labels only", `{"categories":["a","b"]}`, true},
+		{"whitespace", " {\n\t\"categories\" : [ \"a\" ,\t\"b\" ] , \"n\" : 1.5e3 }", true},
+		{"nested decoy key", `{"truth":{"categories":["x"]},"categories":["y"]}`, true},
+		{"escaped elsewhere", `{"app":"a\"b\\c","categories":["a"]}`, true},
+		{"unicode escape elsewhere", `{"app":"caf\u00e9","categories":["a"]}`, true},
+		{"raw utf8 elsewhere", `{"app":"é","categories":["a"]}`, true},
+		{"escaped label", `{"categories":["a\"b"]}`, false}, // falls back
+		{"escaped key", `{"categor\u0069es":["a"]}`, false}, // falls back
+		{"truncated", `{"categories":["a"`, false},
+		{"not an object", `["categories"]`, false},
+		{"non-string label", `{"categories":[1]}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := scanCategories([]byte(tc.doc), nil)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			var want struct {
+				Labels []string `json:"categories"`
+			}
+			if err := json.Unmarshal([]byte(tc.doc), &want); err != nil {
+				if ok {
+					t.Fatalf("scanner accepted what encoding/json rejects: %v", err)
+				}
+				return
+			}
+			if !ok {
+				return // fallback handles it
+			}
+			if len(got) == 0 && len(want.Labels) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want.Labels) {
+				t.Fatalf("labels = %q, want %q", got, want.Labels)
+			}
+		})
+	}
+}
+
+// FuzzScanCategories: on arbitrary input the scanner must never panic,
+// and whenever it reports success on something encoding/json accepts,
+// the two must agree on the labels.
+func FuzzScanCategories(f *testing.F) {
+	f.Add(`{"categories":["read_on_start"],"app":"ior"}`)
+	f.Add(`{"truth":{"categories":["x"]},"categories":null}`)
+	f.Add(`{"a":[[{"b":"]"}]],"categories":["y","z"]}`)
+	f.Add(`{"categories":["😀"]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<16 {
+			return
+		}
+		got, ok := scanCategories([]byte(doc), nil)
+		if !ok {
+			return
+		}
+		var want struct {
+			Labels []string `json:"categories"`
+		}
+		if err := json.Unmarshal([]byte(doc), &want); err != nil {
+			return // scanner is laxer than the fallback; EachResultLabels only sees docs the store wrote
+		}
+		if len(got) == 0 && len(want.Labels) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want.Labels) {
+			t.Fatalf("scanner %q vs encoding/json %q for %q", got, want.Labels, doc)
+		}
+	})
+}

@@ -986,6 +986,94 @@ func (s *Store) EachResult(fp string, fn func(TraceID, *core.Result) bool) error
 	return nil
 }
 
+// EachResultLabels streams the category labels of every live result
+// under the given config fingerprint, in log order (NOT sorted — the
+// caller orders). Where EachResult pays one random read plus a full
+// result decode per key, this is one buffered sequential pass over
+// the segments that JSON-decodes only the "categories" field: the
+// index-rebuild fast path. The labels slice is reused between calls —
+// fn must copy or convert it before returning. Superseded frames are
+// skipped via the index. fn returning false stops early.
+func (s *Store) EachResultLabels(fp string, fn func(TraceID, []string) bool) error {
+	suffix := "/" + fp
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("store: closed")
+	}
+	readers := make([]*os.File, len(s.readers))
+	copy(readers, s.readers)
+	activeSize := s.size
+	s.mu.RUnlock()
+	var frame []byte
+	var labels struct {
+		Labels []string `json:"categories"`
+	}
+	for si, r := range readers {
+		seg := si + 1
+		// Frames appended after the snapshot sit past these bounds and
+		// are deliberately not visited.
+		limit := activeSize
+		if si != len(readers)-1 {
+			info, err := r.Stat()
+			if err != nil {
+				return fmt.Errorf("store: stat segment %d: %w", seg, err)
+			}
+			limit = info.Size()
+		}
+		br := bufio.NewReaderSize(io.NewSectionReader(r, 0, limit), readaheadBytes)
+		var off int64
+		var hdr [frameHeaderLen]byte
+		for off+frameHeaderLen <= limit {
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return fmt.Errorf("store: reading segment %d at %d: %w", seg, off, err)
+			}
+			n := int64(binary.LittleEndian.Uint32(hdr[:]))
+			if n < framePayloadMin || n > maxFrameLen || off+frameHeaderLen+n+frameCRCLen > limit {
+				break // torn tail; recovery will drop it on next Open
+			}
+			if int64(cap(frame)) < n+frameCRCLen {
+				frame = make([]byte, n+frameCRCLen)
+			}
+			buf := frame[:n+frameCRCLen]
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return fmt.Errorf("store: reading segment %d frame at %d: %w", seg, off, err)
+			}
+			payload := buf[:n]
+			kind := payload[0]
+			keyLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+			if framePayloadMin+int64(keyLen) > n {
+				break
+			}
+			if kind == kindResult {
+				key := string(payload[3 : 3+keyLen])
+				if strings.HasPrefix(key, "r/") && strings.HasSuffix(key, suffix) {
+					valOff := off + frameHeaderLen + framePayloadMin + int64(keyLen)
+					s.mu.RLock()
+					l, live := s.index[key]
+					s.mu.RUnlock()
+					if live && l.seg == seg && l.valOff == valOff {
+						doc := payload[framePayloadMin+keyLen:]
+						var ok bool
+						if labels.Labels, ok = scanCategories(doc, labels.Labels[:0]); !ok {
+							labels.Labels = labels.Labels[:0]
+							if err := json.Unmarshal(doc, &labels); err != nil {
+								return fmt.Errorf("store: decoding result %q: %w", key, err)
+							}
+						}
+						id := TraceID(strings.TrimSuffix(strings.TrimPrefix(key, "r/"), suffix))
+						if !fn(id, labels.Labels) {
+							return nil
+						}
+					}
+				}
+			}
+			off += frameHeaderLen + n + frameCRCLen
+		}
+	}
+	return nil
+}
+
 // EachTraceBlob streams every live trace blob in log order using
 // buffered sequential segment reads: the bulk backfill path, one
 // readahead pass over the log instead of one random read per trace.

@@ -1,0 +1,33 @@
+package mosaic
+
+import (
+	"github.com/mosaic-hpc/mosaic/internal/index"
+)
+
+// Query engine, re-exported. The index answers boolean category queries
+// ("write_on_end AND NOT metadata_high_spike") over categorized traces
+// using compact posting lists: trace IDs live in a dense lexicographic
+// dictionary, categories map to sorted ordinal arrays, and negation is
+// evaluated lazily against the implicit universe. Readers run against
+// immutable epoch snapshots, so queries never block ingest.
+type (
+	// Index is the in-memory category index behind mosaic-serve's
+	// /v1/query and /v1/stats.
+	Index = index.Index
+	// IndexEntry is one trace and its category set, the bulk-load unit.
+	IndexEntry = index.Entry
+	// CategoryCount is one category's population within an axis.
+	CategoryCount = index.CategoryCount
+)
+
+// NewIndex returns an empty query index.
+func NewIndex() *Index { return index.New() }
+
+// ParseQuery validates a boolean category query without evaluating it:
+// the syntax check behind client-side validation and the peer RPC.
+func ParseQuery(q string) error { return index.Parse(q) }
+
+// MergeSorted merges sorted, deduplicated ID lists into their sorted
+// union — the scatter-gather reduce step, two-pointer for few lists and
+// a loser tree for many.
+func MergeSorted(lists ...[]string) []string { return index.MergeSorted(lists...) }
